@@ -1,0 +1,67 @@
+//! A1 (micro view) — commit-path cost under the lock-free helping strategy
+//! vs the global-mutex strategy, single-threaded and with a background
+//! contender.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtf::{CommitStrategy, Rtf, VBox};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_commit(c: &mut Criterion) {
+    for (name, strategy) in [
+        ("lockfree", CommitStrategy::LockFreeHelping),
+        ("mutex", CommitStrategy::GlobalMutex),
+    ] {
+        let tm = Rtf::builder().workers(0).commit_strategy(strategy).build();
+        let vb = VBox::new(0u64);
+        c.bench_function(&format!("commit/{name}/solo"), |b| {
+            b.iter(|| {
+                tm.atomic(|tx| {
+                    let v = *tx.read(&vb);
+                    tx.write(&vb, v + 1);
+                })
+            })
+        });
+    }
+
+    // With a background committer hammering disjoint boxes.
+    for (name, strategy) in [
+        ("lockfree", CommitStrategy::LockFreeHelping),
+        ("mutex", CommitStrategy::GlobalMutex),
+    ] {
+        let tm = Arc::new(Rtf::builder().workers(0).commit_strategy(strategy).build());
+        let mine = VBox::new(0u64);
+        let theirs = VBox::new(0u64);
+        let stop = Arc::new(AtomicBool::new(false));
+        let bg = {
+            let tm = Arc::clone(&tm);
+            let theirs = theirs.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    tm.atomic(|tx| {
+                        let v = *tx.read(&theirs);
+                        tx.write(&theirs, v + 1);
+                    });
+                }
+            })
+        };
+        c.bench_function(&format!("commit/{name}/contended_disjoint"), |b| {
+            b.iter(|| {
+                tm.atomic(|tx| {
+                    let v = *tx.read(&mine);
+                    tx.write(&mine, v + 1);
+                })
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        bg.join().unwrap();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_commit
+}
+criterion_main!(benches);

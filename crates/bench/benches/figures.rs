@@ -1,0 +1,76 @@
+//! Criterion smoke versions of the paper figures (tiny parameterizations;
+//! the full tables come from the `fig5a`/`fig5b`/`fig5c`/`fig6_*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtf::Rtf;
+use rtf_benchkit::{SyntheticArray, SyntheticConfig};
+use rtf_tpcc::{TpccConfig, TpccExecutor, TpccScale};
+use rtf_vacation::{Client, VacationConfig};
+
+fn bench_fig5_shapes(c: &mut Criterion) {
+    let cfg = SyntheticConfig {
+        array_size: 1 << 12,
+        tx_len: 256,
+        iters_between: 50,
+        hot_spots: 20,
+        hot_writes: 10,
+    };
+    let data = SyntheticArray::new(cfg);
+    let tm = Rtf::builder().workers(4).build();
+    for futures in [0usize, 3] {
+        c.bench_function(&format!("fig5/read_only_futures_{futures}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                data.run_read_only(&tm, futures, seed)
+            })
+        });
+        c.bench_function(&format!("fig5/contended_futures_{futures}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                data.run_contended(&tm, futures, seed)
+            })
+        });
+    }
+}
+
+fn bench_fig6_shapes(c: &mut Criterion) {
+    let tm = Rtf::builder().workers(4).build();
+    let vcfg = VacationConfig { relations: 256, queries_per_tx: 24, ..Default::default() };
+    let w = vcfg.build(&tm, 64);
+    for futures in [0usize, 3] {
+        let client = Client::new(tm.clone(), w.manager.clone(), futures);
+        c.bench_function(&format!("fig6/vacation_futures_{futures}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % w.ops.len();
+                client.execute(&w.ops[i])
+            })
+        });
+    }
+
+    let tcfg = TpccConfig {
+        scale: TpccScale { warehouses: 1, customers_per_district: 20, items: 128, seed: 11 },
+        ..Default::default()
+    };
+    let tw = tcfg.build(&tm, 64);
+    for futures in [0usize, 3] {
+        let ex = TpccExecutor::new(tm.clone(), tw.db.clone(), futures);
+        c.bench_function(&format!("fig6/tpcc_futures_{futures}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % tw.ops.len();
+                rtf_tpcc::workload::run_op(&ex, &tw.ops[i])
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig5_shapes, bench_fig6_shapes
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! M1 — micro-benchmarks of the primitive operations: top-level
+//! reads/writes, sub-transaction reads/writes (tentative-list machinery),
+//! future submission + evaluation, and commit paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtf::{Rtf, VBox};
+use std::hint::black_box;
+
+fn bench_top_level_ops(c: &mut Criterion) {
+    let tm = Rtf::builder().workers(0).build();
+    let boxes: Vec<VBox<u64>> = (0..64).map(VBox::new).collect();
+
+    c.bench_function("top_level/read_8", |b| {
+        b.iter(|| {
+            tm.atomic_ro(|tx| {
+                let mut acc = 0u64;
+                for vb in boxes.iter().take(8) {
+                    acc = acc.wrapping_add(*tx.read(vb));
+                }
+                black_box(acc)
+            })
+        })
+    });
+
+    c.bench_function("top_level/rmw_commit", |b| {
+        b.iter(|| {
+            tm.atomic(|tx| {
+                let v = *tx.read(&boxes[0]);
+                tx.write(&boxes[0], v.wrapping_add(1));
+            })
+        })
+    });
+
+    c.bench_function("top_level/ro_fast_path", |b| {
+        b.iter(|| tm.atomic_ro(|tx| *tx.read(&boxes[1])))
+    });
+}
+
+fn bench_future_ops(c: &mut Criterion) {
+    let tm = Rtf::builder().workers(2).build();
+    let vb = VBox::new(7u64);
+
+    c.bench_function("future/submit_eval", |b| {
+        b.iter(|| {
+            tm.atomic(|tx| {
+                let vb = vb.clone();
+                let f = tx.submit(move |tx| *tx.read(&vb));
+                *tx.eval(&f)
+            })
+        })
+    });
+
+    c.bench_function("future/fork_join", |b| {
+        b.iter(|| {
+            tm.atomic(|tx| {
+                let vb2 = vb.clone();
+                tx.fork(move |tx| *tx.read(&vb2), |tx, f| *tx.eval(f))
+            })
+        })
+    });
+
+    c.bench_function("future/sub_write_commit", |b| {
+        b.iter(|| {
+            tm.atomic(|tx| {
+                let vb = vb.clone();
+                let f = tx.submit(move |tx| {
+                    let v = *tx.read(&vb);
+                    tx.write(&vb, v.wrapping_add(1));
+                });
+                let _ = tx.eval(&f);
+            })
+        })
+    });
+
+    // Cost of nesting depth: a chain of k nested futures.
+    for depth in [1usize, 4] {
+        c.bench_function(&format!("future/nested_depth_{depth}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    tm.atomic(|tx| {
+                        fn nest(tx: &mut rtf::Tx, d: usize) -> u64 {
+                            if d == 0 {
+                                return 1;
+                            }
+                            let f = tx.submit(move |tx| nest(tx, d - 1));
+                            *tx.eval(&f)
+                        }
+                        black_box(nest(tx, depth))
+                    })
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_order_keys(c: &mut Criterion) {
+    use rtf_txbase::OrderKey;
+    let root = OrderKey::root();
+    let deep_a = root.child_future(0).child_cont(1).child_future(2).write_key(3);
+    let deep_b = root.child_future(0).child_cont(1).child_cont(2).write_key(0);
+    c.bench_function("orderkey/compare_deep", |b| {
+        b.iter(|| black_box(&deep_a) < black_box(&deep_b))
+    });
+    c.bench_function("orderkey/derive_child", |b| {
+        b.iter(|| black_box(&deep_a).child_future(black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_top_level_ops, bench_future_ops, bench_order_keys
+}
+criterion_main!(benches);

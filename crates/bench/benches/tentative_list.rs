@@ -1,0 +1,50 @@
+//! A3 — tentative-version-list behaviour: read cost as the per-box list
+//! grows (the paper keeps lists sorted so reads stop at the first visible
+//! entry; this measures that walk).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtf::{Rtf, VBox};
+use std::hint::black_box;
+
+/// Builds a transaction whose tree writes the same box from a chain of
+/// `depth` nested futures+continuations, then measures reads against the
+/// populated list within the same transaction.
+fn bench_list_walk(c: &mut Criterion) {
+    let tm = Rtf::builder().workers(0).build();
+    for depth in [1usize, 4, 8] {
+        c.bench_function(&format!("tentative/read_after_{depth}_writers"), |b| {
+            b.iter(|| {
+                let vb = VBox::new(0u64);
+                tm.atomic(|tx| {
+                    // Each fork writes the box in its future, committing a
+                    // new tentative version owned one level up.
+                    for i in 0..depth {
+                        let vb = vb.clone();
+                        tx.fork(
+                            move |tx| {
+                                let v = *tx.read(&vb);
+                                tx.write(&vb, v + i as u64);
+                            },
+                            |tx, f| {
+                                let _ = tx.eval(f);
+                            },
+                        );
+                    }
+                    // Hot read against the populated list.
+                    let mut acc = 0u64;
+                    for _ in 0..32 {
+                        acc = acc.wrapping_add(*tx.read(&vb));
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_list_walk
+}
+criterion_main!(benches);

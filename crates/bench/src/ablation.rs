@@ -1,0 +1,149 @@
+//! Ablations of design choices called out in DESIGN.md:
+//! A1 — lock-free helping commit vs a global commit mutex;
+//! A2 — the §IV-E read-only future validation skip.
+
+use rtf::{CommitStrategy, Rtf, TreeSemantics};
+use rtf_benchkit::measure::fmt_f64;
+use rtf_benchkit::{run_clients, SyntheticArray, SyntheticConfig, Table};
+use rtf_tstructs::TArray;
+
+use crate::cli::Args;
+
+/// A1: concurrent disjoint/contended counter increments under both commit
+/// strategies.
+pub fn ablation_commit(args: &Args) -> Table {
+    let clients_set: Vec<usize> = if args.quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8] };
+    let ops = args.ops.unwrap_or(if args.quick { 500 } else { 3_000 });
+    let mut t = Table::new(
+        "A1 — top-level commit strategy: throughput (txs/s)",
+        &["clients", "lock-free helping", "global mutex", "speedup"],
+    );
+    for clients in clients_set {
+        let thr = |strategy: CommitStrategy| {
+            let tm = Rtf::builder().workers(0).commit_strategy(strategy).build();
+            // Mostly disjoint counters with a pinch of sharing.
+            let counters: TArray<u64> = TArray::new(clients * 4, |_| 0);
+            run_clients(clients, ops, |c, i| {
+                tm.atomic(|tx| {
+                    let own = c * 4 + i % 4;
+                    let v = *counters.get(tx, own);
+                    counters.set(tx, own, v + 1);
+                    if i % 16 == 0 {
+                        let v = *counters.get(tx, 0);
+                        counters.set(tx, 0, v + 1);
+                    }
+                });
+            })
+            .throughput()
+        };
+        let lf = thr(CommitStrategy::LockFreeHelping);
+        let gm = thr(CommitStrategy::GlobalMutex);
+        t.row(vec![
+            clients.to_string(),
+            fmt_f64(lf),
+            fmt_f64(gm),
+            fmt_f64(lf / gm),
+        ]);
+    }
+    t
+}
+
+/// A2: read-only futures with and without the validation skip.
+pub fn ablation_roflag(args: &Args) -> Table {
+    let ops = args.ops.unwrap_or(if args.quick { 50 } else { 300 });
+    let futures = 7;
+    let clients = 2;
+    let mut t = Table::new(
+        "A2 — §IV-E read-only future validation skip",
+        &["ro_opt", "throughput (txs/s)", "ro skips", "ro validations"],
+    );
+    for ro_opt in [true, false] {
+        let tm = Rtf::builder()
+            .workers(clients * futures)
+            .read_only_optimization(ro_opt)
+            .build();
+        let data: TArray<u64> = TArray::new(1 << 12, |i| i as u64);
+        let before = tm.stats();
+        let m = run_clients(clients, ops, |c, i| {
+            let data = data.clone();
+            tm.atomic_ro(move |tx| {
+                let per = data.len() / (futures + 1);
+                let mut handles = Vec::new();
+                for f in 1..=futures {
+                    let data = data.clone();
+                    handles.push(tx.submit(move |tx| {
+                        let mut acc = 0u64;
+                        for k in (f * per)..((f + 1) * per) {
+                            acc = acc.wrapping_add(*data.get(tx, k));
+                        }
+                        acc
+                    }));
+                }
+                let mut acc: u64 = (0..per).map(|k| *data.get(tx, k)).fold(0, u64::wrapping_add);
+                for h in &handles {
+                    acc = acc.wrapping_add(*tx.eval(h));
+                }
+                acc.wrapping_add((c + i) as u64)
+            });
+        });
+        let d = tm.stats().since(&before);
+        t.row(vec![
+            ro_opt.to_string(),
+            fmt_f64(m.throughput()),
+            d.ro_validation_skips.to_string(),
+            d.ro_validation_taken.to_string(),
+        ]);
+    }
+    t
+}
+
+
+/// A4: the cost of strong ordering — the paper's submission-point
+/// serialization vs unordered parallel nesting (JVSTM-style, paper §VI) on
+/// the contended synthetic workload.
+pub fn ablation_ordering(args: &Args) -> Table {
+    let clients = 2;
+    let futures = 3;
+    let ops = args.ops.unwrap_or(if args.quick { 40 } else { 200 });
+    let cfg = SyntheticConfig {
+        array_size: args.array_size.unwrap_or(1 << 14),
+        tx_len: if args.quick { 64 } else { 512 },
+        iters_between: 100,
+        hot_spots: 20,
+        hot_writes: 10,
+    };
+    let mut t = Table::new(
+        "A4 — intra-transaction serialization discipline (contended synthetic)",
+        &[
+            "semantics",
+            "throughput (txs/s)",
+            "partial rollbacks",
+            "waitTurn wait (ms total)",
+            "validation (ms total)",
+        ],
+    );
+    for (name, semantics) in [
+        ("strong ordering", TreeSemantics::StrongOrdering),
+        ("parallel nesting", TreeSemantics::ParallelNesting),
+    ] {
+        let tm = Rtf::builder()
+            .workers(clients * futures)
+            .semantics(semantics)
+            .fallback_threshold(2)
+            .build();
+        let data = SyntheticArray::new(cfg);
+        let before = tm.stats();
+        let m = run_clients(clients, ops, |c, i| {
+            data.run_contended(&tm, futures, (c * ops + i) as u64);
+        });
+        let d = tm.stats().since(&before);
+        t.row(vec![
+            name.into(),
+            fmt_f64(m.throughput()),
+            d.sub_validation_aborts.to_string(),
+            fmt_f64(d.wait_turn_ns as f64 / 1e6),
+            fmt_f64(d.validation_ns as f64 / 1e6),
+        ]);
+    }
+    t
+}

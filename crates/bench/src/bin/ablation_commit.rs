@@ -1,0 +1,10 @@
+//! Ablation A1: lock-free helping commit (the paper's JVSTM design) vs a
+//! coarse global commit mutex.
+
+use rtf_bench::ablation;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    ablation::ablation_commit(&args).emit(args.csv.as_deref());
+}

@@ -1,0 +1,11 @@
+//! Ablation A4: strong ordering (the paper's semantics) vs unordered
+//! parallel nesting (JVSTM-style, paper §VI) — throughput and re-execution
+//! behaviour on the contended synthetic workload.
+
+use rtf_bench::ablation;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    ablation::ablation_ordering(&args).emit(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! Ablation A2: the §IV-E read-only future validation skip, on vs off.
+
+use rtf_bench::ablation;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    ablation::ablation_roflag(&args).emit(args.csv.as_deref());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig 5a: read-only synthetic workload — normalized
+//! throughput of JTF transactional futures and of plain futures, over
+//! transaction length × CPU `iter`, against a no-future baseline.
+
+use rtf_bench::fig5;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    eprintln!("fig5a: read-only synthetic (this may take a while; use --quick for a fast pass)");
+    for table in fig5::fig5a(&args) {
+        table.emit(args.csv.as_deref());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig 5b: contended synthetic workload — normalized
+//! throughput of the `i*j` thread allocations against the all-top-level
+//! baseline.
+
+use rtf_bench::fig5;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.thread_budget();
+    eprintln!("fig5b: contended synthetic, thread budget {budget} (use --threads to change)");
+    let cells = fig5::contended_sweep(&args);
+    fig5::fig5b_table(&cells, budget).emit(args.csv.as_deref());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig 5c: contended synthetic workload — transaction latency
+//! (including retries), latency reduction factors, re-execution counts and
+//! abort rates for the `i*j` thread allocations.
+
+use rtf_bench::fig5;
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.thread_budget();
+    eprintln!("fig5c: contended synthetic latency/aborts, thread budget {budget}");
+    let cells = fig5::contended_sweep(&args);
+    for t in fig5::fig5c_tables(&cells, budget) {
+        t.emit(args.csv.as_deref());
+    }
+}

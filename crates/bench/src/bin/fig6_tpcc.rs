@@ -1,0 +1,14 @@
+//! Regenerates Fig 6d–f: TPC-C — throughput, mean transaction latency and
+//! abort rate vs total threads, for 0/1/3/5/7 futures per transaction.
+
+use rtf_bench::fig6::{self, App};
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    eprintln!("fig6 (TPC-C): sweeping threads × future strategies");
+    let cells = fig6::sweep(App::Tpcc, &args);
+    for t in fig6::tables(App::Tpcc, &cells) {
+        t.emit(args.csv.as_deref());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig 6a–c: Vacation — throughput, mean transaction latency
+//! and abort rate vs total threads, for 0/1/3/5/7 futures per transaction.
+
+use rtf_bench::fig6::{self, App};
+use rtf_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    eprintln!("fig6 (Vacation): sweeping threads × future strategies");
+    let cells = fig6::sweep(App::Vacation, &args);
+    for t in fig6::tables(App::Vacation, &cells) {
+        t.emit(args.csv.as_deref());
+    }
+}

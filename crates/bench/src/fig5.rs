@@ -1,0 +1,276 @@
+//! The synthetic-benchmark experiments: Fig 5a (read-only overhead),
+//! Fig 5b (contended throughput of `i*j` allocations), Fig 5c (latency and
+//! abort behaviour of the same runs).
+
+use rtf::Rtf;
+use rtf_benchkit::measure::fmt_f64;
+use rtf_benchkit::{run_clients, SyntheticArray, SyntheticConfig, Table};
+use rtf_plainfut::PlainExecutor;
+
+use crate::cli::Args;
+
+/// Parameter grid of Fig 5a.
+pub struct Fig5aGrid {
+    /// Transaction lengths (reads per transaction).
+    pub tx_lens: Vec<usize>,
+    /// CPU iterations between accesses.
+    pub iters: Vec<u32>,
+    /// Futures per transaction (paper: 15, i.e. 16-way).
+    pub futures: usize,
+    /// Concurrent top-level transactions (paper: 2).
+    pub clients: usize,
+}
+
+impl Fig5aGrid {
+    /// Paper-shaped grid, scaled by `--quick`.
+    pub fn new(args: &Args) -> Fig5aGrid {
+        if args.quick {
+            Fig5aGrid { tx_lens: vec![10, 100, 1000], iters: vec![0, 100, 1000], futures: 3, clients: 2 }
+        } else {
+            Fig5aGrid {
+                tx_lens: vec![10, 100, 1_000, 10_000, 100_000],
+                iters: vec![0, 10, 100, 1_000, 10_000],
+                futures: 15,
+                clients: 2,
+            }
+        }
+    }
+}
+
+/// Runs Fig 5a and returns the two tables (JTF and plain futures),
+/// throughput normalized to the 2-thread no-future baseline.
+pub fn fig5a(args: &Args) -> Vec<Table> {
+    let grid = Fig5aGrid::new(args);
+    let cfg = SyntheticConfig {
+        array_size: args.array_size.unwrap_or(if args.quick { 1 << 14 } else { 1 << 18 }),
+        tx_len: 0, // set per cell
+        iters_between: 0,
+        ..SyntheticConfig::default()
+    };
+    // One array for the whole grid: the workload never writes.
+    let data = SyntheticArray::new(SyntheticConfig { tx_len: 1, ..cfg });
+    let tm = Rtf::builder().workers(grid.clients * grid.futures).build();
+    let plain = PlainExecutor::new(grid.clients * grid.futures);
+
+    let header: Vec<String> = std::iter::once("tx_len".to_string())
+        .chain(grid.iters.iter().map(|i| format!("iter={i}")))
+        .collect();
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t_jtf = Table::new(
+        format!("Fig 5a — JTF transactional futures, normalized throughput ({}x{} vs {} plain threads)",
+            grid.clients, grid.futures + 1, grid.clients),
+        &headers,
+    );
+    let mut t_plain = Table::new(
+        "Fig 5a — plain (non-transactional) futures, normalized throughput",
+        &headers,
+    );
+    let mut t_ratio = Table::new(
+        "Fig 5a — JTF / plain-future throughput ratio (isolates the transactional \
+machinery's cost on top of plain futures; cf. the paper's <1% overhead claim)",
+        &headers,
+    );
+
+    for &tx_len in &grid.tx_lens {
+        let ops = args.ops.unwrap_or_else(|| (200_000 / tx_len).clamp(3, 300));
+        let mut row_jtf = vec![tx_len.to_string()];
+        let mut row_plain = vec![tx_len.to_string()];
+        let mut row_ratio = vec![tx_len.to_string()];
+        for &iter in &grid.iters {
+            let shaped = shaped(&data, cfg, tx_len, iter);
+            // Baseline: `clients` threads, no futures.
+            let base = run_clients(grid.clients, ops, |c, i| {
+                shaped.run_read_only(&tm, 0, (c * ops + i) as u64);
+            })
+            .throughput();
+            let jtf = run_clients(grid.clients, ops, |c, i| {
+                shaped.run_read_only(&tm, grid.futures, (c * ops + i) as u64);
+            })
+            .throughput();
+            let pf = run_clients(grid.clients, ops, |c, i| {
+                shaped.run_read_only_plain(&plain, grid.futures, (c * ops + i) as u64);
+            })
+            .throughput();
+            row_jtf.push(fmt_f64(jtf / base));
+            row_plain.push(fmt_f64(pf / base));
+            row_ratio.push(fmt_f64(jtf / pf));
+        }
+        t_jtf.row(row_jtf);
+        t_plain.row(row_plain);
+        t_ratio.row(row_ratio);
+    }
+    vec![t_jtf, t_plain, t_ratio]
+}
+
+/// Re-shapes the shared array workload without reallocating the data.
+fn shaped(data: &SyntheticArray, mut cfg: SyntheticConfig, tx_len: usize, iter: u32) -> SyntheticArray {
+    cfg.tx_len = tx_len;
+    cfg.iters_between = iter;
+    data.with_config(cfg)
+}
+
+/// One `i*j` allocation: `clients` top-level transactions, each using
+/// `futures` transactional futures.
+#[derive(Clone, Copy, Debug)]
+pub struct Allocation {
+    /// Concurrent top-level transactions (`i`).
+    pub clients: usize,
+    /// Futures per transaction (`j - 1`).
+    pub futures: usize,
+}
+
+impl std::fmt::Display for Allocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}*{}", self.clients, self.futures + 1)
+    }
+}
+
+/// The paper's allocations for a given thread budget: `T*1`, `T/2*2`,
+/// `T/4*4`, …, `2*(T/2)`.
+pub fn allocations(budget: usize) -> Vec<Allocation> {
+    let mut out = Vec::new();
+    let mut j = 1usize;
+    while budget / j >= 2 || j == 1 {
+        let clients = (budget / j).max(1);
+        out.push(Allocation { clients, futures: j - 1 });
+        j *= 2;
+        if j > budget {
+            break;
+        }
+    }
+    out
+}
+
+/// Measurement of one contended-workload cell.
+pub struct ContendedCell {
+    /// The allocation measured.
+    pub alloc: Allocation,
+    /// Read-prefix length.
+    pub prefix: usize,
+    /// Ops/s.
+    pub throughput: f64,
+    /// Mean transaction latency (ms, includes retries).
+    pub mean_latency_ms: f64,
+    /// p99 latency (ms).
+    pub p99_latency_ms: f64,
+    /// Top-level abort rate.
+    pub abort_rate: f64,
+    /// Mean executions per committed transaction.
+    pub execs_per_commit: f64,
+}
+
+/// Runs the contended synthetic workload (Fig 5b/5c): `iter`=1k, variable
+/// read prefix, 10 writes over 20 hot spots.
+pub fn contended_sweep(args: &Args) -> Vec<ContendedCell> {
+    let budget = args.thread_budget();
+    let prefixes: Vec<usize> =
+        if args.quick { vec![10, 100] } else { vec![10, 100, 1_000, 10_000] };
+    let iter = if args.quick { 100 } else { 1_000 };
+    let array_size = args.array_size.unwrap_or(if args.quick { 1 << 14 } else { 1 << 18 });
+
+    let mut cells = Vec::new();
+    for &prefix in &prefixes {
+        for alloc in allocations(budget) {
+            let cfg = SyntheticConfig {
+                array_size,
+                tx_len: prefix,
+                iters_between: iter,
+                hot_spots: 20,
+                hot_writes: 10,
+            };
+            // Fresh TM and data per cell: contended runs mutate hot spots.
+            let data = SyntheticArray::new(cfg);
+            let workers = budget.saturating_sub(alloc.clients).max(1);
+            let tm = Rtf::builder().workers(workers).build();
+            let ops = args.ops.unwrap_or_else(|| (20_000 / prefix.max(10)).clamp(5, 200));
+            let before = tm.stats();
+            let m = run_clients(alloc.clients, ops, |c, i| {
+                data.run_contended(&tm, alloc.futures, (c * ops + i) as u64);
+            });
+            let delta = tm.stats().since(&before);
+            cells.push(ContendedCell {
+                alloc,
+                prefix,
+                throughput: m.throughput(),
+                mean_latency_ms: m.latency.mean_ms(),
+                p99_latency_ms: m.latency.p99_ns as f64 / 1e6,
+                abort_rate: delta.top_abort_rate(),
+                execs_per_commit: delta.executions_per_commit(),
+            });
+        }
+    }
+    cells
+}
+
+/// Fig 5b: normalized throughput table (baseline = `T*1`).
+pub fn fig5b_table(cells: &[ContendedCell], budget: usize) -> Table {
+    build_alloc_table(
+        cells,
+        budget,
+        &format!("Fig 5b — contended synthetic: throughput normalized to {budget}*1"),
+        |cell, base| fmt_f64(cell.throughput / base.throughput),
+    )
+}
+
+/// Fig 5c: mean latency (ms) and abort behaviour tables.
+pub fn fig5c_tables(cells: &[ContendedCell], budget: usize) -> Vec<Table> {
+    vec![
+        build_alloc_table(
+            cells,
+            budget,
+            "Fig 5c — contended synthetic: mean transaction latency, ms (includes retries)",
+            |cell, _| fmt_f64(cell.mean_latency_ms),
+        ),
+        build_alloc_table(
+            cells,
+            budget,
+            "Fig 5c — contended synthetic: latency reduction vs baseline (x)",
+            |cell, base| fmt_f64(base.mean_latency_ms / cell.mean_latency_ms),
+        ),
+        build_alloc_table(
+            cells,
+            budget,
+            "Fig 5c — contended synthetic: executions per committed transaction",
+            |cell, _| fmt_f64(cell.execs_per_commit),
+        ),
+        build_alloc_table(
+            cells,
+            budget,
+            "Fig 5c — contended synthetic: top-level abort rate",
+            |cell, _| fmt_f64(cell.abort_rate),
+        ),
+    ]
+}
+
+fn build_alloc_table(
+    cells: &[ContendedCell],
+    budget: usize,
+    title: &str,
+    metric: impl Fn(&ContendedCell, &ContendedCell) -> String,
+) -> Table {
+    let allocs = allocations(budget);
+    let header: Vec<String> = std::iter::once("prefix".to_string())
+        .chain(allocs.iter().map(|a| a.to_string()))
+        .collect();
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(title, &headers);
+    let mut prefixes: Vec<usize> = cells.iter().map(|c| c.prefix).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    for p in prefixes {
+        let base = cells
+            .iter()
+            .find(|c| c.prefix == p && c.alloc.futures == 0)
+            .expect("baseline allocation present");
+        let mut row = vec![p.to_string()];
+        for a in &allocs {
+            let cell = cells
+                .iter()
+                .find(|c| c.prefix == p && c.alloc.clients == a.clients && c.alloc.futures == a.futures)
+                .expect("cell present");
+            row.push(metric(cell, base));
+        }
+        t.row(row);
+    }
+    t
+}

@@ -1,0 +1,174 @@
+//! Fig 6: Vacation (a–c) and TPC-C (d–f) — throughput, mean transaction
+//! latency and abort rate as a function of the total thread count, for
+//! thread-allocation strategies with 0 / 1 / 3 / 5 / 7 transactional
+//! futures per top-level transaction.
+
+use rtf::Rtf;
+use rtf_benchkit::measure::fmt_f64;
+use rtf_benchkit::{run_clients, Table};
+use rtf_tpcc::workload::run_op;
+use rtf_tpcc::{TpccConfig, TpccExecutor, TpccScale};
+use rtf_vacation::{Client, VacationConfig};
+
+use crate::cli::Args;
+
+/// Which application to sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum App {
+    /// STAMP Vacation (Fig 6a–c).
+    Vacation,
+    /// TPC-C (Fig 6d–f).
+    Tpcc,
+}
+
+/// One measured cell of the Fig 6 sweep.
+pub struct Fig6Cell {
+    /// Total threads (clients + per-transaction parallelism).
+    pub threads: usize,
+    /// Futures per top-level transaction.
+    pub futures: usize,
+    /// Committed operations per second.
+    pub throughput: f64,
+    /// Mean latency, ms (includes retries).
+    pub mean_latency_ms: f64,
+    /// Top-level abort rate.
+    pub abort_rate: f64,
+}
+
+/// The paper's strategy set.
+pub const FUTURE_STRATEGIES: [usize; 5] = [0, 1, 3, 5, 7];
+
+/// Thread counts to sweep for a budget.
+pub fn thread_counts(budget: usize, quick: bool) -> Vec<usize> {
+    let mut v = vec![1, 2, 4, 8, 16, 24, 32, 48];
+    v.retain(|&t| t <= budget);
+    if quick {
+        v.retain(|&t| t == 2 || t == budget.min(8) || t == 4);
+    }
+    if v.is_empty() {
+        v.push(budget.max(1));
+    }
+    v
+}
+
+/// Runs the sweep for `app` and returns every measured cell.
+pub fn sweep(app: App, args: &Args) -> Vec<Fig6Cell> {
+    let budget = args.thread_budget();
+    let mut cells = Vec::new();
+    for threads in thread_counts(budget, args.quick) {
+        for &futures in &FUTURE_STRATEGIES {
+            // A strategy with f futures needs f+1 threads per client.
+            if futures + 1 > threads && !(futures == 0 && threads >= 1) {
+                continue;
+            }
+            let clients = (threads / (futures + 1)).max(1);
+            let workers = threads.saturating_sub(clients);
+            let cell = run_one(app, args, threads, clients, workers, futures);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+fn run_one(
+    app: App,
+    args: &Args,
+    threads: usize,
+    clients: usize,
+    workers: usize,
+    futures: usize,
+) -> Fig6Cell {
+    let tm = Rtf::builder().workers(workers.max(1)).build();
+    let before = tm.stats();
+    let m = match app {
+        App::Vacation => {
+            let cfg = VacationConfig {
+                relations: if args.quick { 512 } else { 4096 },
+                queries_per_tx: if args.quick { 24 } else { 64 },
+                ..VacationConfig::default()
+            };
+            let ops = args.ops.unwrap_or(if args.quick { 20 } else { 120 });
+            let w = cfg.build(&tm, ops * clients);
+            let client = Client::new(tm.clone(), w.manager.clone(), futures);
+            let ops_ref = &w.ops;
+            run_clients(clients, ops, |c, i| {
+                client.execute(&ops_ref[c * ops + i]);
+            })
+        }
+        App::Tpcc => {
+            let cfg = TpccConfig {
+                scale: TpccScale {
+                    warehouses: 1, // single warehouse: the paper's
+                    // inherently non-scalable, contention-heavy workload
+                    customers_per_district: if args.quick { 40 } else { 120 },
+                    items: if args.quick { 256 } else { 1024 },
+                    seed: 0x79cc,
+                },
+                ..TpccConfig::default()
+            };
+            let ops = args.ops.unwrap_or(if args.quick { 20 } else { 120 });
+            let w = cfg.build(&tm, ops * clients);
+            let ex = TpccExecutor::new(tm.clone(), w.db.clone(), futures);
+            let ops_ref = &w.ops;
+            run_clients(clients, ops, |c, i| {
+                run_op(&ex, &ops_ref[c * ops + i]);
+            })
+        }
+    };
+    let delta = tm.stats().since(&before);
+    Fig6Cell {
+        threads,
+        futures,
+        throughput: m.throughput(),
+        mean_latency_ms: m.latency.mean_ms(),
+        abort_rate: delta.top_abort_rate(),
+    }
+}
+
+/// Builds the three paper tables (throughput, latency, abort rate).
+pub fn tables(app: App, cells: &[Fig6Cell]) -> Vec<Table> {
+    let (name, figs) = match app {
+        App::Vacation => ("Vacation", ["6a", "6b", "6c"]),
+        App::Tpcc => ("TPC-C", ["6d", "6e", "6f"]),
+    };
+    let mut threads: Vec<usize> = cells.iter().map(|c| c.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let header: Vec<String> = std::iter::once("threads".into())
+        .chain(FUTURE_STRATEGIES.iter().map(|f| {
+            if *f == 0 {
+                "baseline".to_string()
+            } else {
+                format!("{f} futures")
+            }
+        }))
+        .collect();
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    type Metric = Box<dyn Fn(&Fig6Cell) -> String>;
+    let metrics: [(&str, Metric); 3] = [
+        ("throughput (txs/s)", Box::new(|c: &Fig6Cell| fmt_f64(c.throughput))),
+        ("mean latency (ms, incl. retries)", Box::new(|c: &Fig6Cell| fmt_f64(c.mean_latency_ms))),
+        ("top-level abort rate", Box::new(|c: &Fig6Cell| fmt_f64(c.abort_rate))),
+    ];
+
+    metrics
+        .iter()
+        .zip(figs)
+        .map(|((metric_name, metric), fig)| {
+            let mut t =
+                Table::new(format!("Fig {fig} — {name}: {metric_name}"), &headers);
+            for &th in &threads {
+                let mut row = vec![th.to_string()];
+                for &f in &FUTURE_STRATEGIES {
+                    match cells.iter().find(|c| c.threads == th && c.futures == f) {
+                        Some(c) => row.push(metric(c)),
+                        None => row.push("-".into()),
+                    }
+                }
+                t.row(row);
+            }
+            t
+        })
+        .collect()
+}

@@ -1,0 +1,26 @@
+//! Experiment harnesses regenerating every figure of the paper's
+//! evaluation (§V). Each binary prints paper-style tables (and optional
+//! CSV):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig5a` | Fig 5a — read-only synthetic: normalized throughput of JTF vs plain futures, over transaction length × `iter` |
+//! | `fig5b` | Fig 5b — contended synthetic: normalized throughput of `i*j` thread allocations |
+//! | `fig5c` | Fig 5c — contended synthetic: mean latency (incl. retries), abort counts |
+//! | `fig6_vacation` | Fig 6a–c — Vacation throughput / latency / abort rate vs threads × futures |
+//! | `fig6_tpcc` | Fig 6d–f — TPC-C throughput / latency / abort rate vs threads × futures |
+//! | `ablation_commit` | A1 — lock-free helping vs global-mutex commit |
+//! | `ablation_roflag` | A2 — §IV-E read-only future validation skip on/off |
+//!
+//! Run e.g. `cargo run --release -p rtf-bench --bin fig5b -- --quick`.
+//! Common flags: `--quick` (CI-sized), `--threads N` (total thread budget),
+//! `--ops N` (per-client operations), `--csv DIR`, `--array-size N`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cli;
+pub mod fig5;
+pub mod fig6;
+
+pub use cli::Args;

@@ -1,0 +1,26 @@
+//! Workload generation, measurement and reporting for the `rtf`
+//! evaluation (reproduces §V of the paper).
+//!
+//! * [`measure`] — wall-clock/throughput/latency-percentile collection and
+//!   TM-counter deltas;
+//! * [`table`] — aligned console tables + CSV emission (the harness
+//!   binaries print one table per paper figure);
+//! * [`synthetic`] — the synthetic array benchmark of Fig 5: configurable
+//!   transaction length, CPU-bound `iter` loop between accesses, read-only
+//!   and hot-spot-contended variants, with JTF-style transactional futures
+//!   or plain futures;
+//! * [`runner`] — thread-allocation strategies (the paper's `i*j` notation:
+//!   `i` top-level transactions, each parallelized across `j` threads).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod measure;
+pub mod runner;
+pub mod synthetic;
+pub mod table;
+
+pub use measure::{LatencyStats, RunMeasurement};
+pub use runner::{run_clients, ClientReport};
+pub use synthetic::{SyntheticArray, SyntheticConfig};
+pub use table::Table;

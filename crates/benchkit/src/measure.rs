@@ -1,0 +1,122 @@
+//! Measurement primitives: latency percentiles and run summaries.
+
+use std::time::Duration;
+
+/// Latency distribution of a batch of operations.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes the distribution from raw samples (sorts in place).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|s| *s as u128).sum();
+        let pct = |p: f64| samples[(((samples.len() - 1) as f64) * p) as usize];
+        LatencyStats {
+            count,
+            mean_ns: (sum as f64) / (count as f64),
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+}
+
+/// Summary of one measured run.
+#[derive(Clone, Debug)]
+pub struct RunMeasurement {
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Per-operation latency distribution.
+    pub latency: LatencyStats,
+}
+
+impl RunMeasurement {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Formats a float compactly for tables (3 significant-ish digits).
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let m = RunMeasurement {
+            ops: 500,
+            elapsed: Duration::from_millis(250),
+            latency: LatencyStats::default(),
+        };
+        assert!((m.throughput() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(42.42), "42.4");
+        assert_eq!(fmt_f64(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,78 @@
+//! Client-thread orchestration for throughput/latency runs.
+//!
+//! The paper's `i*j` thread-allocation notation: `i` client threads each
+//! run top-level transactions parallelized across `j` threads (`j - 1`
+//! futures plus the continuation). Here the client threads are real OS
+//! threads issuing transactions; the futures run on the runtime's worker
+//! pool, so a configuration's total thread budget is
+//! `clients + worker-pool size`.
+
+use std::time::Instant;
+
+use crate::measure::{LatencyStats, RunMeasurement};
+
+/// Per-run report (measurement; TM counter deltas are diffed by callers).
+pub type ClientReport = RunMeasurement;
+
+/// Runs `clients` threads, each executing `ops_per_client` operations via
+/// `op(client_idx, op_idx)`, and measures wall time plus per-op latency.
+pub fn run_clients(
+    clients: usize,
+    ops_per_client: usize,
+    op: impl Fn(usize, usize) + Sync,
+) -> RunMeasurement {
+    assert!(clients > 0, "at least one client");
+    let begin = Instant::now();
+    let all_samples: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let op = &op;
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(ops_per_client);
+                    for i in 0..ops_per_client {
+                        let t0 = Instant::now();
+                        op(c, i);
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = begin.elapsed();
+    let samples: Vec<u64> = all_samples.into_iter().flatten().collect();
+    RunMeasurement {
+        ops: (clients * ops_per_client) as u64,
+        elapsed,
+        latency: LatencyStats::from_samples(samples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_exactly_the_requested_ops() {
+        let counter = AtomicU64::new(0);
+        let m = run_clients(3, 40, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 120);
+        assert_eq!(m.ops, 120);
+        assert_eq!(m.latency.count, 120);
+        assert!(m.throughput() > 0.0);
+    }
+
+    #[test]
+    fn client_and_op_indices_cover_space() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(std::collections::HashSet::new());
+        run_clients(2, 5, |c, i| {
+            seen.lock().unwrap().insert((c, i));
+        });
+        assert_eq!(seen.lock().unwrap().len(), 10);
+    }
+}

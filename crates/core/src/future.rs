@@ -1,0 +1,204 @@
+//! The transactional future handle.
+//!
+//! Submitting a computation inside a transaction returns a [`TxFuture`]: a
+//! placeholder that can be *evaluated* (blocking until the future's
+//! sub-transaction commits) from anywhere — the submitting transaction, a
+//! descendant, another thread, or another top-level transaction (paper §II
+//! and Fig 2 use a future as a cross-transaction communication channel).
+//!
+//! The handle resolves when the future's sub-transaction commits *within its
+//! tree*; the strong ordering semantics guarantee the value equals the one a
+//! sequential execution would produce at the submission point. If the whole
+//! tree re-executes (inter-tree conflict or implicit-continuation restart),
+//! the re-execution creates fresh handles; a stale handle held by an outside
+//! observer is *cancelled* — evaluating it panics with a descriptive message
+//! (the paper leaves this corner unspecified; see README limitations).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtf_mvstm::TxData;
+
+enum FutState<A> {
+    Pending,
+    Committed(Arc<A>),
+    Cancelled,
+}
+
+struct Shared<A> {
+    state: Mutex<FutState<A>>,
+    cv: Condvar,
+}
+
+/// A handle to a transactional future's result.
+///
+/// Cloneable and sendable across threads; see the module docs for the
+/// evaluation semantics.
+pub struct TxFuture<A: TxData> {
+    shared: Arc<Shared<A>>,
+}
+
+impl<A: TxData> Clone for TxFuture<A> {
+    fn clone(&self) -> Self {
+        TxFuture { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<A: TxData> TxFuture<A> {
+    pub(crate) fn new_pending() -> Self {
+        TxFuture { shared: Arc::new(Shared { state: Mutex::new(FutState::Pending), cv: Condvar::new() }) }
+    }
+
+    /// A handle that is already resolved (used by the sequential fallback
+    /// mode, where future bodies run inline at their submission point).
+    pub(crate) fn ready(value: Arc<A>) -> Self {
+        TxFuture {
+            shared: Arc::new(Shared {
+                state: Mutex::new(FutState::Committed(value)),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn complete(&self, value: Arc<A>) {
+        let mut st = self.shared.state.lock();
+        *st = FutState::Committed(value);
+        self.shared.cv.notify_all();
+    }
+
+    pub(crate) fn cancel(&self) {
+        let mut st = self.shared.state.lock();
+        if matches!(*st, FutState::Pending) {
+            *st = FutState::Cancelled;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking probe: the committed value, if already available.
+    pub fn try_get(&self) -> Option<Arc<A>> {
+        match &*self.shared.state.lock() {
+            FutState::Committed(v) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Whether the future already committed.
+    pub fn is_done(&self) -> bool {
+        self.try_get().is_some()
+    }
+
+    /// Blocks until the future commits; panics if the submitting tree
+    /// execution was torn down (see module docs).
+    ///
+    /// Inside a transaction prefer [`crate::Tx::eval`], which also lets the
+    /// waiting thread help execute queued futures.
+    pub fn wait(&self) -> Arc<A> {
+        let mut st = self.shared.state.lock();
+        loop {
+            match &*st {
+                FutState::Committed(v) => return Arc::clone(v),
+                FutState::Cancelled => panic!(
+                    "evaluated a transactional future whose submitting transaction \
+                     execution was aborted and re-executed; re-obtain the handle \
+                     from the new execution"
+                ),
+                FutState::Pending => {
+                    self.shared.cv.wait_for(&mut st, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Like [`TxFuture::wait`], but calls `help` while pending so a blocked
+    /// thread keeps the pool busy (avoids pool-starvation deadlock).
+    /// Returns `Err(())` if the future was cancelled (tree teardown); the
+    /// caller decides how to surface that.
+    pub(crate) fn wait_helping(&self, mut help: impl FnMut() -> bool) -> Result<Arc<A>, ()> {
+        loop {
+            {
+                let mut st = self.shared.state.lock();
+                match &*st {
+                    FutState::Committed(v) => return Ok(Arc::clone(v)),
+                    FutState::Cancelled => return Err(()),
+                    FutState::Pending => {
+                        // Help with the lock released; park briefly only
+                        // when there is nothing to help with.
+                        let helped = parking_lot::MutexGuard::unlocked(&mut st, &mut help);
+                        if !helped {
+                            self.shared.cv.wait_for(&mut st, Duration::from_micros(200));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_then_wait() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.complete(Arc::new(5));
+        assert_eq!(*f.wait(), 5);
+        assert_eq!(*f.try_get().unwrap(), 5);
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn ready_is_done() {
+        let f = TxFuture::ready(Arc::new(9u8));
+        assert!(f.is_done());
+        assert_eq!(*f.wait(), 9);
+    }
+
+    #[test]
+    fn wait_blocks_until_complete() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        assert!(f.try_get().is_none());
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || *f2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        f.complete(Arc::new(7));
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "aborted and re-executed")]
+    fn cancelled_wait_panics() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.cancel();
+        let _ = f.wait();
+    }
+
+    #[test]
+    fn cancel_after_complete_is_noop() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.complete(Arc::new(3));
+        f.cancel();
+        assert_eq!(*f.wait(), 3);
+    }
+
+    #[test]
+    fn wait_helping_runs_helper() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        let f2 = f.clone();
+        let helped = std::sync::atomic::AtomicU32::new(0);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            f2.complete(Arc::new(1));
+        });
+        let v = f
+            .wait_helping(|| {
+                helped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                false
+            })
+            .expect("not cancelled");
+        assert_eq!(*v, 1);
+        assert!(helped.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,495 @@
+//! # rtf — transactional futures for Rust
+//!
+//! A from-scratch Rust implementation of **transactional futures** as
+//! introduced by *"The Future(s) of Transactional Memory"* (Zeng, Barreto,
+//! Haridi, Rodrigues, Romano — ICPP 2016), whose reference system is the
+//! Java-based JTF.
+//!
+//! A transactional future is a future **submitted inside a memory
+//! transaction**: its body runs in parallel as a *sub-transaction* of the
+//! submitting (parent) transaction, and the code following the submission
+//! becomes the *continuation* sub-transaction. The runtime guarantees
+//! **strong ordering semantics**: the future is serialized at its
+//! *submission point*, so the outcome of any program equals the outcome of
+//! the sequential program in which each future body runs synchronously
+//! where it was submitted — no matter when, where, or by whom the future is
+//! evaluated. Across top-level transactions, the system guarantees opacity
+//! (strict serializability with consistent snapshots even for aborted
+//! transactions), inherited from the multi-version substrate.
+//!
+//! ```
+//! use rtf::{Rtf, VBox};
+//!
+//! let tm = Rtf::builder().workers(4).build();
+//! let account = VBox::new(100i64);
+//! let fee_total = VBox::new(0i64);
+//!
+//! let paid = tm.atomic(|tx| {
+//!     // Compute the fee in parallel with the rest of the transaction.
+//!     let fee = tx.submit({
+//!         let account = account.clone();
+//!         move |tx| *tx.read(&account) / 10
+//!     });
+//!     let balance = *tx.read(&account);
+//!     let fee = *tx.eval(&fee);
+//!     tx.write(&account, balance - fee);
+//!     let t = *tx.read(&fee_total);
+//!     tx.write(&fee_total, t + fee);
+//!     fee
+//! });
+//! assert_eq!(paid, 10);
+//! assert_eq!(*account.read_committed(), 90);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`Rtf`] — the runtime: worker pool, clock, statistics, and the
+//!   [`Rtf::atomic`] retry loop.
+//! * [`Tx`] — the transaction handle: [`Tx::read`] / [`Tx::write`] on
+//!   [`VBox`]es, [`Tx::submit`] (paper-style: the rest of the enclosing
+//!   closure is the continuation), [`Tx::fork`] (structured: an explicit
+//!   continuation closure, giving partial rollback), [`Tx::eval`].
+//! * [`TxFuture`] — the future handle; sendable anywhere, evaluatable even
+//!   from other top-level transactions (paper Fig 2).
+//! * Substrates: `rtf-mvstm` (multi-version boxes, snapshot reads,
+//!   lock-free helping commit) and `rtf-taskpool` (helping work pool).
+//!
+//! The concurrency control implements the paper's machinery: per-box
+//! tentative version lists sorted by serialization order, ownership records
+//! propagated on sub-commit, `ancVer`/`nClock` visibility, the `waitTurn`
+//! ordering rules, read-set re-resolution at sub-commit, the inter-tree
+//! `ownedByAnotherTree` fallback, and the read-only validation-skip
+//! optimization. See `DESIGN.md` for the map from paper sections to
+//! modules, and for the documented substitutions (closure-based partial
+//! rollback instead of JVM first-class continuations; mutex-guarded
+//! tentative lists with unchanged ordering semantics).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod future;
+mod node;
+#[macro_use]
+pub(crate) mod trace;
+mod runtime;
+mod rw;
+mod tree;
+mod tx;
+
+pub use future::TxFuture;
+pub use runtime::{Cancelled, Rtf, RtfBuilder, RtfConfig};
+pub use tree::TreeSemantics;
+pub use tx::Tx;
+
+// Re-export the data layer so `rtf` alone suffices for applications.
+pub use rtf_mvstm::{CommitStrategy, TxData, VBox};
+pub use rtf_txbase::StatSnapshot;
+
+// Internal APIs for sibling crates (data structures, benches) and tests.
+#[doc(hidden)]
+pub mod internals {
+    pub use crate::node::{Node, NodeKind};
+    pub use crate::rw::{sub_read, sub_write, validate_reads, ReadEntry, ReadKind};
+    pub use crate::tree::TreeCtx;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tm() -> Rtf {
+        Rtf::builder().workers(2).build()
+    }
+
+    #[test]
+    fn plain_transaction_without_futures() {
+        let tm = tm();
+        let b = VBox::new(1u64);
+        let out = tm.atomic(|tx| {
+            let v = *tx.read(&b);
+            tx.write(&b, v + 1);
+            v
+        });
+        assert_eq!(out, 1);
+        assert_eq!(*b.read_committed(), 2);
+        assert_eq!(tm.stats().top_commits, 1);
+    }
+
+    #[test]
+    fn future_sees_parent_prefork_write() {
+        let tm = tm();
+        let b = VBox::new(0u64);
+        let got = tm.atomic(|tx| {
+            tx.write(&b, 7);
+            let f = tx.submit({
+                let b = b.clone();
+                move |tx| *tx.read(&b)
+            });
+            *tx.eval(&f)
+        });
+        assert_eq!(got, 7, "future must inherit the parent's snapshot incl. its writes");
+        assert_eq!(*b.read_committed(), 7);
+    }
+
+    #[test]
+    fn continuation_misses_future_write_and_reexecutes() {
+        // The continuation reads the box its future writes; strong ordering
+        // demands the continuation observe the future's value.
+        let tm = tm();
+        let b = VBox::new(0u64);
+        let seen = tm.atomic(|tx| {
+            tx.fork(
+                {
+                    let b = b.clone();
+                    move |tx| {
+                        tx.write(&b, 41);
+                        1u8
+                    }
+                },
+                {
+                    let b = b.clone();
+                    move |tx, fut| {
+                        let v = *tx.read(&b);
+                        let _ = tx.eval(fut);
+                        v
+                    }
+                },
+            )
+        });
+        assert_eq!(seen, 41, "continuation must serialize after its future");
+        assert_eq!(*b.read_committed(), 41);
+    }
+
+    #[test]
+    fn nested_futures_fig1() {
+        // Fig 1: T0 submits TF1; TF1 submits TF2; T0 evaluates TF2 (the
+        // handle crosses sub-transactions through the future result).
+        let tm = tm();
+        let x = VBox::new(0u64);
+        let y = VBox::new(0u64);
+        let out = tm.atomic(|tx| {
+            tx.write(&y, 10); // w(y, y0)
+            let f1 = tx.submit({
+                let x = x.clone();
+                move |tx| {
+                    tx.write(&x, 5); // w(x, x1)
+                    tx.submit({
+                        let x = x.clone();
+                        move |tx| *tx.read(&x)
+                    })
+                }
+            });
+            let f2 = tx.eval(&f1);
+            *tx.eval(&f2)
+        });
+        // TF2 serializes right after its submission inside TF1: sees x=5.
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn post_join_parent_reads_see_future_writes() {
+        let tm = tm();
+        let b = VBox::new(0u64);
+        let out = tm.atomic(|tx| {
+            tx.fork(
+                {
+                    let b = b.clone();
+                    move |tx| {
+                        tx.write(&b, 9);
+                        0u8
+                    }
+                },
+                |_tx, _f| (),
+            );
+            // Back at the root, after the join: must see the future's write.
+            *tx.read(&b)
+        });
+        assert_eq!(out, 9);
+        assert_eq!(*b.read_committed(), 9);
+    }
+
+    #[test]
+    fn many_futures_sum() {
+        let tm = tm();
+        let boxes: Vec<VBox<u64>> = (0..16).map(|i| VBox::new(i as u64)).collect();
+        let total = tm.atomic(|tx| {
+            let futs: Vec<_> = boxes
+                .chunks(4)
+                .map(|chunk| {
+                    let chunk: Vec<VBox<u64>> = chunk.to_vec();
+                    tx.submit(move |tx| chunk.iter().map(|b| *tx.read(b)).sum::<u64>())
+                })
+                .collect();
+            futs.iter().map(|f| *tx.eval(f)).sum::<u64>()
+        });
+        assert_eq!(total, (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn future_result_visible_across_transactions() {
+        // Fig 2: T1 submits TF and T2 evaluates it.
+        let tm = tm();
+        let handle_slot: Arc<parking_lot::Mutex<Option<TxFuture<u64>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let b = VBox::new(5u64);
+        let hs = Arc::clone(&handle_slot);
+        let b2 = b.clone();
+        tm.atomic(move |tx| {
+            let f = tx.submit({
+                let b = b2.clone();
+                move |tx| *tx.read(&b) * 2
+            });
+            let _ = tx.eval(&f);
+            *hs.lock() = Some(f);
+        });
+        let f = handle_slot.lock().take().unwrap();
+        let got = tm.atomic(move |tx| *tx.eval(&f));
+        assert_eq!(got, 10);
+    }
+
+    #[test]
+    fn isolation_between_top_level_transactions() {
+        let tm = Arc::new(tm());
+        let a = VBox::new(0i64);
+        let b = VBox::new(0i64);
+        // Invariant: a + b == 0 (transfers move value between them).
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let tm = Arc::clone(&tm);
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        tm.atomic(|tx| {
+                            let av = *tx.read(&a);
+                            let bv = *tx.read(&b);
+                            assert_eq!(av + bv, 0, "opacity violated");
+                            tx.write(&a, av + 1);
+                            tx.write(&b, bv - 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*a.read_committed(), 400);
+        assert_eq!(*b.read_committed(), -400);
+    }
+
+    #[test]
+    fn concurrent_trees_with_futures_keep_counter_exact() {
+        let tm = Arc::new(tm());
+        let b = VBox::new(0u64);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let tm = Arc::clone(&tm);
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        tm.atomic(|tx| {
+                            let f = tx.submit({
+                                let b = b.clone();
+                                move |tx| *tx.read(&b)
+                            });
+                            let v = *tx.eval(&f);
+                            tx.write(&b, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*b.read_committed(), 150);
+    }
+
+    #[test]
+    fn read_only_transaction_with_futures() {
+        let tm = tm();
+        let boxes: Vec<VBox<u64>> = (0..8).map(|i| VBox::new(i as u64)).collect();
+        let sum = tm.atomic_ro(|tx| {
+            let futs: Vec<_> = boxes
+                .chunks(2)
+                .map(|c| {
+                    let c: Vec<_> = c.to_vec();
+                    tx.submit(move |tx| c.iter().map(|b| *tx.read(b)).sum::<u64>())
+                })
+                .collect();
+            futs.iter().map(|f| *tx.eval(f)).sum::<u64>()
+        });
+        assert_eq!(sum, 28);
+        let s = tm.stats();
+        assert_eq!(s.top_ro_commits, 1);
+        assert!(s.ro_validation_skips > 0, "§IV-E skip should fire: {s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "declared read-only")]
+    fn atomic_ro_rejects_writes() {
+        let tm = tm();
+        let b = VBox::new(0u64);
+        tm.atomic_ro(|tx| tx.write(&b, 1));
+    }
+
+    #[test]
+    fn user_panic_propagates_and_tree_is_cleaned() {
+        let tm = tm();
+        let b = VBox::new(0u64);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tm.atomic(|tx| {
+                tx.write(&b, 1);
+                let f = tx.submit({
+                    let b = b.clone();
+                    move |tx| {
+                        let _ = tx.read(&b);
+                        panic!("boom in future");
+                    }
+                });
+                #[allow(unreachable_code)]
+                {
+                    let _: Arc<()> = tx.eval(&f);
+                }
+            })
+        }));
+        assert!(r.is_err());
+        // The write must not have escaped.
+        assert_eq!(*b.read_committed(), 0);
+        // And the box's tentative list must be clean for future writers.
+        assert!(b.cell().tentative_lock().is_empty());
+        let tm2 = tm;
+        tm2.atomic(|tx| tx.write(&b, 5));
+        assert_eq!(*b.read_committed(), 5);
+    }
+
+    #[test]
+    fn deep_nesting_matches_sequential() {
+        // Build Fig 3a's shape: root forks; the future itself forks; etc.
+        let tm = tm();
+        let b = VBox::new(1u64);
+        let out = tm.atomic(|tx| {
+            let f1 = tx.submit({
+                let b = b.clone();
+                move |tx| {
+                    let f2 = tx.submit({
+                        let b = b.clone();
+                        move |tx| {
+                            let v = *tx.read(&b);
+                            tx.write(&b, v * 2); // b = 2
+                            v
+                        }
+                    });
+                    let v2 = *tx.eval(&f2);
+                    let v = *tx.read(&b); // must see b = 2
+                    tx.write(&b, v + 10); // b = 12
+                    v2 + v
+                }
+            });
+            let got = *tx.eval(&f1); // 1 + 2 = 3
+            let v = *tx.read(&b); // must see 12
+            tx.write(&b, v + 100); // b = 112
+            got + v
+        });
+        assert_eq!(out, 3 + 12);
+        assert_eq!(*b.read_committed(), 112);
+    }
+
+    #[test]
+    fn zero_worker_pool_still_completes_via_helping() {
+        let tm = Rtf::builder().workers(0).build();
+        let b = VBox::new(3u64);
+        let out = tm.atomic(|tx| {
+            let f = tx.submit({
+                let b = b.clone();
+                move |tx| *tx.read(&b) + 1
+            });
+            *tx.eval(&f)
+        });
+        assert_eq!(out, 4);
+    }
+
+    #[test]
+    fn map_futures_preserves_item_order_and_semantics() {
+        let tm = tm();
+        let data: Vec<VBox<u64>> = (0..50).map(|i| VBox::new(i as u64)).collect();
+        let data = std::sync::Arc::new(data);
+        let d2 = std::sync::Arc::clone(&data);
+        let out = tm.atomic(move |tx| {
+            let d3 = std::sync::Arc::clone(&d2);
+            tx.map_futures(4, (0..50usize).collect(), move |tx, i| *tx.read(&d3[*i]) + 1)
+        });
+        assert_eq!(out, (1..=50u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_futures_with_writes_equals_sequential_loop() {
+        // Each item RMWs a single accumulator: the result must be the
+        // sequential prefix sums, which only holds if chunk serialization
+        // follows item order.
+        let tm = tm();
+        let acc = VBox::new(0u64);
+        let a2 = acc.clone();
+        let prefix = tm.atomic(move |tx| {
+            let a3 = a2.clone();
+            tx.map_futures(3, (1..=12u64).collect(), move |tx, i| {
+                let v = *tx.read(&a3) + i;
+                tx.write(&a3, v);
+                v
+            })
+        });
+        let want: Vec<u64> = (1..=12u64).scan(0, |s, i| { *s += i; Some(*s) }).collect();
+        assert_eq!(prefix, want);
+        assert_eq!(*acc.read_committed(), 78);
+    }
+
+    #[test]
+    fn map_futures_edge_cases() {
+        let tm = tm();
+        let empty: Vec<u64> = tm.atomic(|tx| tx.map_futures(4, Vec::<u64>::new(), |_tx, i| *i));
+        assert!(empty.is_empty());
+        let single = tm.atomic(|tx| tx.map_futures(8, vec![41u64], |_tx, i| i + 1));
+        assert_eq!(single, vec![42]);
+        // parallelism larger than item count
+        let out = tm.atomic(|tx| tx.map_futures(100, vec![1u64, 2, 3], |_tx, i| i * 10));
+        assert_eq!(out, vec![10, 20, 30]);
+        // parallelism zero behaves like one chunk
+        let out = tm.atomic(|tx| tx.map_futures(0, vec![1u64, 2], |_tx, i| *i));
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn fallback_mode_is_sequential_and_correct() {
+        let tm = Rtf::builder().workers(2).fallback_threshold(1).build();
+        // Force fallback by provoking inter-tree conflicts: two threads'
+        // futures hammer the same two boxes with writes.
+        let x = VBox::new(0u64);
+        let tm = Arc::new(tm);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let tm = Arc::clone(&tm);
+                let x = x.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        tm.atomic(|tx| {
+                            let f = tx.submit({
+                                let x = x.clone();
+                                move |tx| {
+                                    let v = *tx.read(&x);
+                                    tx.write(&x, v + 1);
+                                    0u8
+                                }
+                            });
+                            let _ = tx.eval(&f);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*x.read_committed(), 200);
+    }
+}

@@ -1,0 +1,365 @@
+//! Nodes of a transaction tree.
+//!
+//! Every submit point splits the current transactional context into two
+//! sibling sub-transactions — the transactional future and the continuation
+//! (paper §II, Fig 3a) — so a top-level transaction unfolds into a binary
+//! tree rooted at the top-level (root) node. A [`Node`] represents one
+//! *execution attempt* of one tree position: a re-executed sub-transaction
+//! gets a brand-new node (fresh id and fresh ownership record), which is how
+//! reads distinguish current writes from leftovers of aborted attempts.
+//!
+//! The node carries the metadata of §III-A:
+//!
+//! * `nclock` — incremented each time a direct child commits, with a condvar
+//!   so `waitTurn` waiters block instead of spinning;
+//! * `anc_ver` — for every ancestor, that ancestor's `nclock` value when
+//!   this node started; the visibility rule compares it against the
+//!   `txTreeVer` of ownership records (Fig 4);
+//! * the node's [`OrderKey`] path encoding its serialization position, and
+//!   `fork_count`, the number of completed submit points, which determines
+//!   the order key of the node's own writes.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use rtf_mvstm::VBoxCell;
+use rtf_txbase::{new_node_id, FxHashMap, NodeId, Orec, OrderKey, WriteToken};
+
+/// Role of a node within its parent (the paper's future/continuation
+/// distinction, extended with the fork index for nodes that fork several
+/// times — see `rtf_txbase::order` for why that stays faithful to the
+/// strictly binary trees of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The top-level transaction.
+    Root,
+    /// A transactional future created by its parent's `fork_idx`-th submit.
+    Future {
+        /// 0-based submit index within the parent.
+        fork_idx: u32,
+    },
+    /// The continuation created by its parent's `fork_idx`-th submit.
+    Continuation {
+        /// 0-based submit index within the parent.
+        fork_idx: u32,
+    },
+}
+
+/// Contributions a committed child hands to its parent (the paper's
+/// "read and write sets of a sub-transaction that commits are consolidated
+/// by the parent", §II).
+#[derive(Default)]
+pub struct Inbox {
+    /// Ownership records now owned by this node (its committed descendants'
+    /// records, re-owned transitively at each sub-commit — Alg 4 lines
+    /// 10–13).
+    pub adopted_orecs: Vec<Arc<Orec>>,
+    /// Reads served from the *permanent* store by committed descendants;
+    /// needed for the top-level (inter-tree) validation at root commit.
+    pub perm_reads: Vec<(Arc<VBoxCell>, WriteToken)>,
+    /// Cells written by committed descendants (tree-abort cleanup).
+    pub written_cells: Vec<Arc<VBoxCell>>,
+}
+
+/// One execution attempt of one tree position.
+pub struct Node {
+    /// Unique id of this attempt.
+    pub id: NodeId,
+    /// Role within the parent.
+    pub kind: NodeKind,
+    /// Parent attempt (`None` for the root).
+    pub parent: Option<Arc<Node>>,
+    /// Serialization-order path of this position.
+    pub path: OrderKey,
+    /// `ancVer`: ancestor id → that ancestor's `nclock` when this node
+    /// started (paper §III-A). Includes *all* ancestors up to the root.
+    pub anc_ver: FxHashMap<NodeId, u64>,
+    /// Ownership record of this attempt's writes.
+    pub orec: Arc<Orec>,
+    /// Number of committed direct children, plus its waiters.
+    nclock: Mutex<u64>,
+    nclock_cv: Condvar,
+    /// Number of completed submit points of this node (its next write gets
+    /// order key `path.write_key(fork_count)`).
+    pub fork_count: AtomicU32,
+    /// Contributions from committed children.
+    pub inbox: Mutex<Inbox>,
+    /// Set when the node's subtree is being torn down; running descendants
+    /// poll it at operation boundaries and unwind.
+    cancelled: AtomicBool,
+}
+
+impl Node {
+    /// Creates the root node of a new tree attempt.
+    pub fn new_root() -> Arc<Node> {
+        let id = new_node_id();
+        Arc::new(Node {
+            id,
+            kind: NodeKind::Root,
+            parent: None,
+            path: OrderKey::root(),
+            anc_ver: FxHashMap::default(),
+            orec: Arc::new(Orec::new(id)),
+            nclock: Mutex::new(0),
+            nclock_cv: Condvar::new(),
+            fork_count: AtomicU32::new(0),
+            inbox: Mutex::new(Inbox::default()),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Creates a child attempt under `parent`. `anc_ver` is snapshotted
+    /// *now*, walking the ancestor chain and reading every ancestor's
+    /// current `nclock` (not the parent's possibly stale copy): a child may
+    /// observe anything committed-and-propagated before it starts — all of
+    /// which precedes it in the serialization order — and a re-created
+    /// attempt (after a validation abort) thereby gains visibility of the
+    /// writes it previously missed ("transactions that re-execute … read
+    /// the writes they missed on their previous execution", §III-A).
+    pub fn new_child(parent: &Arc<Node>, kind: NodeKind) -> Arc<Node> {
+        let path = match kind {
+            NodeKind::Future { fork_idx } => parent.path.child_future(fork_idx),
+            NodeKind::Continuation { fork_idx } => parent.path.child_cont(fork_idx),
+            NodeKind::Root => unreachable!("roots have no parent"),
+        };
+        let mut anc_ver = FxHashMap::default();
+        let mut anc = Arc::clone(parent);
+        loop {
+            anc_ver.insert(anc.id, anc.nclock());
+            match &anc.parent {
+                Some(p) => {
+                    let p = Arc::clone(p);
+                    anc = p;
+                }
+                None => break,
+            }
+        }
+        let id = new_node_id();
+        Arc::new(Node {
+            id,
+            kind,
+            parent: Some(Arc::clone(parent)),
+            path,
+            anc_ver,
+            orec: Arc::new(Orec::new(id)),
+            nclock: Mutex::new(0),
+            nclock_cv: Condvar::new(),
+            fork_count: AtomicU32::new(0),
+            inbox: Mutex::new(Inbox::default()),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Current `nclock` value.
+    pub fn nclock(&self) -> u64 {
+        *self.nclock.lock()
+    }
+
+    /// Registers a child commit: bumps `nclock` and wakes `waitTurn`
+    /// waiters. Returns the new value (the `txTreeVer` the child's orecs
+    /// are propagated with — Alg 4 lines 7–8).
+    pub fn bump_nclock(&self) -> u64 {
+        let mut g = self.nclock.lock();
+        *g += 1;
+        let v = *g;
+        drop(g);
+        self.nclock_cv.notify_all();
+        v
+    }
+
+    /// Waits until `nclock >= threshold`, interleaving calls to `help`
+    /// (pool helping) and checking `poisoned` (tree teardown). Returns
+    /// `false` when the wait was interrupted by poisoning.
+    pub fn wait_nclock_at_least(
+        &self,
+        threshold: u64,
+        mut help: impl FnMut() -> bool,
+        poisoned: impl Fn() -> bool,
+    ) -> bool {
+        loop {
+            {
+                let mut g = self.nclock.lock();
+                if *g >= threshold {
+                    return true;
+                }
+                if poisoned() {
+                    return false;
+                }
+                // Help with the lock released; only park when idle.
+                let helped = parking_lot::MutexGuard::unlocked(&mut g, &mut help);
+                if !helped && *g < threshold {
+                    self.nclock_cv.wait_for(&mut g, std::time::Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Marks this subtree cancelled (tree teardown).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+        // Wake any waitTurn waiter parked on this node.
+        self.nclock_cv.notify_all();
+    }
+
+    /// Whether this node (or, transitively via checks at each level, an
+    /// ancestor) was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The root of this node's tree.
+    pub fn root(self: &Arc<Node>) -> Arc<Node> {
+        let mut cur = Arc::clone(self);
+        while let Some(p) = &cur.parent {
+            let p = Arc::clone(p);
+            cur = p;
+        }
+        cur
+    }
+
+    /// `waitTurn` target (Alg 3, generalized to multi-fork nodes): the
+    /// `(node, threshold)` whose `nclock` reaching `threshold` certifies
+    /// that every sub-transaction serialized before this node's subtree has
+    /// committed. `None` means no wait (first in the serialization order).
+    ///
+    /// * continuation of fork `i`: parent's `nclock >= 2i+1` (its sibling
+    ///   future's subtree committed);
+    /// * future of fork `i > 0`: parent's `nclock >= 2i` (both children of
+    ///   every earlier fork committed);
+    /// * future of fork `0`: recurse on the parent — the paper's upward
+    ///   traversal of `ancVer` to the first continuation ancestor;
+    /// * root: no wait.
+    pub fn wait_turn_target(self: &Arc<Node>) -> Option<(Arc<Node>, u64)> {
+        let mut cur = Arc::clone(self);
+        loop {
+            match cur.kind {
+                NodeKind::Root => return None,
+                NodeKind::Continuation { fork_idx } => {
+                    let parent = Arc::clone(cur.parent.as_ref().expect("non-root has parent"));
+                    return Some((parent, 2 * fork_idx as u64 + 1));
+                }
+                NodeKind::Future { fork_idx } => {
+                    let parent = Arc::clone(cur.parent.as_ref().expect("non-root has parent"));
+                    if fork_idx > 0 {
+                        return Some((parent, 2 * fork_idx as u64));
+                    }
+                    cur = parent;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node({:?}, {:?}, {:?})", self.id, self.kind, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_paths_follow_order_scheme() {
+        let root = Node::new_root();
+        let f = Node::new_child(&root, NodeKind::Future { fork_idx: 0 });
+        let c = Node::new_child(&root, NodeKind::Continuation { fork_idx: 0 });
+        assert!(f.path < c.path);
+        assert!(root.path.is_ancestor_of(&f.path));
+        assert_eq!(f.anc_ver.get(&root.id), Some(&0));
+    }
+
+    #[test]
+    fn anc_ver_snapshots_parent_nclock() {
+        let root = Node::new_root();
+        root.bump_nclock();
+        let c = Node::new_child(&root, NodeKind::Continuation { fork_idx: 0 });
+        assert_eq!(c.anc_ver.get(&root.id), Some(&1));
+        let gc = Node::new_child(&c, NodeKind::Future { fork_idx: 0 });
+        assert_eq!(gc.anc_ver.get(&root.id), Some(&1));
+        assert_eq!(gc.anc_ver.get(&c.id), Some(&0));
+        assert_eq!(gc.anc_ver.len(), 2);
+    }
+
+    #[test]
+    fn wait_turn_targets_match_alg3() {
+        let root = Node::new_root();
+        // Fig 3a: TF1 = future(0) of root — first in order, no wait.
+        let tf1 = Node::new_child(&root, NodeKind::Future { fork_idx: 0 });
+        assert!(tf1.wait_turn_target().is_none());
+        // TF2 = future(0) of TF1 — still leftmost: no wait.
+        let tf2 = Node::new_child(&tf1, NodeKind::Future { fork_idx: 0 });
+        assert!(tf2.wait_turn_target().is_none());
+        // TC3 = continuation(0) of TF1: waits TF1.nclock >= 1.
+        let tc3 = Node::new_child(&tf1, NodeKind::Continuation { fork_idx: 0 });
+        let (n, th) = tc3.wait_turn_target().unwrap();
+        assert_eq!(n.id, tf1.id);
+        assert_eq!(th, 1);
+        // TC4 = continuation(0) of root: waits root.nclock >= 1.
+        let tc4 = Node::new_child(&root, NodeKind::Continuation { fork_idx: 0 });
+        let (n, th) = tc4.wait_turn_target().unwrap();
+        assert_eq!(n.id, root.id);
+        assert_eq!(th, 1);
+        // TF5 = future(0) of TC4: recurse to TC4's rule — root.nclock >= 1.
+        let tf5 = Node::new_child(&tc4, NodeKind::Future { fork_idx: 0 });
+        let (n, th) = tf5.wait_turn_target().unwrap();
+        assert_eq!(n.id, root.id);
+        assert_eq!(th, 1);
+        // A second fork of the root: its future waits root.nclock >= 2.
+        let f2 = Node::new_child(&root, NodeKind::Future { fork_idx: 1 });
+        let (n, th) = f2.wait_turn_target().unwrap();
+        assert_eq!(n.id, root.id);
+        assert_eq!(th, 2);
+        // ... and its continuation waits root.nclock >= 3.
+        let c2 = Node::new_child(&root, NodeKind::Continuation { fork_idx: 1 });
+        let (n, th) = c2.wait_turn_target().unwrap();
+        assert_eq!(n.id, root.id);
+        assert_eq!(th, 3);
+    }
+
+    #[test]
+    fn wait_nclock_blocks_until_bumped() {
+        let root = Node::new_root();
+        let r2 = Arc::clone(&root);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            r2.bump_nclock();
+        });
+        let ok = root.wait_nclock_at_least(1, || false, || false);
+        assert!(ok);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_nclock_interrupted_by_poison() {
+        let root = Node::new_root();
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            f2.store(true, Ordering::Release);
+        });
+        let ok = root.wait_nclock_at_least(5, || false, || flag.load(Ordering::Acquire));
+        assert!(!ok);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn root_discovery() {
+        let root = Node::new_root();
+        let a = Node::new_child(&root, NodeKind::Future { fork_idx: 0 });
+        let b = Node::new_child(&a, NodeKind::Continuation { fork_idx: 0 });
+        assert_eq!(b.root().id, root.id);
+        assert_eq!(root.root().id, root.id);
+    }
+
+    #[test]
+    fn cancel_flag_visible() {
+        let root = Node::new_root();
+        assert!(!root.is_cancelled());
+        root.cancel();
+        assert!(root.is_cancelled());
+    }
+}

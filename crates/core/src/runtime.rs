@@ -1,0 +1,414 @@
+//! The `Rtf` runtime: top-level transaction execution, the root commit, and
+//! whole-tree abort/retry handling.
+//!
+//! [`Rtf::atomic`] drives one top-level transaction attempt per loop
+//! iteration:
+//!
+//! 1. snapshot the clock, register for GC, create a fresh [`TreeCtx`];
+//! 2. run the body (the cursor starts at the root; `submit`/`fork` grow the
+//!    tree);
+//! 3. commit the implicit continuation chain (paper: every sub-transaction
+//!    of the tree commits before control returns to the top level);
+//! 4. commit the top level: merge the root write-set with the heads of the
+//!    tentative lists (the paper keeps lists sorted exactly so the head is
+//!    the write-back value), validate the consolidated read-set against
+//!    other top-level transactions, and install through the mvstm commit
+//!    chain.
+//!
+//! Teardown paths re-enter the loop: top-level validation conflicts,
+//! implicit-continuation restarts (D1), and inter-tree conflicts — the
+//! latter switching to the sequential fallback mode (`rootWriteSet`, D3)
+//! after `fallback_threshold` consecutive occurrences.
+
+use std::sync::Arc;
+
+use rtf_mvstm::{CommitStrategy, CommitWrite, MvStm, TxData};
+use rtf_taskpool::{Pool, PoolRunner};
+use rtf_txbase::{FxHashMap, OrecStatus, StatSnapshot, TmStats};
+
+use crate::future::TxFuture;
+use crate::tree::{PoisonKind, TreeCtx, TreeSemantics};
+use crate::tx::{install_quiet_poison_hook, CancelSignal, PoisonSignal, Tx, TxEnv};
+
+/// The transaction was deliberately cancelled via [`Tx::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+/// Configuration of an [`Rtf`] instance.
+#[derive(Clone, Debug)]
+pub struct RtfConfig {
+    /// Worker threads executing transactional futures. With `0`, futures
+    /// run lazily on whichever thread first waits for them (helping).
+    pub workers: usize,
+    /// Enable the §IV-E read-only future validation skip (ablation A2).
+    pub ro_opt: bool,
+    /// Top-level commit strategy (ablation A1).
+    pub commit_strategy: CommitStrategy,
+    /// Consecutive inter-tree aborts of one `atomic` call after which the
+    /// re-execution runs in sequential fallback mode. The paper falls back
+    /// on the first conflict; raise this to keep retrying in parallel mode.
+    pub fallback_threshold: u32,
+    /// Intra-transaction serialization discipline (ablation A4 compares
+    /// the paper's strong ordering with unordered parallel nesting).
+    pub semantics: TreeSemantics,
+}
+
+impl Default for RtfConfig {
+    fn default() -> Self {
+        RtfConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            ro_opt: true,
+            commit_strategy: CommitStrategy::LockFreeHelping,
+            fallback_threshold: 1,
+            semantics: TreeSemantics::StrongOrdering,
+        }
+    }
+}
+
+/// Builder for [`Rtf`].
+#[derive(Default, Clone, Debug)]
+pub struct RtfBuilder {
+    config: RtfConfig,
+}
+
+impl RtfBuilder {
+    /// Sets the number of future-executing worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Enables/disables the read-only future validation skip (§IV-E).
+    pub fn read_only_optimization(mut self, on: bool) -> Self {
+        self.config.ro_opt = on;
+        self
+    }
+
+    /// Chooses the top-level commit strategy.
+    pub fn commit_strategy(mut self, s: CommitStrategy) -> Self {
+        self.config.commit_strategy = s;
+        self
+    }
+
+    /// Sets the inter-tree abort count that triggers sequential fallback.
+    pub fn fallback_threshold(mut self, n: u32) -> Self {
+        self.config.fallback_threshold = n.max(1);
+        self
+    }
+
+    /// Chooses the intra-transaction serialization discipline (default:
+    /// the paper's strong ordering).
+    pub fn semantics(mut self, s: TreeSemantics) -> Self {
+        self.config.semantics = s;
+        self
+    }
+
+    /// Builds the runtime (spawns the worker pool).
+    pub fn build(self) -> Rtf {
+        Rtf::with_config(self.config)
+    }
+}
+
+/// The transactional-futures runtime (the paper's JTF system, in Rust).
+///
+/// Cloning is cheap and shares the instance.
+///
+/// ```
+/// use rtf::{Rtf, VBox};
+///
+/// let tm = Rtf::builder().workers(2).build();
+/// let x = VBox::new(1u64);
+/// let y = VBox::new(2u64);
+/// let sum = tm.atomic(|tx| {
+///     let fx = tx.submit({
+///         let x = x.clone();
+///         move |tx| *tx.read(&x) * 10
+///     });
+///     let b = *tx.read(&y);
+///     *tx.eval(&fx) + b
+/// });
+/// assert_eq!(sum, 12);
+/// ```
+#[derive(Clone)]
+pub struct Rtf {
+    inner: Arc<RtfInner>,
+}
+
+struct RtfInner {
+    mvstm: MvStm,
+    env: Arc<TxEnv>,
+    config: RtfConfig,
+    _pool_runner: PoolRunner,
+}
+
+impl Rtf {
+    /// Runtime with default configuration.
+    pub fn new() -> Rtf {
+        RtfBuilder::default().build()
+    }
+
+    /// Starts configuring a runtime.
+    pub fn builder() -> RtfBuilder {
+        RtfBuilder::default()
+    }
+
+    /// Runtime with an explicit configuration.
+    pub fn with_config(config: RtfConfig) -> Rtf {
+        install_quiet_poison_hook();
+        let mvstm = MvStm::with_strategy(config.commit_strategy);
+        let pool_runner = Pool::start(config.workers);
+        let env = Arc::new(TxEnv {
+            pool: pool_runner.pool(),
+            stats: Arc::clone(mvstm.stats_arc()),
+            ro_opt: config.ro_opt,
+        });
+        Rtf { inner: Arc::new(RtfInner { mvstm, env, config, _pool_runner: pool_runner }) }
+    }
+
+    /// Runs `body` as a top-level transaction, retrying until it commits.
+    ///
+    /// Inside, [`Tx::submit`] / [`Tx::fork`] spawn transactional futures.
+    /// `body` may execute several times (aborts, re-executions); keep
+    /// non-transactional side effects idempotent.
+    pub fn atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
+        match self.run_top_level(body, false) {
+            Ok(r) => r,
+            Err(Cancelled) => panic!(
+                "Tx::cancel inside Rtf::atomic — use Rtf::try_atomic for cancellable transactions"
+            ),
+        }
+    }
+
+    /// Like [`Rtf::atomic`], but [`Tx::cancel`] aborts the transaction and
+    /// returns `Err(Cancelled)` instead of committing (no effects escape).
+    pub fn try_atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> Result<R, Cancelled> {
+        self.run_top_level(body, false)
+    }
+
+    /// Runs `body` as a read-only top-level transaction: reads skip
+    /// bookkeeping, validation is skipped (multi-version snapshots are
+    /// always consistent), writes panic. Futures may still be submitted to
+    /// parallelize long read-only work.
+    pub fn atomic_ro<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
+        match self.run_top_level(body, true) {
+            Ok(r) => r,
+            Err(Cancelled) => panic!(
+                "Tx::cancel inside Rtf::atomic_ro — use Rtf::try_atomic for cancellable transactions"
+            ),
+        }
+    }
+
+    /// Submits `body` as a transactional future outside any transaction
+    /// (paper footnote 1: an empty enclosing top-level transaction). The
+    /// returned handle is already committed.
+    pub fn spawn_future<A, F>(&self, body: F) -> TxFuture<A>
+    where
+        A: TxData,
+        F: Fn(&mut Tx) -> A + Send + Clone + 'static,
+    {
+        self.atomic(move |tx| {
+            let f = tx.submit(body.clone());
+            let _ = tx.eval(&f);
+            f
+        })
+    }
+
+    fn run_top_level<R>(&self, body: impl Fn(&mut Tx) -> R, ro_mode: bool) -> Result<R, Cancelled> {
+        let inner = &self.inner;
+        let stats = inner.mvstm.stats();
+        let mut attempt = 0u32;
+        let mut consecutive_inter_tree = 0u32;
+        loop {
+            let fallback = consecutive_inter_tree >= inner.config.fallback_threshold;
+            if fallback {
+                stats.fallback_runs();
+            }
+            // Register before snapshotting (GC watermark soundness; see
+            // `rtf_mvstm::txn::TopTxn::new`).
+            let _reg = inner.mvstm.registry().register(inner.mvstm.clock().now());
+            let start = inner.mvstm.clock().now();
+            let tree = TreeCtx::with_semantics(start, fallback, inner.config.semantics);
+            let mut tx = Tx::new_for_root(Arc::clone(&inner.env), Arc::clone(&tree), ro_mode);
+
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r = body(&mut tx);
+                // Commit the implicit continuation chain down to the root,
+                // then stage the root's own reads for top-level validation.
+                tx.commit_frames_down_to(1).map(|()| {
+                    tx.merge_entry_frame_reads();
+                    r
+                })
+            }));
+
+            match outcome {
+                Ok(Ok(r)) => {
+                    // Strong ordering guarantees every future committed
+                    // before the implicit chain did (waitTurn); unordered
+                    // nesting must wait for stragglers explicitly.
+                    if inner.config.semantics == TreeSemantics::ParallelNesting {
+                        let pool = inner.env.pool.clone();
+                        tree.wait_quiescent(|| pool.help_one());
+                    }
+                    if self.root_commit(&tree) {
+                        return Ok(r);
+                    }
+                    // Top-level validation conflict (counted inside).
+                }
+                Ok(Err(_sub_conflict)) => {
+                    // An implicit continuation missed a write: without FCC
+                    // the whole top-level transaction restarts (D1).
+                    self.teardown(&tree);
+                    stats.continuation_restarts();
+                }
+                Err(payload) => {
+                    if payload.is::<CancelSignal>() {
+                        // Deliberate rollback: tear the tree down, discard
+                        // everything, and report the cancellation.
+                        self.teardown(&tree);
+                        return Err(Cancelled);
+                    }
+                    if payload.is::<PoisonSignal>() {
+                        self.teardown(&tree);
+                        match tree.take_poison() {
+                            Some(PoisonKind::InterTree) => {
+                                stats.inter_tree_aborts();
+                                consecutive_inter_tree += 1;
+                            }
+                            Some(PoisonKind::ContinuationRestart) => {
+                                stats.continuation_restarts();
+                            }
+                            Some(PoisonKind::UserPanic(p)) => {
+                                if p.is::<CancelSignal>() {
+                                    // Tx::cancel called inside a future.
+                                    return Err(Cancelled);
+                                }
+                                std::panic::resume_unwind(p);
+                            }
+                            None => unreachable!("PoisonSignal without a latched reason"),
+                        }
+                    } else {
+                        // User panic on the root thread: tear down the tree
+                        // (futures may be in flight), then propagate.
+                        tree.poison(PoisonKind::ContinuationRestart);
+                        self.teardown(&tree);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            rtf_mvstm::retry_backoff(attempt);
+            attempt = attempt.saturating_add(1);
+        }
+    }
+
+    /// Whole-tree teardown: make sure every in-flight future task of the
+    /// tree converged (they observe the poison latch), then remove the
+    /// tree's tentative entries.
+    fn teardown(&self, tree: &TreeCtx) {
+        tree.poison(PoisonKind::ContinuationRestart); // ensure latched
+        let pool = self.inner.env.pool.clone();
+        tree.wait_quiescent(|| pool.help_one());
+        tree.scrub_tentative();
+    }
+
+    /// Top-level commit (§III-A + §IV): consolidate, validate, write back.
+    /// Returns whether the commit succeeded.
+    fn root_commit(&self, tree: &TreeCtx) -> bool {
+        let inner = &self.inner;
+        let stats = inner.mvstm.stats();
+
+        // Consolidated write-set: the root's private writes, overridden by
+        // the head (latest in serialization order) of each touched
+        // tentative list.
+        let mut writes: FxHashMap<rtf_mvstm::CellId, CommitWrite> = FxHashMap::default();
+        for (cell, value, token) in tree.root_ws_drain() {
+            writes.insert(cell.id(), CommitWrite { cell, value, token });
+        }
+        for cell in tree.touched_cells() {
+            let list = cell.tentative_lock();
+            if let Some(e) = list
+                .iter()
+                .find(|e| e.tree == tree.tree_id && e.orec.status() != OrecStatus::Aborted)
+            {
+                debug_assert_eq!(
+                    e.orec.owner(),
+                    tree.root.id,
+                    "all committed sub-transaction writes must be root-owned at top commit"
+                );
+                writes.insert(
+                    cell.id(),
+                    CommitWrite { cell: Arc::clone(&cell), value: e.value.clone(), token: e.token },
+                );
+            }
+        }
+
+        if writes.is_empty() {
+            // Read-only fast path (§IV-E).
+            stats.top_ro_commits();
+            tree.scrub_tentative();
+            return true;
+        }
+
+        // Consolidated read-set: the root's own permanent reads were merged
+        // into its inbox by the implicit-chain commit; sub-transactions
+        // merged theirs on their commits.
+        let inbox = std::mem::take(&mut *tree.root.inbox.lock());
+        let mut reads: FxHashMap<rtf_mvstm::CellId, (Arc<rtf_mvstm::VBoxCell>, _)> =
+            FxHashMap::default();
+        for (cell, token) in inbox.perm_reads {
+            reads.entry(cell.id()).or_insert((cell, token));
+        }
+
+        let committed = inner
+            .mvstm
+            .chain()
+            .try_commit(
+                tree.start_version,
+                &reads,
+                writes.into_values().collect(),
+                inner.mvstm.clock(),
+                inner.mvstm.registry(),
+                stats,
+            )
+            .is_ok();
+        tree.scrub_tentative();
+        if committed {
+            stats.top_commits();
+        } else {
+            stats.top_validation_aborts();
+        }
+        committed
+    }
+
+    /// Event counters of this runtime.
+    pub fn stats(&self) -> StatSnapshot {
+        self.inner.mvstm.stats_snapshot()
+    }
+
+    /// Shared counter handle (benchmark harnesses diff snapshots).
+    pub fn stats_arc(&self) -> Arc<TmStats> {
+        Arc::clone(self.inner.mvstm.stats_arc())
+    }
+
+    /// The underlying multi-version STM (top-level-only transactions; used
+    /// by baselines and tests).
+    pub fn mvstm(&self) -> &MvStm {
+        &self.inner.mvstm
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &RtfConfig {
+        &self.inner.config
+    }
+}
+
+impl Default for Rtf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Rtf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rtf(workers={}, v{})", self.inner.config.workers, self.inner.mvstm.now())
+    }
+}

@@ -1,0 +1,469 @@
+//! Sub-transaction reads, writes and validation — Algorithms 1, 2 and the
+//! validation half of Algorithm 4 of the paper.
+//!
+//! # Write (Alg 1)
+//! A sub-transaction writing a box appends a tentative version to the box's
+//! tentative list, inserted at its serialization-order position. The
+//! occupied list acts as a tree-wide lock: if the list holds live entries of
+//! a *different* tree, the write reports an inter-tree conflict and the
+//! caller tears its tree down (the paper's `ownedByAnotherTree` fallback,
+//! DESIGN.md D3). Entries of aborted executions are scrubbed in passing.
+//!
+//! # Read (Alg 2)
+//! A sub-transaction read walks the tentative list most-recent-first and
+//! returns the first *visible* entry; failing that it consults the
+//! top-level private write-set (Alg 2 lines 21–22) and finally the permanent
+//! versions at the tree snapshot. Visibility of a tentative entry with
+//! ownership record `(owner o, txTreeVer v)` for reader `T` (Fig 4):
+//!
+//! * `o == T` — `T`'s own write, or a write adopted from a committed child;
+//! * `o` is an ancestor `A` of `T` with `T.ancVer[A] >= v` — the write was
+//!   propagated to `A` before `T` started (`v = 0` covers `A`'s own live
+//!   writes, which necessarily precede `T`'s spawn).
+//!
+//! # Validation
+//! At commit (after `waitTurn`, so every predecessor has committed and
+//! propagated), each recorded read is *re-resolved* against the final
+//! predecessor state: the first non-aborted entry whose order key precedes
+//! the read position and whose owner is the reader or one of its ancestors.
+//! A token mismatch means the read would return a different value in the
+//! serialization order — the sub-transaction missed a write and must
+//! re-execute.
+
+use std::sync::Arc;
+
+use rtf_mvstm::{tentative_insert, TentativeEntry, Val, VBoxCell};
+use rtf_txbase::{new_write_token, NodeId, Orec, OrecStatus, OrderKey, WriteToken};
+
+use crate::node::Node;
+use crate::tree::{TreeCtx, TreeSemantics};
+
+/// Where a read was served from (determines validation treatment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadKind {
+    /// Permanent store at the tree snapshot — participates in intra-tree
+    /// re-resolution *and* in the root's inter-tree validation.
+    Permanent,
+    /// The top-level private write-set — own-transaction data; intra-tree
+    /// re-resolution only.
+    RootWs,
+    /// A visible tentative entry of another sub-transaction of the tree.
+    Tentative,
+    /// The reader's own (current-attempt) tentative write; exempt from
+    /// validation (nothing can serialize between a write and a read of the
+    /// same sub-transaction at the same submit epoch).
+    OwnWrite,
+}
+
+/// One recorded read of a sub-transaction.
+pub struct ReadEntry {
+    /// Box that was read.
+    pub cell: Arc<VBoxCell>,
+    /// Identity of the version that was returned.
+    pub token: WriteToken,
+    /// Source of the value.
+    pub kind: ReadKind,
+    /// The reader's `fork_count` at read time; the read's serialization
+    /// position is `node.path.write_key(epoch)`.
+    pub epoch: u32,
+}
+
+/// Error: the tentative list is owned by another active transaction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterTreeConflict;
+
+/// Consistent snapshot of an orec's `(owner, tx_tree_ver, status)`.
+///
+/// Propagation stores `tx_tree_ver` before `owner`; re-reading `owner`
+/// afterwards detects a propagation racing in between (ownership only ever
+/// moves to fresh node ids, so an unchanged owner pins the pair).
+fn orec_snapshot(orec: &Orec) -> (NodeId, u64, OrecStatus) {
+    loop {
+        let o1 = orec.owner();
+        let ver = orec.tx_tree_ver();
+        let status = orec.status();
+        if orec.owner() == o1 {
+            return (o1, ver, status);
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Read-time visibility (module docs; Alg 2 lines 9–19).
+fn visible_at_read(node: &Node, entry: &TentativeEntry) -> Option<ReadKind> {
+    let (owner, ver, status) = orec_snapshot(&entry.orec);
+    if status == OrecStatus::Aborted {
+        return None;
+    }
+    if owner == node.id {
+        if Arc::ptr_eq(&entry.orec, &node.orec) {
+            return Some(ReadKind::OwnWrite);
+        }
+        return Some(ReadKind::Tentative); // adopted from a committed child
+    }
+    match node.anc_ver.get(&owner) {
+        Some(&witnessed) if witnessed >= ver => Some(ReadKind::Tentative),
+        _ => None,
+    }
+}
+
+/// Transactional read by a sub-transaction (Alg 2). Returns the value and
+/// the read-set record.
+pub fn sub_read(tree: &TreeCtx, node: &Node, cell: &Arc<VBoxCell>) -> (Val, ReadEntry) {
+    let epoch = node.fork_count.load(std::sync::atomic::Ordering::Relaxed);
+    // 1. Tentative versions of this tree, most recent serialization first.
+    {
+        let list = cell.tentative_lock();
+        for entry in list.iter() {
+            if entry.tree != tree.tree_id {
+                continue;
+            }
+            if let Some(kind) = visible_at_read(node, entry) {
+                return (
+                    entry.value.clone(),
+                    ReadEntry { cell: Arc::clone(cell), token: entry.token, kind, epoch },
+                );
+            }
+        }
+    }
+    // 2. The top-level transaction's private write-set (Alg 2 lines 21–22).
+    if let Some((val, token)) = tree.root_ws_get(cell.id()) {
+        return (val, ReadEntry { cell: Arc::clone(cell), token, kind: ReadKind::RootWs, epoch });
+    }
+    // 3. Permanent versions at the tree snapshot.
+    let (val, token) = cell.read_at(tree.start_version);
+    (val, ReadEntry { cell: Arc::clone(cell), token, kind: ReadKind::Permanent, epoch })
+}
+
+/// Transactional write by a sub-transaction (Alg 1). On success the new
+/// tentative version is in place; `Err` reports an inter-tree conflict
+/// (`ownedByAnotherTree`).
+pub fn sub_write(
+    tree: &TreeCtx,
+    node: &Node,
+    cell: &Arc<VBoxCell>,
+    value: Val,
+) -> Result<WriteToken, InterTreeConflict> {
+    let key = match tree.semantics {
+        TreeSemantics::StrongOrdering => {
+            let epoch = node.fork_count.load(std::sync::atomic::Ordering::Relaxed);
+            node.path.write_key(epoch)
+        }
+        // Unordered nesting: serialization position = commit/write order,
+        // approximated by a tree-global write sequence.
+        TreeSemantics::ParallelNesting => OrderKey::root().write_key(tree.next_write_seq()),
+    };
+    let mut list = cell.tentative_lock();
+    // Inter-tree check (Alg 1 lines 10–23): live entries of another tree
+    // mean that tree holds the write lock on this box.
+    let mut foreign_live = false;
+    list.retain(|e| {
+        let aborted = e.orec.status() == OrecStatus::Aborted;
+        if e.tree != tree.tree_id && !aborted {
+            foreign_live = true;
+        }
+        !aborted // scrub aborted leftovers of any tree in passing
+    });
+    if foreign_live {
+        return Err(InterTreeConflict);
+    }
+    let token = new_write_token();
+    tentative_insert(
+        &mut list,
+        TentativeEntry {
+            key,
+            token,
+            value,
+            orec: Arc::clone(&node.orec),
+            tree: tree.tree_id,
+        },
+    );
+    drop(list);
+    tree.touch(cell);
+    Ok(token)
+}
+
+/// Validation-time visibility: every predecessor of the validating node has
+/// committed and propagated, so a predecessor write is recognized by its
+/// owner being the node itself or any ancestor; `anc_ver` *values* are
+/// deliberately ignored — that is exactly how a missed write is caught.
+fn visible_at_validation(
+    node: &Node,
+    entry: &TentativeEntry,
+    read_pos: Option<&OrderKey>,
+) -> bool {
+    if Arc::ptr_eq(&entry.orec, &node.orec) {
+        return false; // the validating node's own (program-order later) write
+    }
+    if let Some(read_pos) = read_pos {
+        if entry.key >= *read_pos {
+            return false; // serialized after the read (the reader's own later
+                          // writes or its children's, all within its subtree)
+        }
+    }
+    let (owner, _ver, status) = orec_snapshot(&entry.orec);
+    if status == OrecStatus::Aborted {
+        return false;
+    }
+    owner == node.id || node.anc_ver.contains_key(&owner)
+}
+
+/// Re-resolves one read at validation time and checks it returns the same
+/// version.
+fn still_valid(tree: &TreeCtx, node: &Node, read: &ReadEntry) -> bool {
+    if read.kind == ReadKind::OwnWrite {
+        return true;
+    }
+    // Strong ordering re-resolves *at the read's serialization position*;
+    // unordered nesting serializes at commit time, so every committed
+    // predecessor write counts regardless of position.
+    let read_pos = match tree.semantics {
+        TreeSemantics::StrongOrdering => Some(node.path.write_key(read.epoch)),
+        TreeSemantics::ParallelNesting => None,
+    };
+    {
+        let list = read.cell.tentative_lock();
+        for entry in list.iter() {
+            if entry.tree != tree.tree_id {
+                continue;
+            }
+            if visible_at_validation(node, entry, read_pos.as_ref()) {
+                return entry.token == read.token;
+            }
+        }
+    }
+    if let Some((_, token)) = tree.root_ws_get(read.cell.id()) {
+        return token == read.token;
+    }
+    let (_, token) = read.cell.read_at(tree.start_version);
+    token == read.token
+}
+
+/// Validates a sub-transaction's read-set (Alg 4 line 3). `true` = commit
+/// may proceed; `false` = the sub-transaction missed a preceding write and
+/// must re-execute.
+pub fn validate_reads(tree: &TreeCtx, node: &Node, reads: &[ReadEntry]) -> bool {
+    reads.iter().all(|r| still_valid(tree, node, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use rtf_mvstm::{downcast, erase, VBox};
+
+    fn tree() -> Arc<TreeCtx> {
+        TreeCtx::new(0, false)
+    }
+
+    #[test]
+    fn read_falls_back_to_permanent() {
+        let t = tree();
+        let b = VBox::new(5u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let (v, entry) = sub_read(&t, &f, b.cell());
+        assert_eq!(*downcast::<u32>(v), 5);
+        assert_eq!(entry.kind, ReadKind::Permanent);
+    }
+
+    #[test]
+    fn read_sees_root_ws() {
+        let t = tree();
+        let b = VBox::new(5u32);
+        t.root_ws_put(b.cell(), erase(6u32));
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let (v, entry) = sub_read(&t, &f, b.cell());
+        assert_eq!(*downcast::<u32>(v), 6);
+        assert_eq!(entry.kind, ReadKind::RootWs);
+    }
+
+    #[test]
+    fn own_write_read_back() {
+        let t = tree();
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t, &f, b.cell(), erase(7u32)).unwrap();
+        let (v, entry) = sub_read(&t, &f, b.cell());
+        assert_eq!(*downcast::<u32>(v), 7);
+        assert_eq!(entry.kind, ReadKind::OwnWrite);
+        // Overwrite in place: list keeps a single entry.
+        sub_write(&t, &f, b.cell(), erase(8u32)).unwrap();
+        assert_eq!(b.cell().tentative_lock().len(), 1);
+        let (v, _) = sub_read(&t, &f, b.cell());
+        assert_eq!(*downcast::<u32>(v), 8);
+    }
+
+    #[test]
+    fn sibling_writes_invisible_until_committed_and_witnessed() {
+        let t = tree();
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        // Continuation starts *before* the future commits: ancVer[root]=0.
+        let c = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        sub_write(&t, &f, b.cell(), erase(9u32)).unwrap();
+        let (v, entry) = sub_read(&t, &c, b.cell());
+        assert_eq!(*downcast::<u32>(v), 0, "uncommitted future write must be invisible");
+        assert_eq!(entry.kind, ReadKind::Permanent);
+
+        // The future commits and propagates to the root (ver = 1).
+        f.orec.propagate_to(t.root.id, 1);
+        t.root.bump_nclock();
+
+        // c started before the commit: still invisible (Fig 4's TC6 case).
+        let (v, _) = sub_read(&t, &c, b.cell());
+        assert_eq!(*downcast::<u32>(v), 0);
+
+        // A continuation attempt started *after* the commit sees it (TC4).
+        let c2 = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        let (v, entry) = sub_read(&t, &c2, b.cell());
+        assert_eq!(*downcast::<u32>(v), 9);
+        assert_eq!(entry.kind, ReadKind::Tentative);
+    }
+
+    #[test]
+    fn inter_tree_write_conflict_detected() {
+        let t1 = tree();
+        let t2 = tree();
+        let b = VBox::new(0u32);
+        let f1 = Node::new_child(&t1.root, NodeKind::Future { fork_idx: 0 });
+        let f2 = Node::new_child(&t2.root, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t1, &f1, b.cell(), erase(1u32)).unwrap();
+        assert_eq!(sub_write(&t2, &f2, b.cell(), erase(2u32)), Err(InterTreeConflict));
+        // After t1 aborts, t2 may proceed (aborted entries are scrubbed).
+        f1.orec.mark_aborted();
+        sub_write(&t2, &f2, b.cell(), erase(2u32)).unwrap();
+        let list = b.cell().tentative_lock();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].tree, t2.tree_id);
+    }
+
+    #[test]
+    fn other_trees_tentative_writes_invisible_to_readers() {
+        let t1 = tree();
+        let t2 = tree();
+        let b = VBox::new(0u32);
+        let f1 = Node::new_child(&t1.root, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t1, &f1, b.cell(), erase(1u32)).unwrap();
+        let f2 = Node::new_child(&t2.root, NodeKind::Future { fork_idx: 0 });
+        let (v, entry) = sub_read(&t2, &f2, b.cell());
+        assert_eq!(*downcast::<u32>(v), 0);
+        assert_eq!(entry.kind, ReadKind::Permanent);
+    }
+
+    #[test]
+    fn validation_catches_missed_future_write() {
+        // The continuation reads x from the snapshot while its future
+        // concurrently writes x; once the future commits, the continuation's
+        // validation must fail (the paper's "misses the write" case).
+        let t = tree();
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let c = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        let (_, read) = sub_read(&t, &c, b.cell());
+        assert!(validate_reads(&t, &c, &[read]), "nothing committed yet");
+
+        let (_, read) = sub_read(&t, &c, b.cell());
+        sub_write(&t, &f, b.cell(), erase(1u32)).unwrap();
+        f.orec.propagate_to(t.root.id, 1);
+        t.root.bump_nclock();
+        assert!(!validate_reads(&t, &c, &[read]), "missed write must fail validation");
+    }
+
+    #[test]
+    fn validation_ignores_writes_serialized_after_the_read() {
+        // A node reads x at epoch 0, forks, and the (committed) future child
+        // writes x. The child's write serializes *after* the read: the read
+        // stays valid.
+        let t = tree();
+        let b = VBox::new(0u32);
+        let c = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        let (_, read) = sub_read(&t, &c, b.cell());
+        // Fork: child future of c writes x and commits into c.
+        let child = Node::new_child(&c, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t, &child, b.cell(), erase(5u32)).unwrap();
+        child.orec.propagate_to(c.id, 1);
+        c.bump_nclock();
+        c.fork_count.store(1, std::sync::atomic::Ordering::Relaxed);
+        assert!(validate_reads(&t, &c, &[read]));
+        // But a read at epoch 1 (after the join) must see the child's value.
+        let (v, entry) = sub_read(&t, &c, b.cell());
+        assert_eq!(*downcast::<u32>(v), 5);
+        assert_eq!(entry.kind, ReadKind::Tentative);
+        assert!(validate_reads(&t, &c, &[entry]));
+    }
+
+    #[test]
+    fn own_write_reads_exempt_from_validation() {
+        let t = tree();
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t, &f, b.cell(), erase(1u32)).unwrap();
+        let (_, read) = sub_read(&t, &f, b.cell());
+        assert_eq!(read.kind, ReadKind::OwnWrite);
+        // Overwriting one's own value must not invalidate the earlier read.
+        sub_write(&t, &f, b.cell(), erase(2u32)).unwrap();
+        assert!(validate_reads(&t, &f, &[read]));
+    }
+
+    #[test]
+    fn nesting_mode_write_keys_follow_commit_order() {
+        use crate::tree::TreeSemantics;
+        let t = TreeCtx::with_semantics(0, false, TreeSemantics::ParallelNesting);
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let c = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        // The CONTINUATION writes first: in nesting mode its key must
+        // precede the future's later write, regardless of tree position.
+        sub_write(&t, &c, b.cell(), erase(1u32)).unwrap();
+        sub_write(&t, &f, b.cell(), erase(2u32)).unwrap();
+        let list = b.cell().tentative_lock();
+        assert_eq!(list.len(), 2);
+        // Descending order: the future's (later) write is at the head.
+        assert!(Arc::ptr_eq(&list[0].orec, &f.orec));
+        assert!(Arc::ptr_eq(&list[1].orec, &c.orec));
+    }
+
+    #[test]
+    fn nesting_mode_validation_sees_any_committed_predecessor() {
+        use crate::tree::TreeSemantics;
+        let t = TreeCtx::with_semantics(0, false, TreeSemantics::ParallelNesting);
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let c = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        // The future reads before the continuation's write exists.
+        let (_, read) = sub_read(&t, &f, b.cell());
+        // The continuation writes and commits (nesting: no waitTurn).
+        sub_write(&t, &c, b.cell(), erase(5u32)).unwrap();
+        c.orec.propagate_to(t.root.id, 1);
+        t.root.bump_nclock();
+        // Strong ordering would exempt this read (the write is serialized
+        // after the future's position); nesting serializes in commit order,
+        // so the future's read is now stale.
+        assert!(!validate_reads(&t, &f, &[read]));
+    }
+
+    #[test]
+    fn own_later_write_never_invalidates_in_nesting_mode() {
+        use crate::tree::TreeSemantics;
+        let t = TreeCtx::with_semantics(0, false, TreeSemantics::ParallelNesting);
+        let b = VBox::new(0u32);
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let (_, read) = sub_read(&t, &f, b.cell());
+        sub_write(&t, &f, b.cell(), erase(9u32)).unwrap();
+        assert!(validate_reads(&t, &f, &[read]), "own program-order-later write is exempt");
+    }
+
+    #[test]
+    fn aborted_attempt_writes_invisible() {
+        let t = tree();
+        let b = VBox::new(0u32);
+        let f1 = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        sub_write(&t, &f1, b.cell(), erase(1u32)).unwrap();
+        f1.orec.mark_aborted();
+        // Fresh attempt at the same position.
+        let f2 = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let (v, entry) = sub_read(&t, &f2, b.cell());
+        assert_eq!(*downcast::<u32>(v), 0);
+        assert_eq!(entry.kind, ReadKind::Permanent);
+    }
+}

@@ -1,0 +1,23 @@
+//! Opt-in runtime tracing for debugging coordination issues.
+//!
+//! Enabled by setting `RTF_TRACE=1` in the environment; zero overhead
+//! beyond one branch when disabled.
+
+use std::sync::OnceLock;
+
+static ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// Whether tracing was requested.
+pub(crate) fn enabled() -> bool {
+    *ENABLED.get_or_init(|| std::env::var_os("RTF_TRACE").is_some_and(|v| v != "0"))
+}
+
+macro_rules! rtf_trace {
+    ($($arg:tt)*) => {
+        if $crate::trace::enabled() {
+            eprintln!("[rtf {:?}] {}", std::thread::current().id(), format_args!($($arg)*));
+        }
+    };
+}
+
+pub(crate) use rtf_trace;

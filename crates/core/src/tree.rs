@@ -1,0 +1,363 @@
+//! Per-tree (top-level transaction attempt) shared context.
+//!
+//! Everything the concurrently running sub-transactions of one transaction
+//! tree share: the snapshot version, the root's private write-set (the
+//! paper's top-level write-set, consulted by sub-transaction reads — Alg 2
+//! lines 21–22), the set of boxes with tentative entries (for commit-time
+//! write-back and abort-time cleanup), the read-write sub-commit counter
+//! backing the read-only future optimization (§IV-E), the in-flight task
+//! counter (quiescence on whole-tree teardown) and the poison latch that
+//! broadcasts teardown to running sub-transactions.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rtf_mvstm::{CellId, Val, VBoxCell};
+use rtf_txbase::{new_tree_id, new_write_token, FxHashMap, FxHashSet, TreeId, Version, WriteToken};
+
+use crate::node::Node;
+
+/// The top-level private write-set (`rootWriteSet` in the paper).
+type RootWriteSet = FxHashMap<CellId, (Arc<VBoxCell>, Val, WriteToken)>;
+
+/// Intra-transaction serialization discipline for a tree's
+/// sub-transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TreeSemantics {
+    /// The paper's strong ordering: a future is serialized at its
+    /// submission point; results equal a sequential execution.
+    #[default]
+    StrongOrdering,
+    /// Unordered parallel nesting in the style of JVSTM (paper §VI): a
+    /// sub-transaction is serialized when it *commits*; no `waitTurn`, no
+    /// sequential-equivalence guarantee. A continuation may serialize
+    /// before its own future; reads are still validated, so the intra-tree
+    /// history stays serializable (ablation A4: the cost of strong
+    /// ordering).
+    ParallelNesting,
+}
+
+/// Why a tree attempt is being torn down.
+pub enum PoisonKind {
+    /// A sub-transaction hit a tentative list owned by another active tree
+    /// (write-write conflict between top-level transactions, Alg 1 line 21).
+    InterTree,
+    /// An implicit (cursor-style) continuation failed validation; without
+    /// first-class continuations the whole top-level transaction restarts
+    /// (DESIGN.md D1).
+    ContinuationRestart,
+    /// User code panicked inside a sub-transaction; the payload is resumed
+    /// on the thread that called `atomic`.
+    UserPanic(Box<dyn Any + Send + 'static>),
+}
+
+impl std::fmt::Debug for PoisonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoisonKind::InterTree => write!(f, "InterTree"),
+            PoisonKind::ContinuationRestart => write!(f, "ContinuationRestart"),
+            PoisonKind::UserPanic(_) => write!(f, "UserPanic(..)"),
+        }
+    }
+}
+
+/// Shared state of one execution attempt of a top-level transaction.
+pub struct TreeCtx {
+    /// Tree identity (distinguishes tentative entries of different trees).
+    pub tree_id: TreeId,
+    /// Snapshot version of the whole tree (children inherit it, §III-A).
+    pub start_version: Version,
+    /// The root node of this attempt.
+    pub root: Arc<Node>,
+    /// The top-level private write-set: writes the root performed before its
+    /// first submit (and all writes in sequential-fallback mode).
+    root_ws: RwLock<RootWriteSet>,
+    /// Boxes carrying tentative entries of this tree.
+    touched: Mutex<TouchedSet>,
+    /// Count of committed read-write sub-transactions (§IV-E: backs the
+    /// read-only future validation skip).
+    pub rw_commit_clock: AtomicU64,
+    /// Sequential fallback mode: futures run inline, writes go to `root_ws`.
+    pub fallback: bool,
+    /// Intra-tree serialization discipline.
+    pub semantics: TreeSemantics,
+    /// Tree-global write sequence (order keys in `ParallelNesting` mode).
+    write_seq: AtomicU32,
+    poison_flag: AtomicBool,
+    poison: Mutex<Option<PoisonKind>>,
+    tasks: Mutex<usize>,
+    tasks_cv: Condvar,
+}
+
+#[derive(Default)]
+struct TouchedSet {
+    seen: FxHashSet<CellId>,
+    cells: Vec<Arc<VBoxCell>>,
+}
+
+impl TreeCtx {
+    /// Fresh attempt context.
+    pub fn new(start_version: Version, fallback: bool) -> Arc<TreeCtx> {
+        Self::with_semantics(start_version, fallback, TreeSemantics::StrongOrdering)
+    }
+
+    /// Fresh attempt context with an explicit serialization discipline.
+    pub fn with_semantics(
+        start_version: Version,
+        fallback: bool,
+        semantics: TreeSemantics,
+    ) -> Arc<TreeCtx> {
+        Arc::new(TreeCtx {
+            tree_id: new_tree_id(),
+            start_version,
+            root: Node::new_root(),
+            root_ws: RwLock::new(FxHashMap::default()),
+            touched: Mutex::new(TouchedSet::default()),
+            rw_commit_clock: AtomicU64::new(0),
+            fallback,
+            semantics,
+            write_seq: AtomicU32::new(0),
+            poison_flag: AtomicBool::new(false),
+            poison: Mutex::new(None),
+            tasks: Mutex::new(0),
+            tasks_cv: Condvar::new(),
+        })
+    }
+
+    /// Next write sequence number (`ParallelNesting` order keys).
+    pub fn next_write_seq(&self) -> u32 {
+        self.write_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ---- root write-set ----------------------------------------------
+
+    /// Value previously written by the top-level context, if any.
+    pub fn root_ws_get(&self, id: CellId) -> Option<(Val, WriteToken)> {
+        self.root_ws.read().get(&id).map(|(_, v, t)| (v.clone(), *t))
+    }
+
+    /// Buffers a top-level private write.
+    pub fn root_ws_put(&self, cell: &Arc<VBoxCell>, value: Val) {
+        let mut ws = self.root_ws.write();
+        match ws.get_mut(&cell.id()) {
+            Some((_, slot, _)) => *slot = value,
+            None => {
+                ws.insert(cell.id(), (Arc::clone(cell), value, new_write_token()));
+            }
+        }
+    }
+
+    /// Whether the top-level write-set is empty (read-only fast path).
+    pub fn root_ws_is_empty(&self) -> bool {
+        self.root_ws.read().is_empty()
+    }
+
+    /// Drains the top-level write-set for commit.
+    pub fn root_ws_drain(&self) -> Vec<(Arc<VBoxCell>, Val, WriteToken)> {
+        self.root_ws.write().drain().map(|(_, v)| v).collect()
+    }
+
+    // ---- tentative bookkeeping ----------------------------------------
+
+    /// Records that `cell` now carries a tentative entry of this tree.
+    pub fn touch(&self, cell: &Arc<VBoxCell>) {
+        let mut t = self.touched.lock();
+        if t.seen.insert(cell.id()) {
+            t.cells.push(Arc::clone(cell));
+        }
+    }
+
+    /// All boxes carrying (or having carried) tentative entries of this
+    /// tree.
+    pub fn touched_cells(&self) -> Vec<Arc<VBoxCell>> {
+        self.touched.lock().cells.clone()
+    }
+
+    /// Removes every tentative entry of this tree from the boxes it
+    /// touched; called after root commit (entries were written back) and on
+    /// whole-tree abort.
+    pub fn scrub_tentative(&self) {
+        let cells = self.touched_cells();
+        for cell in cells {
+            let mut list = cell.tentative_lock();
+            list.retain(|e| e.tree != self.tree_id);
+        }
+    }
+
+    // ---- poison -------------------------------------------------------
+
+    /// Whether this attempt is being torn down.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poison_flag.load(Ordering::Acquire)
+    }
+
+    /// Latches a teardown reason (first reason wins) and returns whether
+    /// this call was the one that latched it.
+    pub fn poison(&self, kind: PoisonKind) -> bool {
+        let mut p = self.poison.lock();
+        let latched = if p.is_none() {
+            *p = Some(kind);
+            true
+        } else {
+            false
+        };
+        self.poison_flag.store(true, Ordering::Release);
+        latched
+    }
+
+    /// Takes the teardown reason (root thread, after quiescence).
+    pub fn take_poison(&self) -> Option<PoisonKind> {
+        self.poison.lock().take()
+    }
+
+    // ---- in-flight task tracking ---------------------------------------
+
+    /// A future task is about to run.
+    pub fn task_started(&self) {
+        *self.tasks.lock() += 1;
+    }
+
+    /// A future task finished (committed or unwound).
+    pub fn task_finished(&self) {
+        let mut g = self.tasks.lock();
+        debug_assert!(*g > 0, "task_finished without task_started");
+        *g -= 1;
+        if *g == 0 {
+            drop(g);
+            self.tasks_cv.notify_all();
+        }
+    }
+
+    /// Blocks until no task of this tree is in flight, running `help`
+    /// while waiting (queued tasks of this very tree may need a thread).
+    pub fn wait_quiescent(&self, mut help: impl FnMut() -> bool) {
+        loop {
+            {
+                let mut g = self.tasks.lock();
+                if *g == 0 {
+                    return;
+                }
+                let helped = parking_lot::MutexGuard::unlocked(&mut g, &mut help);
+                if !helped && *g > 0 {
+                    self.tasks_cv.wait_for(&mut g, std::time::Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TreeCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TreeCtx({:?}, start=v{}, fallback={}, poisoned={})",
+            self.tree_id,
+            self.start_version,
+            self.fallback,
+            self.is_poisoned()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_mvstm::{erase, VBox};
+
+    #[test]
+    fn root_ws_roundtrip_and_drain() {
+        let tree = TreeCtx::new(0, false);
+        let b = VBox::new(1u32);
+        assert!(tree.root_ws_get(b.id()).is_none());
+        tree.root_ws_put(b.cell(), erase(2u32));
+        let (v, t1) = tree.root_ws_get(b.id()).unwrap();
+        assert_eq!(*rtf_mvstm::downcast::<u32>(v), 2);
+        // Overwrite keeps the token (same logical write slot).
+        tree.root_ws_put(b.cell(), erase(3u32));
+        let (v, t2) = tree.root_ws_get(b.id()).unwrap();
+        assert_eq!(*rtf_mvstm::downcast::<u32>(v), 3);
+        assert_eq!(t1, t2);
+        let drained = tree.root_ws_drain();
+        assert_eq!(drained.len(), 1);
+        assert!(tree.root_ws_is_empty());
+    }
+
+    #[test]
+    fn touch_dedupes() {
+        let tree = TreeCtx::new(0, false);
+        let b = VBox::new(1u32);
+        tree.touch(b.cell());
+        tree.touch(b.cell());
+        assert_eq!(tree.touched_cells().len(), 1);
+    }
+
+    #[test]
+    fn poison_latches_first_reason() {
+        let tree = TreeCtx::new(0, false);
+        assert!(!tree.is_poisoned());
+        assert!(tree.poison(PoisonKind::InterTree));
+        assert!(!tree.poison(PoisonKind::ContinuationRestart));
+        assert!(tree.is_poisoned());
+        match tree.take_poison() {
+            Some(PoisonKind::InterTree) => {}
+            other => panic!("unexpected poison {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiescence_waits_for_tasks() {
+        let tree = TreeCtx::new(0, false);
+        tree.task_started();
+        tree.task_started();
+        let t2 = Arc::clone(&tree);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t2.task_finished();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t2.task_finished();
+        });
+        tree.wait_quiescent(|| false);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn scrub_removes_only_own_entries() {
+        use rtf_mvstm::{tentative_insert, TentativeEntry};
+        use rtf_txbase::{new_node_id, new_write_token, Orec, OrderKey};
+
+        let tree = TreeCtx::new(0, false);
+        let other_tree = new_tree_id();
+        let b = VBox::new(0u32);
+        {
+            let mut list = b.cell().tentative_lock();
+            tentative_insert(
+                &mut list,
+                TentativeEntry {
+                    key: OrderKey::root().write_key(0),
+                    token: new_write_token(),
+                    value: erase(1u32),
+                    orec: Arc::new(Orec::new(new_node_id())),
+                    tree: tree.tree_id,
+                },
+            );
+            tentative_insert(
+                &mut list,
+                TentativeEntry {
+                    key: OrderKey::root().child_future(0).write_key(0),
+                    token: new_write_token(),
+                    value: erase(2u32),
+                    orec: Arc::new(Orec::new(new_node_id())),
+                    tree: other_tree,
+                },
+            );
+        }
+        tree.touch(b.cell());
+        tree.scrub_tentative();
+        let list = b.cell().tentative_lock();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].tree, other_tree);
+    }
+}

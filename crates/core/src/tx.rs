@@ -1,0 +1,736 @@
+//! The transaction handle: reads, writes, `submit`, `fork`, `eval`, and the
+//! sub-transaction commit protocol (Algs 3 & 4).
+//!
+//! # Execution model
+//!
+//! A [`Tx`] is a *cursor* over the transaction tree. It starts at the node
+//! its closure was entered with (the root for `atomic`, a future node for a
+//! pool task, a continuation node for `fork`'s second closure). Each
+//! [`Tx::submit`] splits the current node: the future body is scheduled on
+//! the pool and the cursor descends into the freshly created continuation
+//! child — exactly the paper's model where the parent halts at the submit
+//! point and the rest of its code *is* the continuation.
+//!
+//! When the closure returns, the runtime commits the chain of implicit
+//! continuations bottom-up and then the entry node itself; each commit
+//! waits its turn (Alg 3), validates (Alg 4), and propagates ownership to
+//! the parent. A validation failure re-executes the innermost enclosing
+//! *closure* (see DESIGN.md D1 for how this maps to the paper's
+//! FCC-based partial rollback):
+//!
+//! * a future body — re-run by its pool task;
+//! * `fork`'s continuation closure — re-run by `fork` (partial rollback);
+//! * the `atomic` body itself — the top-level transaction restarts.
+//!
+//! # Control flow
+//!
+//! Tree teardown (inter-tree conflict, top-level restart, user panic in a
+//! sub-transaction) propagates by unwinding with the private
+//! [`PoisonSignal`] payload; every transactional operation polls the tree's
+//! poison latch so all participants converge to the `atomic` retry loop.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rtf_mvstm::{downcast, erase, TxData, Val, VBox, VBoxCell};
+use rtf_taskpool::Pool;
+use rtf_txbase::TmStats;
+
+use crate::future::TxFuture;
+#[allow(unused_imports)]
+use crate::trace::rtf_trace;
+use crate::node::{Node, NodeKind};
+use crate::rw::{sub_read, sub_write, validate_reads, ReadEntry, ReadKind};
+use crate::tree::{PoisonKind, TreeCtx};
+
+/// Unwind payload used for tree teardown; never escapes the crate.
+pub(crate) struct PoisonSignal;
+
+/// Silences the default panic hook for [`PoisonSignal`] unwinds: they are
+/// internal control flow (always caught by the runtime), not errors, and
+/// must not spam stderr. Installed once per process, delegating everything
+/// else to the previously installed hook.
+pub(crate) fn install_quiet_poison_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<PoisonSignal>() || info.payload().is::<CancelSignal>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A sub-transaction failed validation and must re-execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SubConflict;
+
+/// Unwind payload of [`Tx::cancel`]: abandon the transaction without
+/// retrying. Caught by `Rtf::try_atomic`.
+pub(crate) struct CancelSignal;
+
+/// Per-node execution state while the node is the cursor (or suspended
+/// beneath it).
+pub(crate) struct Frame {
+    pub node: Arc<Node>,
+    reads: Vec<ReadEntry>,
+    written: Vec<Arc<VBoxCell>>,
+    wrote: bool,
+    /// Tree-wide read-write sub-commit count at frame creation (§IV-E).
+    ro_snapshot: u64,
+}
+
+impl Frame {
+    fn new(node: Arc<Node>, tree: &TreeCtx) -> Frame {
+        Frame {
+            node,
+            reads: Vec::new(),
+            written: Vec::new(),
+            wrote: false,
+            ro_snapshot: tree.rw_commit_clock.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Runtime facilities a `Tx` needs (provided by `crate::Rtf`).
+pub(crate) struct TxEnv {
+    pub pool: Pool,
+    pub stats: Arc<TmStats>,
+    /// §IV-E read-only validation skip enabled (ablation A2 turns it off).
+    pub ro_opt: bool,
+}
+
+/// Handle to the current transactional context.
+///
+/// Obtained inside [`crate::Rtf::atomic`]; passed by `&mut` to future and
+/// continuation closures. All shared-state access goes through this handle.
+pub struct Tx {
+    env: Arc<TxEnv>,
+    tree: Arc<TreeCtx>,
+    frames: Vec<Frame>,
+    /// Read-only transaction: skip read-set recording, forbid writes.
+    ro_mode: bool,
+}
+
+impl Tx {
+    pub(crate) fn new_for_root(env: Arc<TxEnv>, tree: Arc<TreeCtx>, ro_mode: bool) -> Tx {
+        let root = Arc::clone(&tree.root);
+        let frame = Frame::new(root, &tree);
+        Tx { env, tree, frames: vec![frame], ro_mode }
+    }
+
+    fn new_for_node(env: Arc<TxEnv>, tree: Arc<TreeCtx>, node: Arc<Node>, ro_mode: bool) -> Tx {
+        let frame = Frame::new(node, &tree);
+        Tx { env, tree, frames: vec![frame], ro_mode }
+    }
+
+    #[inline]
+    fn current(&self) -> &Frame {
+        self.frames.last().expect("Tx always holds its entry frame")
+    }
+
+    #[inline]
+    fn check_poison(&self) {
+        if self.tree.is_poisoned() {
+            std::panic::panic_any(PoisonSignal);
+        }
+    }
+
+    /// Snapshot version of the enclosing top-level transaction.
+    pub fn snapshot(&self) -> rtf_txbase::Version {
+        self.tree.start_version
+    }
+
+    /// Whether this attempt runs in the sequential fallback mode
+    /// (after inter-tree conflicts; futures execute inline).
+    pub fn is_fallback(&self) -> bool {
+        self.tree.fallback
+    }
+
+    /// Aborts the current top-level transaction attempt and re-executes it
+    /// from the beginning (all buffered effects are discarded first).
+    ///
+    /// Useful when a transaction discovers mid-flight that its snapshot is
+    /// semantically unusable (e.g. business rules changed under it) and
+    /// wants a fresh one.
+    pub fn restart(&mut self) -> ! {
+        self.tree.poison(PoisonKind::ContinuationRestart);
+        std::panic::panic_any(PoisonSignal)
+    }
+
+    /// Cancels the transaction: every buffered effect is discarded and
+    /// control returns to [`crate::Rtf::try_atomic`] with `Err(Cancelled)`.
+    ///
+    /// This is the deliberate-rollback primitive database workloads need
+    /// (e.g. TPC-C's 1% of NewOrder transactions that must roll back).
+    /// Panics the current thread with an internal payload; inside
+    /// [`crate::Rtf::atomic`] (which cannot return a cancellation) it is
+    /// reported as a user panic.
+    pub fn cancel(&mut self) -> ! {
+        std::panic::panic_any(CancelSignal)
+    }
+
+    // ---------------------------------------------------------------- reads
+
+    /// Reads a box, returning a shared handle to the value snapshot.
+    pub fn read<T: TxData>(&mut self, vbox: &VBox<T>) -> Arc<T> {
+        downcast(self.read_cell(vbox.cell()))
+    }
+
+    /// Reads a `Clone` value out of a box.
+    pub fn read_owned<T: TxData + Clone>(&mut self, vbox: &VBox<T>) -> T {
+        (*self.read(vbox)).clone()
+    }
+
+    /// Untyped read (data-structure crates build on this).
+    pub fn read_cell(&mut self, cell: &Arc<VBoxCell>) -> Val {
+        self.check_poison();
+        let frame = self.frames.last_mut().expect("entry frame");
+        let (val, entry) = sub_read(&self.tree, &frame.node, cell);
+        if !self.ro_mode {
+            frame.reads.push(entry);
+        }
+        val
+    }
+
+    // --------------------------------------------------------------- writes
+
+    /// Writes a box (the new value replaces the old at commit).
+    pub fn write<T: TxData>(&mut self, vbox: &VBox<T>, value: T) {
+        self.write_cell(vbox.cell(), erase(value));
+    }
+
+    /// Untyped write.
+    pub fn write_cell(&mut self, cell: &Arc<VBoxCell>, value: Val) {
+        self.check_poison();
+        assert!(!self.ro_mode, "write inside a transaction declared read-only (atomic_ro)");
+        let is_prefork_root = {
+            let node = &self.current().node;
+            node.kind == NodeKind::Root && node.fork_count.load(Ordering::Relaxed) == 0
+        };
+        if self.tree.fallback || is_prefork_root {
+            // Top-level private write-set (paper §III-A); also the
+            // `rootWriteSet` of the inter-tree fallback (DESIGN.md D3).
+            self.tree.root_ws_put(cell, value);
+            return;
+        }
+        let frame = self.frames.last_mut().expect("entry frame");
+        match sub_write(&self.tree, &frame.node, cell, value) {
+            Ok(_) => {
+                frame.written.push(Arc::clone(cell));
+                frame.wrote = true;
+            }
+            Err(_) => {
+                // ownedByAnotherTree: tear the whole tree down; the atomic
+                // runner re-executes (eventually in fallback mode).
+                self.tree.poison(PoisonKind::InterTree);
+                std::panic::panic_any(PoisonSignal);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- futures
+
+    /// Submits `body` as a transactional future (paper §II).
+    ///
+    /// The future is serialized *here* — at its submission point — no
+    /// matter when or where it is evaluated (strong ordering semantics).
+    /// The calling context continues as the continuation sub-transaction.
+    ///
+    /// `body` must be re-executable (`Fn`): it re-runs if it misses a write
+    /// of an earlier-serialized sub-transaction. If the *continuation*
+    /// (the code following this call) fails validation, the whole top-level
+    /// transaction restarts; use [`Tx::fork`] to get partial rollback of
+    /// the continuation as well.
+    pub fn submit<A, F>(&mut self, body: F) -> TxFuture<A>
+    where
+        A: TxData,
+        F: Fn(&mut Tx) -> A + Send + 'static,
+    {
+        self.check_poison();
+        self.env.stats.futures_submitted();
+        if self.tree.fallback {
+            // Sequential fallback: run inline at the submission point —
+            // literally the sequential execution the semantics are defined
+            // against.
+            let v = body(self);
+            return TxFuture::ready(Arc::new(v));
+        }
+        let parent = Arc::clone(&self.current().node);
+        let fork_idx = parent.fork_count.load(Ordering::Relaxed);
+        let handle = TxFuture::new_pending();
+        self.spawn_future_task(&parent, fork_idx, handle.clone(), body);
+        parent.fork_count.store(fork_idx + 1, Ordering::Relaxed);
+        // The cursor descends into the continuation.
+        let cnode = Node::new_child(&parent, NodeKind::Continuation { fork_idx });
+        rtf_trace!("submit: parent {:?} fork {} cont {:?}", parent.id, fork_idx, cnode.id);
+        let frame = Frame::new(cnode, &self.tree);
+        self.frames.push(frame);
+        handle
+    }
+
+    /// Structured submit: runs `body` as a transactional future in parallel
+    /// with `cont` (the continuation), and returns `cont`'s result once the
+    /// whole future/continuation pair has committed.
+    ///
+    /// Unlike [`Tx::submit`], a continuation that misses its future's write
+    /// is re-executed from the start of `cont` — the paper's partial
+    /// rollback (§III-A), with the closure as the checkpoint boundary
+    /// instead of a first-class continuation.
+    pub fn fork<A, B, F, C>(&mut self, body: F, cont: C) -> B
+    where
+        A: TxData,
+        F: Fn(&mut Tx) -> A + Send + 'static,
+        C: Fn(&mut Tx, &TxFuture<A>) -> B,
+    {
+        self.check_poison();
+        self.env.stats.futures_submitted();
+        if self.tree.fallback {
+            let v = body(self);
+            let handle = TxFuture::ready(Arc::new(v));
+            return cont(self, &handle);
+        }
+        let parent = Arc::clone(&self.current().node);
+        let fork_idx = parent.fork_count.load(Ordering::Relaxed);
+        let handle = TxFuture::new_pending();
+        self.spawn_future_task(&parent, fork_idx, handle.clone(), body);
+        parent.fork_count.store(fork_idx + 1, Ordering::Relaxed);
+
+        // Continuation scope with partial rollback.
+        let depth = self.frames.len();
+        loop {
+            self.check_poison();
+            let cnode = Node::new_child(&parent, NodeKind::Continuation { fork_idx });
+            self.frames.push(Frame::new(cnode, &self.tree));
+            let out = cont(self, &handle);
+            match self.commit_frames_down_to(depth) {
+                Ok(()) => return out,
+                Err(SubConflict) => {
+                    self.abort_frames_down_to(depth);
+                    self.env.stats.sub_validation_aborts();
+                }
+            }
+        }
+    }
+
+    /// Maps `items` through `f` using `parallelism` transactional futures
+    /// (plus the calling continuation working on the first chunk), and
+    /// returns the results in item order.
+    ///
+    /// A convenience wrapper over [`Tx::submit`]/[`Tx::eval`] for the most
+    /// common future-parallelization pattern in the paper's workloads:
+    /// splitting a long loop over domain objects across futures.
+    ///
+    /// ```
+    /// use rtf::{Rtf, VBox};
+    /// use std::sync::Arc;
+    ///
+    /// let tm = Rtf::builder().workers(4).build();
+    /// let boxes: Arc<Vec<VBox<u64>>> = Arc::new((0..100).map(VBox::new).collect());
+    /// let doubled = tm.atomic(|tx| {
+    ///     let boxes = Arc::clone(&boxes);
+    ///     tx.map_futures(3, (0..100usize).collect(), move |tx, i| *tx.read(&boxes[*i]) * 2)
+    /// });
+    /// assert_eq!(doubled[7], 14);
+    /// ```
+    pub fn map_futures<T, R, F>(&mut self, parallelism: usize, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: TxData + Clone,
+        F: Fn(&mut Tx, &T) -> R + Send + Sync + 'static,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let chunk = items.len().div_ceil(parallelism.max(1).min(items.len()));
+        // Futures take the leading chunks (serialized at their submission
+        // points, i.e. in item order); the continuation — which serializes
+        // last — processes the final chunk. This keeps writing closures
+        // exactly equivalent to the sequential item-order loop.
+        let mut tail = items;
+        let mut chunks = Vec::new();
+        while tail.len() > chunk {
+            let rest = tail.split_off(chunk);
+            chunks.push(std::mem::replace(&mut tail, rest));
+        }
+        let handles: Vec<TxFuture<Vec<R>>> = chunks
+            .into_iter()
+            .map(|part| {
+                let f = Arc::clone(&f);
+                self.submit(move |tx| part.iter().map(|it| f(tx, it)).collect::<Vec<R>>())
+            })
+            .collect();
+        let tail_results: Vec<R> = tail.iter().map(|it| f(self, it)).collect();
+        let mut out = Vec::new();
+        for h in &handles {
+            out.extend(self.eval(h).iter().cloned());
+        }
+        out.extend(tail_results);
+        out
+    }
+
+    /// Evaluates a transactional future: blocks until its sub-transaction
+    /// commits and returns its result. While blocked, the thread helps run
+    /// queued futures, so bounded pools cannot deadlock.
+    pub fn eval<A: TxData>(&mut self, fut: &TxFuture<A>) -> Arc<A> {
+        self.check_poison();
+        rtf_trace!("eval begin (node {:?})", self.current().node.id);
+        let pool = self.env.pool.clone();
+        let tree = Arc::clone(&self.tree);
+        match fut.wait_helping(move || {
+            if tree.is_poisoned() {
+                std::panic::panic_any(PoisonSignal);
+            }
+            pool.help_one()
+        }) {
+            Ok(v) => v,
+            Err(()) => {
+                // Cancelled: if it is our own tree being torn down, converge
+                // to the retry loop; otherwise the caller holds a handle
+                // from a superseded execution of some other transaction.
+                if self.tree.is_poisoned() {
+                    std::panic::panic_any(PoisonSignal);
+                }
+                panic!(
+                    "evaluated a transactional future whose submitting transaction \
+                     execution was aborted and re-executed; re-obtain the handle \
+                     from the new execution"
+                );
+            }
+        }
+    }
+
+    fn spawn_future_task<A, F>(
+        &self,
+        parent: &Arc<Node>,
+        fork_idx: u32,
+        handle: TxFuture<A>,
+        body: F,
+    ) where
+        A: TxData,
+        F: Fn(&mut Tx) -> A + Send + 'static,
+    {
+        let stage = FutureStage {
+            env: Arc::clone(&self.env),
+            tree: Arc::clone(&self.tree),
+            parent: Arc::clone(parent),
+            fork_idx,
+            handle,
+            body,
+            ro_mode: self.ro_mode,
+            pending: None,
+            requeues: 0,
+        };
+        stage.tree.task_started();
+        self.env.pool.spawn(Box::new(move || run_future_task(stage)));
+    }
+
+    // ----------------------------------------------- sub-commit machinery
+
+    /// Commits and pops frames until only `depth` remain, blocking in
+    /// `waitTurn` as needed (client-thread use only; see [`CommitBlock`]).
+    pub(crate) fn commit_frames_down_to(&mut self, depth: usize) -> Result<(), SubConflict> {
+        while self.frames.len() > depth {
+            let frame = self.frames.last().expect("frames non-empty");
+            match commit_frame(&self.env, &self.tree, frame, true) {
+                Ok(()) => {
+                    self.frames.pop();
+                }
+                Err(CommitBlock::Conflict) => return Err(SubConflict),
+                Err(CommitBlock::WouldBlock) => {
+                    unreachable!("blocking commit never reports WouldBlock")
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking variant for pool tasks: commits as many frames as are
+    /// ready; reports `WouldBlock` when `waitTurn` is not yet satisfied so
+    /// the task can re-queue itself instead of occupying a thread.
+    pub(crate) fn try_commit_frames_down_to(&mut self, depth: usize) -> Result<(), CommitBlock> {
+        while self.frames.len() > depth {
+            let frame = self.frames.last().expect("frames non-empty");
+            commit_frame(&self.env, &self.tree, frame, false)?;
+            self.frames.pop();
+        }
+        Ok(())
+    }
+
+    /// Marks every write of the remaining frames at `depth` and above (and
+    /// of their committed descendants) aborted, and drops those frames.
+    pub(crate) fn abort_frames_down_to(&mut self, depth: usize) {
+        for frame in self.frames.drain(depth..) {
+            let inbox = std::mem::take(&mut *frame.node.inbox.lock());
+            frame.node.orec.mark_aborted();
+            for orec in inbox.adopted_orecs {
+                orec.mark_aborted();
+            }
+            frame.node.cancel();
+        }
+    }
+
+    /// Merges the entry frame's permanent reads into its node's inbox, so
+    /// the root commit validates them against other top-level transactions.
+    /// Called once after the implicit chain has committed down to the entry
+    /// frame (the root's own reads have no committing parent to merge them).
+    pub(crate) fn merge_entry_frame_reads(&mut self) {
+        let frame = self.frames.first_mut().expect("entry frame");
+        let mut inbox = frame.node.inbox.lock();
+        inbox.perm_reads.extend(
+            frame
+                .reads
+                .iter()
+                .filter(|r| r.kind == ReadKind::Permanent)
+                .map(|r| (Arc::clone(&r.cell), r.token)),
+        );
+    }
+
+}
+
+/// Outcome of a non-blocking commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CommitBlock {
+    /// Validation failed: the subtree must re-execute.
+    Conflict,
+    /// `waitTurn` is not yet satisfied; retry later. Only returned in
+    /// non-blocking mode (pool tasks re-queue themselves instead of
+    /// blocking, which would invert the helping discipline — a helper
+    /// could otherwise suspend a task underneath a *later*-serialized one
+    /// that then waits for it forever).
+    WouldBlock,
+}
+
+/// Commits one frame's node into its parent: `waitTurn` (Alg 3), read-set
+/// validation with the §IV-E read-only skip, ownership propagation and
+/// `nClock` bump (Alg 4).
+///
+/// `blocking` chooses the `waitTurn` behaviour: client threads (the atomic
+/// body's implicit chain, `fork`'s continuation) may block and help; pool
+/// tasks must use the non-blocking mode (see [`CommitBlock::WouldBlock`]).
+fn commit_frame(
+    env: &TxEnv,
+    tree: &TreeCtx,
+    frame: &Frame,
+    blocking: bool,
+) -> Result<(), CommitBlock> {
+    let node = &frame.node;
+    let parent = Arc::clone(node.parent.as_ref().expect("sub-transactions have a parent"));
+
+    // waitTurn: everything serialized before this subtree must have
+    // committed. Unordered parallel nesting (ablation A4) has no such
+    // constraint: a sub-transaction serializes when it commits.
+    let wait_turn = tree.semantics == crate::tree::TreeSemantics::StrongOrdering;
+    if let Some((target, threshold)) = node.wait_turn_target().filter(|_| wait_turn) {
+        if blocking {
+            let pool = env.pool.clone();
+            rtf_trace!(
+                "waitTurn {:?} {:?} -> target {:?} nclock {} >= {}",
+                node.id, node.kind, target.id, target.nclock(), threshold
+            );
+            let t0 = std::time::Instant::now();
+            let ok =
+                target.wait_nclock_at_least(threshold, || pool.help_one(), || tree.is_poisoned());
+            env.stats.add_wait_turn_ns(t0.elapsed().as_nanos() as u64);
+            if !ok {
+                std::panic::panic_any(PoisonSignal);
+            }
+            rtf_trace!("waitTurn {:?} done (ok)", node.id);
+        } else if target.nclock() < threshold {
+            rtf_trace!(
+                "waitTurn {:?} not ready (target {:?} {} < {}), requeue",
+                node.id, target.id, target.nclock(), threshold
+            );
+            return Err(CommitBlock::WouldBlock);
+        }
+    }
+    if tree.is_poisoned() {
+        std::panic::panic_any(PoisonSignal);
+    }
+
+    let inbox = std::mem::take(&mut *node.inbox.lock());
+    let wrote_any = frame.wrote || !inbox.written_cells.is_empty();
+
+    // §IV-E: a read-only sub-transaction may skip validation iff no
+    // read-write sub-transaction of the tree committed since it started.
+    let can_skip = env.ro_opt
+        && !wrote_any
+        && tree.rw_commit_clock.load(Ordering::Acquire) == frame.ro_snapshot;
+    rtf_trace!(
+        "commit {:?} {:?}: wrote_any={} skip={} reads={} rw_clock={} ro_snap={}",
+        node.id, node.kind, wrote_any, can_skip, frame.reads.len(),
+        tree.rw_commit_clock.load(Ordering::Acquire), frame.ro_snapshot
+    );
+    if can_skip {
+        env.stats.ro_validation_skips();
+    } else {
+        if !wrote_any {
+            env.stats.ro_validation_taken();
+        }
+        let tv = std::time::Instant::now();
+        let valid = validate_reads(tree, node, &frame.reads);
+        env.stats.add_validation_ns(tv.elapsed().as_nanos() as u64);
+        if !valid {
+            // Put the inbox back: the caller aborts the whole subtree and
+            // needs the adopted orecs to mark them aborted.
+            *node.inbox.lock() = inbox;
+            return Err(CommitBlock::Conflict);
+        }
+    }
+
+    // Propagation (Alg 4 lines 7–13). `ver` is what the parent's nclock
+    // becomes; ordering (re-own, merge, then bump) ensures that once a
+    // waiter wakes on the bump, the propagated state is in place.
+    let ver = parent.nclock() + 1;
+    let mut orecs = inbox.adopted_orecs;
+    if frame.wrote {
+        orecs.push(Arc::clone(&node.orec));
+    }
+    for orec in &orecs {
+        orec.propagate_to(parent.id, ver);
+    }
+    {
+        let mut pin = parent.inbox.lock();
+        pin.adopted_orecs.extend(orecs);
+        pin.perm_reads.extend(inbox.perm_reads);
+        pin.perm_reads.extend(
+            frame
+                .reads
+                .iter()
+                .filter(|r| r.kind == ReadKind::Permanent)
+                .map(|r| (Arc::clone(&r.cell), r.token)),
+        );
+        pin.written_cells.extend(inbox.written_cells);
+        pin.written_cells.extend(frame.written.iter().cloned());
+    }
+    if wrote_any {
+        // Count every write-carrying sub-commit — own writes *or* adopted
+        // descendant writes. The latter matters for the §IV-E skip: a
+        // write only becomes visible to later sub-transactions once it has
+        // propagated into a common ancestor, and that propagation step is
+        // this (possibly itself read-only) node's commit.
+        tree.rw_commit_clock.fetch_add(1, Ordering::AcqRel);
+    }
+    parent.bump_nclock();
+    env.stats.sub_commits();
+    Ok(())
+}
+
+/// The movable state of one transactional-future position.
+///
+/// A pool task drives this stage: run the body, then *try* to commit the
+/// chain. If `waitTurn` is not yet satisfied the stage re-queues itself
+/// (with the executed transaction state in `pending`), freeing the thread —
+/// pool tasks never block in `waitTurn`, which keeps the helping discipline
+/// deadlock-free: a helper can safely run any queued task inline, because
+/// every task either finishes or returns after re-queueing.
+struct FutureStage<A: TxData, F> {
+    env: Arc<TxEnv>,
+    tree: Arc<TreeCtx>,
+    parent: Arc<Node>,
+    fork_idx: u32,
+    handle: TxFuture<A>,
+    body: F,
+    ro_mode: bool,
+    /// Body already executed; awaiting its commit turn.
+    pending: Option<(Tx, A)>,
+    /// Consecutive `WouldBlock` re-queues; damps the retry loop.
+    requeues: u32,
+}
+
+/// Pool task driving one transactional future position: executes the body,
+/// commits its chain (re-queueing while not ready), and re-executes on
+/// validation conflicts (the future side of partial rollback). Converges on
+/// tree teardown. Calls `task_finished` exactly once, at a terminal state.
+fn run_future_task<A, F>(mut stage: FutureStage<A, F>)
+where
+    A: TxData,
+    F: Fn(&mut Tx) -> A + Send + 'static,
+{
+    loop {
+        if stage.tree.is_poisoned() {
+            stage.handle.cancel();
+            break;
+        }
+        if stage.pending.is_none() {
+            // Execute (or re-execute) the body in a fresh node attempt.
+            let node = Node::new_child(&stage.parent, NodeKind::Future { fork_idx: stage.fork_idx });
+            rtf_trace!(
+                "task run future {:?} parent {:?} fork {}",
+                node.id, stage.parent.id, stage.fork_idx
+            );
+            let mut tx = Tx::new_for_node(
+                Arc::clone(&stage.env),
+                Arc::clone(&stage.tree),
+                node,
+                stage.ro_mode,
+            );
+            let body = &stage.body;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx))) {
+                Ok(value) => stage.pending = Some((tx, value)),
+                Err(payload) => {
+                    if !payload.is::<PoisonSignal>() {
+                        // User panic inside the future: poison the tree; the
+                        // atomic runner resumes the payload on the caller.
+                        stage.tree.poison(PoisonKind::UserPanic(payload));
+                    }
+                    stage.handle.cancel();
+                    break;
+                }
+            }
+        }
+        let (tx, _) = stage.pending.as_mut().expect("pending set above");
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tx.try_commit_frames_down_to(0)
+        }));
+        match attempt {
+            Ok(Ok(())) => {
+                rtf_trace!("task complete");
+                let (_, value) = stage.pending.take().expect("pending");
+                stage.handle.complete(Arc::new(value));
+                break;
+            }
+            Ok(Err(CommitBlock::Conflict)) => {
+                // Partial rollback: abort this subtree, re-execute the body.
+                let (mut tx, _) = stage.pending.take().expect("pending");
+                tx.abort_frames_down_to(0);
+                stage.env.stats.sub_validation_aborts();
+                stage.requeues = 0;
+                continue;
+            }
+            Ok(Err(CommitBlock::WouldBlock)) => {
+                // Not our turn yet: re-queue and free this thread. The
+                // escalating pause keeps a long wait from thrashing the
+                // queue (each retry is a full queue round-trip).
+                stage.requeues = stage.requeues.saturating_add(1);
+                let pause_us = match stage.requeues {
+                    0..=2 => 0,
+                    3..=10 => 20,
+                    11..=50 => 100,
+                    _ => 500,
+                };
+                let pool = stage.env.pool.clone();
+                pool.spawn(Box::new(move || {
+                    if pause_us == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(pause_us));
+                    }
+                    run_future_task(stage);
+                }));
+                return; // NOT task_finished: the stage is still in flight.
+            }
+            Err(payload) => {
+                if !payload.is::<PoisonSignal>() {
+                    stage.tree.poison(PoisonKind::UserPanic(payload));
+                }
+                stage.handle.cancel();
+                break;
+            }
+        }
+    }
+    stage.tree.task_finished();
+}

@@ -1,0 +1,328 @@
+//! **KMeans** clustering over `rtf` transactional futures, in the style of
+//! the STAMP benchmark suite the paper draws Vacation from.
+//!
+//! Shared state: one box per cluster holding its running accumulator
+//! (coordinate sums + membership count) plus a box with the current
+//! centroids. Worker transactions process a chunk of points each: the
+//! *assignment* loop — find the nearest centroid per point and build local
+//! per-cluster aggregates — is the long read-only cycle, parallelized
+//! across transactional futures exactly like the paper's long
+//! transactions; the continuation folds the local aggregates into the
+//! cluster accumulator boxes (the contended writes).
+//!
+//! Strong ordering makes the parallel assignment equivalent to the
+//! sequential loop, so for a fixed iteration structure the clustering is
+//! bit-for-bit deterministic regardless of the futures count — asserted by
+//! the tests.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtf::{Rtf, VBox};
+use std::sync::Arc;
+
+/// A flat point set (immutable input data; needs no boxes).
+#[derive(Clone)]
+pub struct Points {
+    dims: usize,
+    data: Arc<[f32]>,
+}
+
+impl Points {
+    /// Generates `n` points in `dims` dimensions from `clusters` Gaussian
+    /// blobs (deterministic in `seed`).
+    pub fn synthetic(n: usize, dims: usize, clusters: usize, seed: u64) -> Points {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blob_centers: Vec<f32> =
+            (0..clusters * dims).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+        let mut data = Vec::with_capacity(n * dims);
+        for i in 0..n {
+            let blob = i % clusters;
+            for d in 0..dims {
+                let jitter: f32 = rng.gen_range(-5.0..5.0);
+                data.push(blob_centers[blob * dims + d] + jitter);
+            }
+        }
+        Points { dims, data: data.into() }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+}
+
+/// Per-cluster accumulator for one iteration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterAcc {
+    /// Sum of member coordinates.
+    pub sums: Vec<f64>,
+    /// Number of members.
+    pub count: u64,
+}
+
+/// The clustering state shared between worker transactions.
+pub struct KMeans {
+    points: Points,
+    k: usize,
+    /// Current centroids (read by every assignment, replaced per iteration).
+    centroids: VBox<Vec<f32>>,
+    /// Per-cluster accumulators (the contended hot spots).
+    accs: Arc<[VBox<ClusterAcc>]>,
+}
+
+impl Clone for KMeans {
+    fn clone(&self) -> Self {
+        KMeans {
+            points: self.points.clone(),
+            k: self.k,
+            centroids: self.centroids.clone(),
+            accs: Arc::clone(&self.accs),
+        }
+    }
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
+}
+
+impl KMeans {
+    /// Initializes with the first `k` points as centroids (deterministic).
+    pub fn new(points: Points, k: usize) -> KMeans {
+        assert!(k > 0 && points.len() >= k, "need at least k points");
+        let dims = points.dims;
+        let centroids: Vec<f32> = (0..k).flat_map(|i| points.point(i).to_vec()).collect();
+        let accs: Vec<VBox<ClusterAcc>> = (0..k)
+            .map(|_| VBox::new(ClusterAcc { sums: vec![0.0; dims], count: 0 }))
+            .collect();
+        KMeans { points, k, centroids: VBox::new(centroids), accs: accs.into() }
+    }
+
+    /// Nearest centroid of `p` under the given centroid snapshot.
+    fn nearest(&self, centroids: &[f32], p: &[f32]) -> usize {
+        let dims = self.points.dims;
+        (0..self.k)
+            .min_by(|&a, &b| {
+                dist2(&centroids[a * dims..(a + 1) * dims], p)
+                    .total_cmp(&dist2(&centroids[b * dims..(b + 1) * dims], p))
+            })
+            .expect("k > 0")
+    }
+
+    /// Processes points `[lo, hi)` as one transaction: assignment
+    /// parallelized across `futures` transactional futures, accumulator
+    /// updates in the continuation. Returns the chunk's contribution count.
+    pub fn assign_chunk(&self, tm: &Rtf, lo: usize, hi: usize, futures: usize) -> u64 {
+        let this = self.clone();
+        tm.atomic(move |tx| {
+            let centroids = tx.read(&this.centroids);
+            // ---- long read-only cycle (parallelized) -------------------
+            let locals: Vec<Vec<ClusterAcc>> = if futures == 0 || hi - lo < futures + 1 {
+                vec![local_assign(&this, &centroids, lo, hi)]
+            } else {
+                let span = (hi - lo).div_ceil(futures + 1);
+                let mut handles = Vec::new();
+                for f in 1..=futures {
+                    let this2 = this.clone();
+                    let c2 = Arc::clone(&centroids);
+                    let (flo, fhi) = (lo + f * span, (lo + (f + 1) * span).min(hi));
+                    handles.push(tx.submit(move |_tx| local_assign(&this2, &c2, flo, fhi)));
+                }
+                let mut all = vec![local_assign(&this, &centroids, lo, (lo + span).min(hi))];
+                for h in &handles {
+                    all.push((*tx.eval(h)).clone());
+                }
+                all
+            };
+            // ---- contended accumulator updates (continuation) ----------
+            let mut contributed = 0u64;
+            for c in 0..this.k {
+                let mut merged = ClusterAcc { sums: vec![0.0; this.points.dims], count: 0 };
+                for l in &locals {
+                    merged.count += l[c].count;
+                    for (m, v) in merged.sums.iter_mut().zip(&l[c].sums) {
+                        *m += v;
+                    }
+                }
+                if merged.count == 0 {
+                    continue;
+                }
+                contributed += merged.count;
+                let mut acc = (*tx.read(&this.accs[c])).clone();
+                acc.count += merged.count;
+                for (a, v) in acc.sums.iter_mut().zip(&merged.sums) {
+                    *a += v;
+                }
+                tx.write(&this.accs[c], acc);
+            }
+            contributed
+        })
+    }
+
+    /// Finishes an iteration: recomputes centroids from the accumulators,
+    /// resets them, and returns the largest centroid movement (squared).
+    pub fn finish_iteration(&self, tm: &Rtf) -> f64 {
+        let this = self.clone();
+        tm.atomic(move |tx| {
+            let dims = this.points.dims;
+            let old = tx.read(&this.centroids);
+            let mut new_centroids = (*old).clone();
+            let mut moved = 0.0f64;
+            for c in 0..this.k {
+                let acc = tx.read(&this.accs[c]);
+                if acc.count > 0 {
+                    for d in 0..dims {
+                        new_centroids[c * dims + d] = (acc.sums[d] / acc.count as f64) as f32;
+                    }
+                }
+                moved = moved.max(dist2(
+                    &old[c * dims..(c + 1) * dims],
+                    &new_centroids[c * dims..(c + 1) * dims],
+                ));
+                tx.write(&this.accs[c], ClusterAcc { sums: vec![0.0; dims], count: 0 });
+            }
+            tx.write(&this.centroids, new_centroids);
+            moved
+        })
+    }
+
+    /// Runs up to `max_iters` full iterations with `clients` worker threads
+    /// and `futures` futures per transaction; stops when no centroid moves
+    /// more than `eps` (squared distance). Returns (iterations, final max
+    /// movement).
+    pub fn run(
+        &self,
+        tm: &Rtf,
+        clients: usize,
+        chunk: usize,
+        futures: usize,
+        max_iters: usize,
+        eps: f64,
+    ) -> (usize, f64) {
+        let n = self.points.len();
+        for iter in 1..=max_iters {
+            // Chunked assignment, fanned out over worker threads.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..clients.max(1) {
+                    let next = &next;
+                    let tm = tm.clone();
+                    let this = self.clone();
+                    s.spawn(move || loop {
+                        let lo = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        this.assign_chunk(&tm, lo, (lo + chunk).min(n), futures);
+                    });
+                }
+            });
+            let moved = self.finish_iteration(tm);
+            if moved <= eps {
+                return (iter, moved);
+            }
+        }
+        (max_iters, f64::INFINITY)
+    }
+
+    /// Current centroids (outside transactions; quiescent use).
+    pub fn centroids(&self) -> Vec<f32> {
+        (*self.centroids.read_committed()).clone()
+    }
+
+    /// Total membership currently accumulated (diagnostics).
+    pub fn accumulated(&self, tm: &Rtf) -> u64 {
+        let this = self.clone();
+        tm.atomic_ro(move |tx| this.accs.iter().map(|a| tx.read(a).count).sum())
+    }
+}
+
+/// Assigns points `[lo, hi)` to their nearest centroid, building local
+/// per-cluster aggregates (no shared writes — safe inside futures).
+fn local_assign(km: &KMeans, centroids: &[f32], lo: usize, hi: usize) -> Vec<ClusterAcc> {
+    let dims = km.points.dims;
+    let mut locals = vec![ClusterAcc { sums: vec![0.0; dims], count: 0 }; km.k];
+    for i in lo..hi {
+        let p = km.points.point(i);
+        let c = km.nearest(centroids, p);
+        locals[c].count += 1;
+        for (s, v) in locals[c].sums.iter_mut().zip(p) {
+            *s += *v as f64;
+        }
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Points {
+        Points::synthetic(300, 4, 3, 42)
+    }
+
+    #[test]
+    fn synthetic_points_shape() {
+        let p = small();
+        assert_eq!(p.len(), 300);
+        assert!(!p.is_empty());
+        assert_eq!(p.point(7).len(), 4);
+    }
+
+    #[test]
+    fn converges_on_blobs() {
+        let tm = Rtf::builder().workers(2).build();
+        let km = KMeans::new(small(), 3);
+        let (iters, moved) = km.run(&tm, 2, 64, 2, 50, 1e-6);
+        assert!(iters < 50, "should converge, took {iters}");
+        assert!(moved <= 1e-6);
+        // All accumulators were reset by finish_iteration.
+        assert_eq!(km.accumulated(&tm), 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_per_iteration() {
+        // One full iteration, sequential vs future-parallel, must produce
+        // identical centroids (strong ordering: floating-point adds happen
+        // in the same order as the sequential chunk loop).
+        let run_one = |futures: usize| {
+            let tm = Rtf::builder().workers(4).build();
+            let km = KMeans::new(small(), 3);
+            // Single client so chunk order is deterministic.
+            km.run(&tm, 1, 50, futures, 1, f64::INFINITY);
+            km.centroids()
+        };
+        assert_eq!(run_one(0), run_one(3));
+    }
+
+    #[test]
+    fn multi_client_conserves_membership() {
+        let tm = Rtf::builder().workers(3).build();
+        let km = KMeans::new(small(), 3);
+        // Assignment only (no finish): every point lands in some cluster.
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let tm = tm.clone();
+                let km = km.clone();
+                s.spawn(move || {
+                    for chunk_lo in (t * 100..(t + 1) * 100).step_by(25) {
+                        km.assign_chunk(&tm, chunk_lo, chunk_lo + 25, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(km.accumulated(&tm), 300);
+    }
+}

@@ -1,0 +1,316 @@
+//! Top-level transactions (paper §III-A).
+//!
+//! A top-level transaction takes its snapshot version from the global clock
+//! at begin time. Writes are buffered in a private write-set; reads check
+//! the write-set first and otherwise return the most recent committed
+//! version at or below the snapshot. Read-write transactions validate their
+//! read-set at commit and install their writes through the commit chain;
+//! read-only transactions commit immediately with no validation (§IV-E —
+//! multi-versioning guarantees their snapshot is consistent, if possibly
+//! stale).
+//!
+//! This module is both the *baseline TM* used by the evaluation (the
+//! "no futures" configurations of Figs 5 and 6) and the foundation the
+//! `rtf` core crate builds transaction trees upon.
+
+use std::sync::Arc;
+
+use rtf_txbase::{
+    clock::Registration, new_write_token, FxHashMap, TmStats, Version, WriteToken,
+};
+
+use crate::commit::{CommitWrite, Conflict, ReadObservation};
+use crate::value::{downcast, erase, TxData, Val};
+use crate::vbox::{CellId, VBox, VBoxCell};
+use crate::MvStm;
+
+/// Read-set: one observation per box (the first read wins; later reads of
+/// the same box return the same snapshot so the token cannot change).
+pub type ReadSet = FxHashMap<CellId, ReadObservation>;
+
+/// Private write-set of a top-level transaction.
+pub type WriteSet = FxHashMap<CellId, (Arc<VBoxCell>, Val, WriteToken)>;
+
+/// A running top-level transaction.
+///
+/// Obtained from [`MvStm::atomic`] / [`MvStm::atomic_ro`] (which retry on
+/// conflict) or from [`MvStm::begin`] for manual control.
+pub struct TopTxn<'tm> {
+    tm: &'tm MvStm,
+    start: Version,
+    _reg: Registration<'tm>,
+    reads: ReadSet,
+    writes: WriteSet,
+    /// Declared read-only: reads skip read-set recording, writes panic.
+    ro_mode: bool,
+}
+
+impl<'tm> TopTxn<'tm> {
+    pub(crate) fn new(tm: &'tm MvStm, ro_mode: bool) -> Self {
+        // Register BEFORE taking the snapshot: the GC watermark must cover
+        // the version this transaction will read. Registering a (possibly
+        // slightly older) clock value first guarantees watermark <= start,
+        // so every version in (watermark, start] plus the newest one at or
+        // below the watermark — everything a reader at `start` can need —
+        // is retained.
+        let reg = tm.registry().register(tm.clock().now());
+        let start = tm.clock().now();
+        TopTxn {
+            tm,
+            start,
+            _reg: reg,
+            reads: ReadSet::default(),
+            writes: WriteSet::default(),
+            ro_mode,
+        }
+    }
+
+    /// The snapshot version this transaction reads at.
+    #[inline]
+    pub fn snapshot(&self) -> Version {
+        self.start
+    }
+
+    /// Whether any write was buffered so far.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Transactional read.
+    pub fn read<T: TxData>(&mut self, vbox: &VBox<T>) -> Arc<T> {
+        downcast(self.read_cell(vbox.cell()))
+    }
+
+    /// Transactional write (replaces the box's value).
+    pub fn write<T: TxData>(&mut self, vbox: &VBox<T>, value: T) {
+        self.write_cell(vbox.cell(), erase(value));
+    }
+
+    /// Untyped read (used by the core crate and data structures).
+    pub fn read_cell(&mut self, cell: &Arc<VBoxCell>) -> Val {
+        let id = cell.id();
+        if let Some((_, val, _)) = self.writes.get(&id) {
+            return val.clone();
+        }
+        let (val, token) = cell.read_at(self.start);
+        if !self.ro_mode {
+            self.reads.entry(id).or_insert_with(|| (Arc::clone(cell), token));
+        }
+        val
+    }
+
+    /// Untyped write.
+    pub fn write_cell(&mut self, cell: &Arc<VBoxCell>, value: Val) {
+        assert!(
+            !self.ro_mode,
+            "write inside a transaction declared read-only (atomic_ro)"
+        );
+        let id = cell.id();
+        match self.writes.get_mut(&id) {
+            Some((_, slot, _)) => *slot = value,
+            None => {
+                self.writes.insert(id, (Arc::clone(cell), value, new_write_token()));
+            }
+        }
+    }
+
+    /// Attempts to commit. On success returns the commit version (`None`
+    /// for the read-only fast path, which consumes no version number).
+    pub fn try_commit(self) -> Result<Option<Version>, Conflict> {
+        let stats = self.tm.stats();
+        if self.writes.is_empty() {
+            // Read-only fast path: the snapshot was consistent by
+            // construction; commit without validation (§IV-E).
+            stats.top_ro_commits();
+            return Ok(None);
+        }
+        let writes: Vec<CommitWrite> = self
+            .writes
+            .into_values()
+            .map(|(cell, value, token)| CommitWrite { cell, value, token })
+            .collect();
+        match self.tm.chain().try_commit(
+            self.start,
+            &self.reads,
+            writes,
+            self.tm.clock(),
+            self.tm.registry(),
+            stats,
+        ) {
+            Ok(v) => {
+                stats.top_commits();
+                Ok(Some(v))
+            }
+            Err(c) => {
+                stats.top_validation_aborts();
+                Err(c)
+            }
+        }
+    }
+
+    /// Decomposes the transaction into raw parts (used by the `rtf` core
+    /// crate, whose tree roots extend this read/write-set bookkeeping).
+    pub fn into_parts(self) -> (Version, ReadSet, WriteSet) {
+        (self.start, self.reads, self.writes)
+    }
+
+    /// Statistics of the owning TM.
+    pub fn stats(&self) -> &Arc<TmStats> {
+        self.tm.stats_arc()
+    }
+}
+
+/// Exponential backoff between transaction retries: spin, then yield, then
+/// sleep with a linearly growing cap. Keeps retry storms off the commit
+/// chain under heavy conflict (paper's high-contention workloads re-execute
+/// transactions tens of times).
+pub fn retry_backoff(attempt: u32) {
+    match attempt {
+        0 => {}
+        1..=3 => {
+            for _ in 0..(1 << attempt) {
+                std::hint::spin_loop();
+            }
+        }
+        4..=6 => std::thread::yield_now(),
+        n => {
+            let micros = ((n - 6) as u64 * 50).min(2_000);
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MvStm;
+
+    #[test]
+    fn atomic_read_write_roundtrip() {
+        let tm = MvStm::new();
+        let b = VBox::new(1u64);
+        let out = tm.atomic(|tx| {
+            let v = *tx.read(&b);
+            tx.write(&b, v + 10);
+            *tx.read(&b)
+        });
+        assert_eq!(out, 11);
+        assert_eq!(*b.read_committed(), 11);
+    }
+
+    #[test]
+    fn snapshot_isolation_within_txn() {
+        let tm = MvStm::new();
+        let a = VBox::new(5u64);
+        let b = VBox::new(7u64);
+        tm.atomic(|tx| {
+            let x = *tx.read(&a);
+            let y = *tx.read(&b);
+            assert_eq!(x + y, 12);
+        });
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let tm = MvStm::new();
+        let b = VBox::new(0u64);
+        tm.atomic(|tx| {
+            tx.write(&b, 42);
+            assert_eq!(*tx.read(&b), 42);
+            tx.write(&b, 43);
+            assert_eq!(*tx.read(&b), 43);
+        });
+        assert_eq!(*b.read_committed(), 43);
+    }
+
+    #[test]
+    fn conflicting_increments_retry_to_correctness() {
+        let tm = Arc::new(MvStm::new());
+        let b = VBox::new(0u64);
+        let threads = 4;
+        let per = 250;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tm = Arc::clone(&tm);
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        tm.atomic(|tx| {
+                            let v = *tx.read(&b);
+                            tx.write(&b, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*b.read_committed(), (threads * per) as u64);
+        let snap = tm.stats().snapshot();
+        assert_eq!(snap.top_commits, (threads * per) as u64);
+    }
+
+    #[test]
+    fn read_only_fast_path_counts() {
+        let tm = MvStm::new();
+        let b = VBox::new(3u64);
+        let v = tm.atomic(|tx| *tx.read(&b));
+        assert_eq!(v, 3);
+        let snap = tm.stats().snapshot();
+        assert_eq!(snap.top_ro_commits, 1);
+        assert_eq!(snap.top_commits, 0);
+    }
+
+    #[test]
+    fn atomic_ro_reads_consistent_snapshot() {
+        let tm = MvStm::new();
+        let b = VBox::new(3u64);
+        let v = tm.atomic_ro(|tx| *tx.read(&b));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn atomic_ro_rejects_writes() {
+        let tm = MvStm::new();
+        let b = VBox::new(3u64);
+        tm.atomic_ro(|tx| tx.write(&b, 4));
+    }
+
+    #[test]
+    fn manual_begin_commit() {
+        let tm = MvStm::new();
+        let b = VBox::new(0u64);
+        let mut tx = tm.begin();
+        tx.write(&b, 17);
+        let v = tx.try_commit().unwrap();
+        assert_eq!(v, Some(1));
+        assert_eq!(*b.read_committed(), 17);
+    }
+
+    #[test]
+    fn manual_conflict_reported() {
+        let tm = MvStm::new();
+        let b = VBox::new(0u64);
+        let mut t1 = tm.begin();
+        let _ = *t1.read(&b);
+        t1.write(&b, 1);
+        tm.atomic(|tx| tx.write(&b, 2));
+        assert!(t1.try_commit().is_err());
+        assert_eq!(*b.read_committed(), 2);
+    }
+
+    #[test]
+    fn writes_invisible_until_commit() {
+        let tm = MvStm::new();
+        let b = VBox::new(0u64);
+        let mut t1 = tm.begin();
+        t1.write(&b, 99);
+        // A concurrent transaction must not see the buffered write.
+        let seen = tm.atomic(|tx| *tx.read(&b));
+        assert_eq!(seen, 0);
+        t1.try_commit().unwrap();
+        assert_eq!(*b.read_committed(), 99);
+    }
+}

@@ -1,0 +1,365 @@
+//! Versioned boxes (`VBox`), the paper's transactional data containers.
+//!
+//! A `VBox` stores every committed (*permanent*) version of a value that may
+//! still be required by a running transaction, in a list sorted by descending
+//! commit version (paper §III-A, Fig 3b), plus a second, *tentative* list
+//! holding the in-flight writes of sub-transactions of (at most) one
+//! transaction tree, sorted by descending serialization order (§IV-A).
+//!
+//! The structural operations on both lists live here; the *policies*
+//! (snapshot selection for top-level reads, visibility and ownership rules
+//! for sub-transactions) live in `rtf-mvstm::txn` and in the `rtf` core
+//! crate respectively.
+//!
+//! Lock substitution (DESIGN.md D2): the paper manipulates the tentative
+//! list with CAS; we guard it with a short `parking_lot::Mutex` critical
+//! section while keeping the same list ordering, ownership-record and
+//! visibility semantics. The permanent list uses an `RwLock` (read-mostly).
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use rtf_txbase::{new_write_token, Orec, OrderKey, TreeId, Version, WriteToken};
+
+use crate::value::{downcast, erase, TxData, Val};
+
+/// One committed version of a box's value.
+pub struct PermVersion {
+    /// Global commit version that produced this value (0 = initial value).
+    pub version: Version,
+    /// Unique identity of this write.
+    pub token: WriteToken,
+    /// The value snapshot.
+    pub value: Val,
+}
+
+/// One in-flight write by a sub-transaction of the tree currently owning
+/// this box's tentative list.
+pub struct TentativeEntry {
+    /// Serialization-order key of the write (strong ordering semantics).
+    pub key: OrderKey,
+    /// Unique identity of this write.
+    pub token: WriteToken,
+    /// The value snapshot.
+    pub value: Val,
+    /// Ownership record of the execution that created the write.
+    pub orec: Arc<Orec>,
+    /// Tree the writer belongs to (paper: the root of the writer's
+    /// transaction tree, compared to detect inter-tree conflicts).
+    pub tree: TreeId,
+}
+
+/// Stable identity of a box, used as read-/write-set key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(usize);
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell@{:x}", self.0)
+    }
+}
+
+/// The untyped storage shared by all views of one `VBox`.
+pub struct VBoxCell {
+    permanent: RwLock<Vec<PermVersion>>,
+    tentative: Mutex<Vec<TentativeEntry>>,
+}
+
+impl VBoxCell {
+    /// Creates a cell whose initial value committed at version 0.
+    pub fn new(initial: Val) -> Arc<VBoxCell> {
+        Arc::new(VBoxCell {
+            permanent: RwLock::new(vec![PermVersion {
+                version: 0,
+                token: new_write_token(),
+                value: initial,
+            }]),
+            tentative: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Identity of this cell.
+    #[inline]
+    pub fn id(self: &Arc<Self>) -> CellId {
+        CellId(Arc::as_ptr(self) as usize)
+    }
+
+    /// Returns the most recent committed version at or below `snapshot`
+    /// (the top-level read rule of §III-A).
+    ///
+    /// # Panics
+    /// If the snapshot predates every retained version, which the version GC
+    /// watermark makes unreachable for registered transactions.
+    pub fn read_at(&self, snapshot: Version) -> (Val, WriteToken) {
+        let list = self.permanent.read();
+        for v in list.iter() {
+            if v.version <= snapshot {
+                return (v.value.clone(), v.token);
+            }
+        }
+        panic!(
+            "rtf internal error: no committed version <= {snapshot} retained \
+             (GC watermark violated)"
+        );
+    }
+
+    /// Token of the newest committed version.
+    pub fn latest_token(&self) -> WriteToken {
+        self.permanent.read()[0].token
+    }
+
+    /// Version number of the newest committed version.
+    pub fn latest_version(&self) -> Version {
+        self.permanent.read()[0].version
+    }
+
+    /// Newest committed value (diagnostic / quiescent use).
+    pub fn latest_value(&self) -> Val {
+        self.permanent.read()[0].value.clone()
+    }
+
+    /// Installs the write of a committed top-level transaction.
+    ///
+    /// Idempotent per `version`, so helping threads may race on the same
+    /// commit record (paper §III-A: JVSTM's helping write-back). Returns the
+    /// number of versions trimmed by the garbage collector (versions older
+    /// than the newest version at or below `watermark` can no longer be read
+    /// by any live transaction).
+    pub fn apply_commit(
+        &self,
+        version: Version,
+        value: Val,
+        token: WriteToken,
+        watermark: Version,
+    ) -> usize {
+        let mut list = self.permanent.write();
+        // Insert in descending position unless already present.
+        match list.binary_search_by(|p| version.cmp(&p.version)) {
+            Ok(_) => {} // another helper already wrote this version back
+            Err(pos) => list.insert(pos, PermVersion { version, token, value }),
+        }
+        // GC: keep everything newer than the watermark plus the single
+        // newest entry at or below it.
+        if let Some(keep_from) = list.iter().position(|p| p.version <= watermark) {
+            let trimmed = list.len() - keep_from - 1;
+            list.truncate(keep_from + 1);
+            trimmed
+        } else {
+            0
+        }
+    }
+
+    /// Number of retained committed versions (diagnostics).
+    pub fn permanent_len(&self) -> usize {
+        self.permanent.read().len()
+    }
+
+    /// Locks the tentative list for structural manipulation.
+    pub fn tentative_lock(&self) -> MutexGuard<'_, Vec<TentativeEntry>> {
+        self.tentative.lock()
+    }
+
+    /// Whether the tentative list is (currently) empty, without blocking:
+    /// used by the top-level fast read path (Alg 2 line 6's cheap case).
+    pub fn tentative_is_empty(&self) -> bool {
+        match self.tentative.try_lock() {
+            Some(g) => g.is_empty(),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for VBoxCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let perm = self.permanent.read();
+        write!(f, "VBoxCell{{versions: {}, head_v{}}}", perm.len(), perm[0].version)
+    }
+}
+
+/// Inserts `entry` into a tentative list kept in *descending* serialization
+/// order, as required so reads stop at the first visible entry and the
+/// top-level write-back takes the head (§IV-A).
+///
+/// If an entry with the same order key owned by the same orec exists, the
+/// write overwrites it in place (Alg 1 line 7: a transaction re-writing a
+/// box updates its own tentative version).
+pub fn tentative_insert(list: &mut Vec<TentativeEntry>, entry: TentativeEntry) {
+    for (i, e) in list.iter_mut().enumerate() {
+        if Arc::ptr_eq(&e.orec, &entry.orec) && e.key == entry.key {
+            *e = entry;
+            return;
+        }
+        if entry.key > e.key {
+            list.insert(i, entry);
+            return;
+        }
+    }
+    list.push(entry);
+}
+
+/// A typed, shareable handle to a versioned box.
+///
+/// `VBox` is the only container whose accesses the TM tracks, mirroring the
+/// JTF programming model (§III): programs put shared state into boxes and
+/// read/write them through a transaction handle.
+pub struct VBox<T: TxData> {
+    cell: Arc<VBoxCell>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: TxData> VBox<T> {
+    /// Creates a box whose initial value is committed at version 0 (visible
+    /// to every transaction).
+    pub fn new(initial: T) -> Self {
+        VBox { cell: VBoxCell::new(erase(initial)), _marker: PhantomData }
+    }
+
+    /// The untyped cell (runtime use).
+    #[inline]
+    pub fn cell(&self) -> &Arc<VBoxCell> {
+        &self.cell
+    }
+
+    /// Identity of this box.
+    #[inline]
+    pub fn id(&self) -> CellId {
+        self.cell.id()
+    }
+
+    /// Reads the latest committed value outside any transaction.
+    ///
+    /// Only meaningful when no transaction is running (tests, reporting
+    /// after a benchmark); transactional code must go through a transaction
+    /// handle.
+    pub fn read_committed(&self) -> Arc<T> {
+        downcast(self.cell.latest_value())
+    }
+}
+
+impl<T: TxData> Clone for VBox<T> {
+    fn clone(&self) -> Self {
+        VBox { cell: Arc::clone(&self.cell), _marker: PhantomData }
+    }
+}
+
+impl<T: TxData> fmt::Debug for VBox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VBox<{}>({:?})", std::any::type_name::<T>(), self.cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_txbase::new_node_id;
+
+    #[test]
+    fn initial_version_readable_at_any_snapshot() {
+        let b = VBox::new(7u32);
+        let (v, _) = b.cell().read_at(0);
+        assert_eq!(*downcast::<u32>(v), 7);
+        let (v, _) = b.cell().read_at(1_000_000);
+        assert_eq!(*downcast::<u32>(v), 7);
+    }
+
+    #[test]
+    fn read_at_picks_snapshot_version() {
+        let b = VBox::new(0u32);
+        let c = b.cell();
+        c.apply_commit(5, erase(50u32), new_write_token(), 0);
+        c.apply_commit(9, erase(90u32), new_write_token(), 0);
+        assert_eq!(*downcast::<u32>(c.read_at(0).0), 0);
+        assert_eq!(*downcast::<u32>(c.read_at(4).0), 0);
+        assert_eq!(*downcast::<u32>(c.read_at(5).0), 50);
+        assert_eq!(*downcast::<u32>(c.read_at(8).0), 50);
+        assert_eq!(*downcast::<u32>(c.read_at(9).0), 90);
+        assert_eq!(*downcast::<u32>(c.read_at(100).0), 90);
+        assert_eq!(c.latest_version(), 9);
+    }
+
+    #[test]
+    fn apply_commit_is_idempotent_per_version() {
+        let b = VBox::new(0u32);
+        let c = b.cell();
+        let tok = new_write_token();
+        c.apply_commit(3, erase(30u32), tok, 0);
+        // A helping thread replays the same record.
+        c.apply_commit(3, erase(30u32), tok, 0);
+        assert_eq!(c.permanent_len(), 2);
+        assert_eq!(c.latest_token(), tok);
+    }
+
+    #[test]
+    fn gc_trims_below_watermark_keeping_one_readable() {
+        let b = VBox::new(0u32);
+        let c = b.cell();
+        for v in 1..=10u64 {
+            c.apply_commit(v, erase(v as u32), new_write_token(), 0);
+        }
+        assert_eq!(c.permanent_len(), 11);
+        // Oldest live transaction started at version 7.
+        let trimmed = c.apply_commit(11, erase(110u32), new_write_token(), 7);
+        // Keep versions 11..=8 plus the newest <= 7 (version 7 itself).
+        assert_eq!(trimmed, 7);
+        assert_eq!(c.permanent_len(), 5);
+        assert_eq!(*downcast::<u32>(c.read_at(7).0), 7);
+        assert_eq!(*downcast::<u32>(c.read_at(100).0), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "GC watermark violated")]
+    fn reading_below_retained_panics() {
+        let b = VBox::new(0u32);
+        let c = b.cell();
+        c.apply_commit(5, erase(1u32), new_write_token(), 5);
+        c.apply_commit(6, erase(2u32), new_write_token(), 6);
+        // Versions 0 and 5 trimmed; snapshot 3 unreadable.
+        let _ = c.read_at(3);
+    }
+
+    #[test]
+    fn tentative_insert_keeps_descending_order_and_overwrites() {
+        let root = OrderKey::root();
+        let o1 = Arc::new(Orec::new(new_node_id()));
+        let o2 = Arc::new(Orec::new(new_node_id()));
+        let mut list = Vec::new();
+        let tree = rtf_txbase::new_tree_id();
+        let entry = |key: OrderKey, orec: &Arc<Orec>, val: u32| TentativeEntry {
+            key,
+            token: new_write_token(),
+            value: erase(val),
+            orec: Arc::clone(orec),
+            tree,
+        };
+        tentative_insert(&mut list, entry(root.child_future(0).write_key(0), &o1, 1));
+        tentative_insert(&mut list, entry(root.child_cont(0).write_key(0), &o2, 2));
+        tentative_insert(&mut list, entry(root.write_key(0), &o1, 3));
+        let keys: Vec<_> = list.iter().map(|e| e.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(keys, sorted, "list must be descending");
+        assert_eq!(list.len(), 3);
+
+        // Overwrite: same orec, same key.
+        tentative_insert(&mut list, entry(root.write_key(0), &o1, 30));
+        assert_eq!(list.len(), 3);
+        let tail = &list[2];
+        assert_eq!(*downcast::<u32>(tail.value.clone()), 30);
+    }
+
+    #[test]
+    fn cell_ids_are_distinct_and_stable() {
+        let a = VBox::new(1u8);
+        let b = VBox::new(1u8);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), a.clone().id());
+    }
+
+    #[test]
+    fn read_committed_outside_txn() {
+        let b = VBox::new(String::from("hi"));
+        assert_eq!(&*b.read_committed(), "hi");
+    }
+}

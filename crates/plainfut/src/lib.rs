@@ -1,0 +1,134 @@
+//! Plain (non-transactional) futures over the `rtf` task pool.
+//!
+//! This is the baseline of the paper's Fig 5a: futures with *no concurrency
+//! control whatsoever* — exactly what `java.util.concurrent` futures give a
+//! Java program. Comparing JTF against this baseline on a conflict-free
+//! workload isolates (a) the inherent costs of using futures (inter-thread
+//! communication, memory-bus contention) from (b) the overhead JTF adds to
+//! enforce the transactional-future semantics, which the paper measures at
+//! under 1%.
+//!
+//! The API mirrors `rtf`'s `rtf-taskpool`-based execution so benchmarks
+//! differ only in the concurrency-control layer.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtf_taskpool::{Pool, PoolRunner};
+
+struct Shared<A> {
+    state: Mutex<Option<A>>,
+    cv: Condvar,
+}
+
+/// A plain future: resolves when its closure finishes on the pool.
+pub struct PlainFuture<A> {
+    shared: Arc<Shared<A>>,
+}
+
+impl<A> Clone for PlainFuture<A> {
+    fn clone(&self) -> Self {
+        PlainFuture { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<A: Send + 'static> PlainFuture<A> {
+    /// Blocks until the value is available. `help` runs queued tasks while
+    /// waiting (same helping discipline as the transactional runtime).
+    fn wait_helping(&self, mut help: impl FnMut() -> bool) -> A
+    where
+        A: Clone,
+    {
+        loop {
+            {
+                let mut st = self.shared.state.lock();
+                if let Some(v) = st.as_ref() {
+                    return v.clone();
+                }
+                let helped = parking_lot::MutexGuard::unlocked(&mut st, &mut help);
+                if !helped && st.is_none() {
+                    self.shared.cv.wait_for(&mut st, Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// The plain-future executor.
+pub struct PlainExecutor {
+    pool: Pool,
+    _runner: PoolRunner,
+}
+
+impl PlainExecutor {
+    /// Executor backed by `workers` threads.
+    pub fn new(workers: usize) -> PlainExecutor {
+        let runner = Pool::start(workers);
+        PlainExecutor { pool: runner.pool(), _runner: runner }
+    }
+
+    /// Schedules `body` and returns its future.
+    pub fn submit<A, F>(&self, body: F) -> PlainFuture<A>
+    where
+        A: Send + 'static,
+        F: FnOnce() -> A + Send + 'static,
+    {
+        let shared = Arc::new(Shared { state: Mutex::new(None), cv: Condvar::new() });
+        let s2 = Arc::clone(&shared);
+        self.pool.spawn(Box::new(move || {
+            let v = body();
+            let mut st = s2.state.lock();
+            *st = Some(v);
+            s2.cv.notify_all();
+        }));
+        PlainFuture { shared }
+    }
+
+    /// Blocking evaluation; the calling thread helps drain the pool.
+    pub fn eval<A: Send + Clone + 'static>(&self, fut: &PlainFuture<A>) -> A {
+        let pool = self.pool.clone();
+        fut.wait_helping(move || pool.help_one())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_eval_roundtrip() {
+        let ex = PlainExecutor::new(2);
+        let f = ex.submit(|| 21u64 * 2);
+        assert_eq!(ex.eval(&f), 42);
+    }
+
+    #[test]
+    fn many_futures() {
+        let ex = PlainExecutor::new(3);
+        let futs: Vec<_> = (0..100u64).map(|i| ex.submit(move || i * i)).collect();
+        let total: u64 = futs.iter().map(|f| ex.eval(f)).sum();
+        assert_eq!(total, (0..100u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn zero_workers_resolved_by_helping() {
+        let ex = PlainExecutor::new(0);
+        let f = ex.submit(|| 7u32);
+        assert_eq!(ex.eval(&f), 7);
+    }
+
+    #[test]
+    fn cross_thread_evaluation() {
+        let ex = Arc::new(PlainExecutor::new(2));
+        let f = ex.submit(|| String::from("hello"));
+        let ex2 = Arc::clone(&ex);
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || ex2.eval(&f2));
+        assert_eq!(h.join().unwrap(), "hello");
+        assert_eq!(ex.eval(&f), "hello");
+    }
+}

@@ -1,0 +1,299 @@
+//! A work pool with *helping*, the execution substrate for transactional
+//! futures.
+//!
+//! JTF schedules the bodies of transactional futures on an internal thread
+//! pool (paper §III). A bounded pool interacting with blocking primitives
+//! (`eval`, `waitTurn`) can deadlock: every worker may be blocked waiting for
+//! a task that is still sitting in the queue. This pool therefore exposes
+//! [`Pool::help_one`]: any thread about to block may first pull a pending
+//! task and run it inline. The `rtf` runtime calls it from every wait loop,
+//! which guarantees progress with any pool size ≥ 0 — even `workers = 0`
+//! works, with all futures executed by helping threads (degenerating to lazy
+//! inline execution).
+//!
+//! Design notes (following the Rayon/crossbeam idiom from the HPC guides):
+//! a global [`Injector`] feeds per-worker [`Worker`] deques with batch
+//! stealing; parked workers are woken through a `Mutex`/`Condvar` pair kept
+//! off the fast path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work. Tasks are one-shot closures; panics are the submitter's
+/// responsibility to catch (the `rtf` runtime wraps every future body).
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    sleepers: AtomicUsize,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Work pool handle. Cloning is cheap; the pool shuts down when the last
+/// handle is dropped and all workers parked.
+#[derive(Clone)]
+pub struct Pool {
+    shared: Arc<Shared>,
+}
+
+/// Owns the worker threads; dropping it initiates shutdown and joins them.
+pub struct PoolRunner {
+    pool: Pool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Builds a pool with `workers` background threads (0 is allowed: all
+    /// tasks then run via [`Pool::help_one`] on helping threads).
+    pub fn start(workers: usize) -> PoolRunner {
+        let worker_deques: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = worker_deques.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let pool = Pool { shared: Arc::clone(&shared) };
+        let handles = worker_deques
+            .into_iter()
+            .enumerate()
+            .map(|(idx, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rtf-worker-{idx}"))
+                    .spawn(move || worker_loop(shared, local))
+                    .expect("failed to spawn rtf worker thread")
+            })
+            .collect();
+        PoolRunner { pool, handles }
+    }
+
+    /// Enqueues a task for asynchronous execution.
+    pub fn spawn(&self, task: Task) {
+        self.shared.pending.fetch_add(1, Ordering::Release);
+        self.shared.injector.push(task);
+        // Wake one parked worker, if any. The counter check keeps the
+        // common (all-workers-busy) path lock-free.
+        if self.shared.sleepers.load(Ordering::Acquire) > 0 {
+            let _g = self.shared.sleep_lock.lock();
+            self.shared.wake.notify_one();
+        }
+    }
+
+    /// Runs one pending task inline, if any. Returns `true` when a task was
+    /// executed. Called by threads about to block on a condition that some
+    /// queued task may be needed to satisfy.
+    pub fn help_one(&self) -> bool {
+        match find_task(&self.shared, None) {
+            Some(task) => {
+                self.shared.pending.fetch_sub(1, Ordering::Release);
+                task();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of tasks submitted but not yet started (approximate).
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+}
+
+impl PoolRunner {
+    /// The shareable pool handle.
+    pub fn pool(&self) -> Pool {
+        self.pool.clone()
+    }
+}
+
+impl Drop for PoolRunner {
+    fn drop(&mut self) {
+        self.pool.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.pool.shared.sleep_lock.lock();
+            self.pool.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn find_task(shared: &Shared, local: Option<&Worker<Task>>) -> Option<Task> {
+    if let Some(local) = local {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+    }
+    // Repeat while the injector/stealers report transient contention.
+    loop {
+        let mut retry = false;
+        match local {
+            Some(local) => match shared.injector.steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            },
+            None => match shared.injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            },
+        }
+        for s in &shared.stealers {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Worker<Task>) {
+    loop {
+        if let Some(task) = find_task(&shared, Some(&local)) {
+            shared.pending.fetch_sub(1, Ordering::Release);
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Park until new work arrives. Re-check under the lock to avoid a
+        // lost wakeup between the queue probe and the wait.
+        let mut guard = shared.sleep_lock.lock();
+        if shared.pending.load(Ordering::Acquire) > 0 || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        shared.sleepers.fetch_add(1, Ordering::Release);
+        // A timeout bounds the cost of any missed wakeup to a few ms.
+        shared.wake.wait_for(&mut guard, Duration::from_millis(5));
+        shared.sleepers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_spawned_tasks() {
+        let runner = Pool::start(2);
+        let pool = runner.pool();
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn help_one_executes_with_zero_workers() {
+        let runner = Pool::start(0);
+        let pool = runner.pool();
+        let flag = Arc::new(AtomicBool::new(false));
+        {
+            let flag = Arc::clone(&flag);
+            pool.spawn(Box::new(move || flag.store(true, Ordering::Relaxed)));
+        }
+        assert_eq!(pool.pending(), 1);
+        assert!(pool.help_one());
+        assert!(flag.load(Ordering::Relaxed));
+        assert!(!pool.help_one());
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn helping_drains_backlog_alongside_workers() {
+        let runner = Pool::start(1);
+        let pool = runner.pool();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..500 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        while counter.load(Ordering::Relaxed) < 500 {
+            pool.help_one();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let runner = Pool::start(3);
+        let pool = runner.pool();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Drain before dropping: drop only guarantees joining workers, not
+        // that queued tasks ran.
+        while counter.load(Ordering::Relaxed) < 50 {
+            pool.help_one();
+            std::hint::spin_loop();
+        }
+        drop(runner);
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn tasks_spawning_tasks() {
+        let runner = Pool::start(2);
+        let pool = runner.pool();
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..10 {
+            let pool2 = pool.clone();
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(Box::new(move || {
+                let counter = Arc::clone(&counter);
+                let tx = tx.clone();
+                pool2.spawn(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                }));
+            }));
+        }
+        for _ in 0..10 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,249 @@
+//! TPC-C tables and the scale-factor loader.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtf::{Rtf, Tx};
+use rtf_tstructs::{TBTreeMap, THashMap};
+use std::sync::Arc;
+
+use crate::model::*;
+
+/// Key of the by-last-name index: `(w, d, name number)`.
+#[inline]
+pub fn name_key(w: u64, d: u64, name_num: u64) -> u64 {
+    (district_key(w, d) << 16) | (name_num % 1000)
+}
+
+/// Scale factors (shrunk defaults so laptop-scale runs finish; ratios
+/// follow the spec: 10 districts/warehouse, customers per district, stock
+/// row per warehouse × item).
+#[derive(Clone, Copy, Debug)]
+pub struct TpccScale {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Catalog size (spec: 100_000).
+    pub items: u64,
+    /// RNG seed for initial data.
+    pub seed: u64,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        TpccScale { warehouses: 2, customers_per_district: 120, items: 1024, seed: 0x79cc }
+    }
+}
+
+/// The TPC-C database over transactional structures.
+pub struct TpccDb {
+    /// Scale it was loaded at.
+    pub scale: TpccScale,
+    /// Warehouse table.
+    pub warehouses: THashMap<u64, Warehouse>,
+    /// District table.
+    pub districts: THashMap<u64, District>,
+    /// Customer table.
+    pub customers: THashMap<u64, Customer>,
+    /// Stock table.
+    pub stock: THashMap<u64, Stock>,
+    /// Immutable item catalog (read-only data needs no boxes).
+    pub items: Arc<[Item]>,
+    /// Order headers, ordered by `(w, d, o)`.
+    pub orders: TBTreeMap<u64, Order>,
+    /// Order lines, ordered by `(w, d, o, ol)`.
+    pub order_lines: TBTreeMap<u64, OrderLine>,
+    /// New-order queue (pending deliveries), ordered by `(w, d, o)`.
+    pub new_orders: TBTreeMap<u64, ()>,
+    /// Per-customer most recent order id (OrderStatus access path).
+    pub last_order_of: THashMap<u64, u64>,
+    /// Secondary index: `(w, d, last-name number)` → customer ids with that
+    /// last name, sorted (spec 2.5.2.2: by-name selection picks the middle
+    /// customer). Populated at load; customer names never change.
+    pub customers_by_name: THashMap<u64, Vec<u64>>,
+}
+
+impl Clone for TpccDb {
+    fn clone(&self) -> Self {
+        TpccDb {
+            scale: self.scale,
+            warehouses: self.warehouses.clone(),
+            districts: self.districts.clone(),
+            customers: self.customers.clone(),
+            stock: self.stock.clone(),
+            items: Arc::clone(&self.items),
+            orders: self.orders.clone(),
+            order_lines: self.order_lines.clone(),
+            new_orders: self.new_orders.clone(),
+            last_order_of: self.last_order_of.clone(),
+            customers_by_name: self.customers_by_name.clone(),
+        }
+    }
+}
+
+impl TpccDb {
+    /// Loads initial data per the spec's population rules (scaled).
+    pub fn load(tm: &Rtf, scale: TpccScale) -> TpccDb {
+        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let n_cust = scale.warehouses * DISTRICTS_PER_WAREHOUSE * scale.customers_per_district;
+        let db = TpccDb {
+            scale,
+            warehouses: THashMap::with_buckets(scale.warehouses as usize * 2),
+            districts: THashMap::with_buckets(
+                (scale.warehouses * DISTRICTS_PER_WAREHOUSE) as usize * 2,
+            ),
+            customers: THashMap::with_buckets(n_cust as usize),
+            stock: THashMap::with_buckets((scale.warehouses * scale.items) as usize),
+            items: (0..scale.items)
+                .map(|i| Item {
+                    price: rng.gen_range(100..10000),
+                    name: format!("item-{i}"),
+                })
+                .collect::<Vec<_>>()
+                .into(),
+            orders: TBTreeMap::new(),
+            order_lines: TBTreeMap::new(),
+            new_orders: TBTreeMap::new(),
+            last_order_of: THashMap::with_buckets(n_cust as usize),
+            customers_by_name: THashMap::with_buckets(n_cust as usize),
+        };
+
+        for w in 0..scale.warehouses {
+            let w_tax = rng.gen_range(0..=2000);
+            let db2 = db.clone();
+            tm.atomic(move |tx| {
+                db2.warehouses.insert(
+                    tx,
+                    w,
+                    Warehouse { name: format!("warehouse-{w}"), tax_bp: w_tax, ytd: 30_000_000 },
+                );
+            });
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                let d_tax = rng.gen_range(0..=2000);
+                let db2 = db.clone();
+                tm.atomic(move |tx| {
+                    db2.districts.insert(
+                        tx,
+                        district_key(w, d),
+                        District { tax_bp: d_tax, ytd: 3_000_000, next_o_id: 1 },
+                    );
+                });
+                // Customers in batches.
+                let discounts: Vec<i64> = (0..scale.customers_per_district)
+                    .map(|_| rng.gen_range(0..=5000))
+                    .collect();
+                let db2 = db.clone();
+                tm.atomic(move |tx| {
+                    for (c, disc) in discounts.iter().enumerate() {
+                        let c = c as u64;
+                        db2.customers.insert(
+                            tx,
+                            customer_key(w, d, c),
+                            Customer {
+                                last_name: last_name(c),
+                                discount_bp: *disc,
+                                balance: -1000,
+                                ytd_payment: 1000,
+                                payment_cnt: 1,
+                                delivery_cnt: 0,
+                            },
+                        );
+                        let nk = name_key(w, d, c % 1000);
+                        let mut ids =
+                            db2.customers_by_name.get(tx, &nk).unwrap_or_default();
+                        ids.push(c);
+                        db2.customers_by_name.insert(tx, nk, ids);
+                    }
+                });
+            }
+            // Stock rows in batches.
+            for chunk_start in (0..scale.items).step_by(512) {
+                let hi = (chunk_start + 512).min(scale.items);
+                let quantities: Vec<i32> =
+                    (chunk_start..hi).map(|_| rng.gen_range(10..=100)).collect();
+                let db2 = db.clone();
+                tm.atomic(move |tx| {
+                    for (off, q) in quantities.iter().enumerate() {
+                        db2.stock.insert(
+                            tx,
+                            stock_key(w, chunk_start + off as u64),
+                            Stock { quantity: *q, ytd: 0, order_cnt: 0, remote_cnt: 0 },
+                        );
+                    }
+                });
+            }
+        }
+        db
+    }
+
+    /// Resolves a by-last-name selection to a customer id: the middle
+    /// customer (index `ceil(n/2) - 1 == n/2` for the spec's 1-based
+    /// `ceil(n/2)`) among same-named customers of the district
+    /// (spec 2.5.2.2). `None` when no customer carries the name.
+    pub fn customer_by_name(&self, tx: &mut rtf::Tx, w: u64, d: u64, name_num: u64) -> Option<u64> {
+        let ids = self.customers_by_name.get(tx, &name_key(w, d, name_num % 1000))?;
+        if ids.is_empty() {
+            return None;
+        }
+        Some(ids[ids.len() / 2])
+    }
+
+    /// TPC-C consistency condition 2: for every warehouse,
+    /// `W_YTD == sum(D_YTD)` — payments update both.
+    pub fn check_ytd_consistency(&self, tx: &mut Tx) -> bool {
+        for w in 0..self.scale.warehouses {
+            let w_ytd = self.warehouses.get(tx, &w).expect("warehouse exists").ytd;
+            let mut d_sum = 0i64;
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                d_sum += self.districts.get(tx, &district_key(w, d)).expect("district").ytd;
+            }
+            // Initial load: W_YTD = 30_000_000, sum(D_YTD) = 10 × 3_000_000.
+            if w_ytd != d_sum {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// TPC-C consistency condition 1 (adapted): for every district,
+    /// `D_NEXT_O_ID - 1` equals the highest order id present.
+    pub fn check_order_id_consistency(&self, tx: &mut Tx) -> bool {
+        for w in 0..self.scale.warehouses {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                let next = self.districts.get(tx, &district_key(w, d)).expect("district").next_o_id
+                    as u64;
+                let max_order = self
+                    .orders
+                    .range(tx, &order_key(w, d, 0), &order_key(w, d, u32::MAX as u64))
+                    .last()
+                    .map(|(k, _)| k & 0xffff_ffff)
+                    .unwrap_or(0);
+                if next != max_order + 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_populates_all_tables() {
+        let tm = Rtf::builder().workers(1).build();
+        let scale = TpccScale { warehouses: 1, customers_per_district: 10, items: 64, seed: 1 };
+        let db = TpccDb::load(&tm, scale);
+        tm.atomic(|tx| {
+            assert_eq!(db.warehouses.count(tx), 1);
+            assert_eq!(db.districts.count(tx), 10);
+            assert_eq!(db.customers.count(tx), 100);
+            assert_eq!(db.stock.count(tx), 64);
+            assert!(db.check_ytd_consistency(tx));
+            assert!(db.check_order_id_consistency(tx));
+        });
+        assert_eq!(db.items.len(), 64);
+    }
+}

@@ -1,0 +1,34 @@
+//! In-memory **TPC-C** ported to `rtf` transactional futures.
+//!
+//! TPC-C models a wholesale supplier: warehouses with 10 districts each,
+//! customers per district, an item catalog, per-warehouse stock, and the
+//! order pipeline (orders, order lines, new-order queue). The paper (§V)
+//! runs TPC-C directly on the TM (not a database) and adapts it by
+//! parallelizing long transactions with transactional futures, e.g.
+//! "compute the total amount of money raised by the warehouse".
+//!
+//! Modules:
+//! * [`model`] — row types and composite-key packing;
+//! * [`db`] — the tables and the scale-factor loader;
+//! * [`txns`] — the five standard transactions (NewOrder, Payment,
+//!   OrderStatus, Delivery, StockLevel) plus the warehouse-audit analytics
+//!   transaction, each with sequential and future-parallel variants;
+//! * [`workload`] — the deterministic operation mix.
+//!
+//! Simplifications vs. the full TPC-C specification (documented here and in
+//! DESIGN.md): customer selection is by id (no by-last-name path), the 1%
+//! deliberately-aborting NewOrder is omitted (the TM's aborts come from
+//! real conflicts), and History rows are folded into counters. These do not
+//! affect the contention structure the paper's evaluation measures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod db;
+pub mod model;
+pub mod txns;
+pub mod workload;
+
+pub use db::{TpccDb, TpccScale};
+pub use txns::TpccExecutor;
+pub use workload::{TpccConfig, TpccOp, TpccWorkload};

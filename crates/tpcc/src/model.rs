@@ -1,0 +1,182 @@
+//! TPC-C row types and composite-key packing.
+//!
+//! Money is `i64` cents; taxes and discounts are basis points (`1/10000`)
+//! so all arithmetic stays exact.
+
+/// Districts per warehouse (fixed by the TPC-C specification).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+
+/// A warehouse row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warehouse {
+    /// Display name.
+    pub name: String,
+    /// Sales tax in basis points.
+    pub tax_bp: i64,
+    /// Year-to-date payments, cents.
+    pub ytd: i64,
+}
+
+/// A district row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct District {
+    /// Sales tax in basis points.
+    pub tax_bp: i64,
+    /// Year-to-date payments, cents.
+    pub ytd: i64,
+    /// Next order number to assign.
+    pub next_o_id: u32,
+}
+
+/// A customer row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Customer {
+    /// Last name (generated per the TPC-C syllable table).
+    pub last_name: String,
+    /// Discount in basis points.
+    pub discount_bp: i64,
+    /// Balance, cents (starts at -1000 per spec).
+    pub balance: i64,
+    /// Year-to-date payment total, cents.
+    pub ytd_payment: i64,
+    /// Number of payments.
+    pub payment_cnt: u32,
+    /// Number of deliveries.
+    pub delivery_cnt: u32,
+}
+
+/// A catalog item (immutable after load).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Item {
+    /// Unit price, cents.
+    pub price: i64,
+    /// Display name.
+    pub name: String,
+}
+
+/// A stock row (one per warehouse × item).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stock {
+    /// Units on hand.
+    pub quantity: i32,
+    /// Units sold year-to-date.
+    pub ytd: i64,
+    /// Orders that touched this stock.
+    pub order_cnt: u32,
+    /// Orders supplied to other warehouses.
+    pub remote_cnt: u32,
+}
+
+/// An order header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Ordering customer.
+    pub c_id: u64,
+    /// Entry timestamp (logical).
+    pub entry_d: u64,
+    /// Carrier, set at delivery.
+    pub carrier_id: Option<u8>,
+    /// Number of lines.
+    pub ol_cnt: u8,
+}
+
+/// One order line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderLine {
+    /// Ordered item.
+    pub i_id: u64,
+    /// Supplying warehouse.
+    pub supply_w: u64,
+    /// Quantity.
+    pub quantity: u32,
+    /// Line amount, cents.
+    pub amount: i64,
+    /// Delivery timestamp, set by the Delivery transaction.
+    pub delivery_d: Option<u64>,
+}
+
+// ---- composite-key packing -------------------------------------------
+
+/// Key of a district: `(w, d)`.
+#[inline]
+pub fn district_key(w: u64, d: u64) -> u64 {
+    w * DISTRICTS_PER_WAREHOUSE + d
+}
+
+/// Key of a customer: `(w, d, c)`.
+#[inline]
+pub fn customer_key(w: u64, d: u64, c: u64) -> u64 {
+    (district_key(w, d) << 24) | c
+}
+
+/// Key of a stock row: `(w, i)`.
+#[inline]
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    (w << 24) | i
+}
+
+/// Key of an order: `(w, d, o)`; ordered scans per district work because
+/// the district occupies the high bits.
+#[inline]
+pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+    (district_key(w, d) << 32) | o
+}
+
+/// Key of an order line: `(w, d, o, ol)`.
+#[inline]
+pub fn order_line_key(w: u64, d: u64, o: u64, ol: u64) -> u64 {
+    (district_key(w, d) << 40) | (o << 8) | ol
+}
+
+/// The TPC-C last-name syllables (spec clause 4.3.2.3).
+pub fn last_name(num: u64) -> String {
+    const SYL: [&str; 10] =
+        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    let n = num % 1000;
+    format!("{}{}{}", SYL[(n / 100) as usize], SYL[((n / 10) % 10) as usize], SYL[(n % 10) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_injective_within_bounds() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for w in 0..3 {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                assert!(seen.insert(district_key(w, d)));
+            }
+        }
+        let mut seen = HashSet::new();
+        for w in 0..2 {
+            for d in 0..10 {
+                for c in 0..100 {
+                    assert!(seen.insert(customer_key(w, d, c)));
+                }
+            }
+        }
+        let mut seen = HashSet::new();
+        for o in 0..100 {
+            for ol in 0..15 {
+                assert!(seen.insert(order_line_key(1, 3, o, ol)));
+            }
+        }
+    }
+
+    #[test]
+    fn order_keys_sort_by_district_then_order() {
+        assert!(order_key(0, 1, 5) < order_key(0, 1, 6));
+        assert!(order_key(0, 1, u32::MAX as u64) < order_key(0, 2, 0));
+        assert!(order_key(0, 9, 100) < order_key(1, 0, 0));
+    }
+
+    #[test]
+    fn last_names_follow_syllable_table() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+        assert_eq!(last_name(1999), "EINGEINGEING");
+    }
+}

@@ -1,0 +1,620 @@
+//! A transactional ordered map: a copy-on-write B-tree of versioned boxes.
+//!
+//! Every tree node lives in its own [`VBox`], so the TM tracks node accesses
+//! individually: a point update touches one leaf (plus ancestors only when
+//! nodes split or merge), and two transactions conflict exactly when their
+//! access paths overlap on a written node. This mirrors the role STAMP's
+//! red-black tree plays for the Vacation benchmark, with the ordered range
+//! scans the paper's long transactions need ("identify travels within a
+//! given price range", §V).
+//!
+//! Structure invariants (checked by `debug_validate` in tests):
+//! * leaves hold sorted `(K, V)` entries; internals hold `seps.len() + 1`
+//!   children, where `seps[i]` is the smallest key of subtree `i + 1`;
+//! * every non-root node has between `MIN_KEYS` and `MAX_KEYS` entries.
+
+use rtf::{Tx, VBox};
+use std::sync::Arc;
+
+const MAX_KEYS: usize = 15;
+const MIN_KEYS: usize = 6;
+
+/// Key bound for [`TBTreeMap`].
+pub trait TKey: Ord + Clone + Send + Sync + 'static {}
+impl<T: Ord + Clone + Send + Sync + 'static> TKey for T {}
+
+/// Value bound for [`TBTreeMap`].
+pub trait TVal: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> TVal for T {}
+
+enum BNode<K: TKey, V: TVal> {
+    Leaf(Vec<(K, V)>),
+    Internal { seps: Vec<K>, children: Vec<VBox<BNode<K, V>>> },
+}
+
+impl<K: TKey, V: TVal> Clone for BNode<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            BNode::Leaf(e) => BNode::Leaf(e.clone()),
+            BNode::Internal { seps, children } => {
+                BNode::Internal { seps: seps.clone(), children: children.clone() }
+            }
+        }
+    }
+}
+
+/// A transactional ordered map.
+pub struct TBTreeMap<K: TKey, V: TVal> {
+    root: VBox<BNode<K, V>>,
+}
+
+impl<K: TKey, V: TVal> Clone for TBTreeMap<K, V> {
+    fn clone(&self) -> Self {
+        TBTreeMap { root: self.root.clone() }
+    }
+}
+
+impl<K: TKey, V: TVal> Default for TBTreeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of a recursive insert: did the child split?
+enum Ins<K: TKey, V: TVal> {
+    Done(Option<V>),
+    Split { sep: K, right: VBox<BNode<K, V>>, old: Option<V> },
+}
+
+impl<K: TKey, V: TVal> TBTreeMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        TBTreeMap { root: VBox::new(BNode::Leaf(Vec::new())) }
+    }
+
+    /// Transactional lookup.
+    pub fn get(&self, tx: &mut Tx, key: &K) -> Option<V> {
+        let mut node: Arc<BNode<K, V>> = tx.read(&self.root);
+        loop {
+            match &*node {
+                BNode::Leaf(entries) => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone());
+                }
+                BNode::Internal { seps, children } => {
+                    let idx = seps.partition_point(|s| s <= key);
+                    let child = children[idx].clone();
+                    node = tx.read(&child);
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, tx: &mut Tx, key: &K) -> bool {
+        self.get(tx, key).is_some()
+    }
+
+    /// Transactional insert; returns the previous value, if any.
+    pub fn insert(&self, tx: &mut Tx, key: K, value: V) -> Option<V> {
+        match Self::insert_rec(tx, &self.root, key, value) {
+            Ins::Done(old) => old,
+            Ins::Split { sep, right, old } => {
+                // Root split: move the (already updated) left half into a
+                // fresh box and grow the tree by one level in place.
+                let left_val = (*tx.read(&self.root)).clone();
+                let left = VBox::new(left_val);
+                tx.write(
+                    &self.root,
+                    BNode::Internal { seps: vec![sep], children: vec![left, right] },
+                );
+                old
+            }
+        }
+    }
+
+    fn insert_rec(tx: &mut Tx, nbox: &VBox<BNode<K, V>>, key: K, value: V) -> Ins<K, V> {
+        let node = tx.read(nbox);
+        match &*node {
+            BNode::Leaf(entries) => {
+                let mut entries = entries.clone();
+                let old = match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        None
+                    }
+                };
+                if entries.len() > MAX_KEYS {
+                    let right_half = entries.split_off(entries.len() / 2);
+                    let sep = right_half[0].0.clone();
+                    tx.write(nbox, BNode::Leaf(entries));
+                    let right = VBox::new(BNode::Leaf(right_half));
+                    Ins::Split { sep, right, old }
+                } else {
+                    tx.write(nbox, BNode::Leaf(entries));
+                    Ins::Done(old)
+                }
+            }
+            BNode::Internal { seps, children } => {
+                let idx = seps.partition_point(|s| *s <= key);
+                let child = children[idx].clone();
+                match Self::insert_rec(tx, &child, key, value) {
+                    Ins::Done(old) => Ins::Done(old),
+                    Ins::Split { sep, right, old } => {
+                        let mut seps = seps.clone();
+                        let mut children = children.clone();
+                        seps.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if seps.len() > MAX_KEYS {
+                            let mid = seps.len() / 2;
+                            let sep_up = seps[mid].clone();
+                            let right_seps = seps.split_off(mid + 1);
+                            seps.pop(); // sep_up moves to the parent
+                            let right_children = children.split_off(mid + 1);
+                            tx.write(nbox, BNode::Internal { seps, children });
+                            let right = VBox::new(BNode::Internal {
+                                seps: right_seps,
+                                children: right_children,
+                            });
+                            Ins::Split { sep: sep_up, right, old }
+                        } else {
+                            tx.write(nbox, BNode::Internal { seps, children });
+                            Ins::Done(old)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transactional removal; returns the removed value, if any.
+    pub fn remove(&self, tx: &mut Tx, key: &K) -> Option<V> {
+        let (removed, _) = Self::remove_rec(tx, &self.root, key);
+        // Root shrink: an internal root left with a single child is
+        // replaced by that child's content.
+        if removed.is_some() {
+            let root = tx.read(&self.root);
+            if let BNode::Internal { seps, children } = &*root {
+                if seps.is_empty() {
+                    debug_assert_eq!(children.len(), 1);
+                    let only = children[0].clone();
+                    let content = (*tx.read(&only)).clone();
+                    tx.write(&self.root, content);
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(tx: &mut Tx, nbox: &VBox<BNode<K, V>>, key: &K) -> (Option<V>, bool) {
+        let node = tx.read(nbox);
+        match &*node {
+            BNode::Leaf(entries) => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => {
+                    let mut entries = entries.clone();
+                    let (_, v) = entries.remove(i);
+                    let underflow = entries.len() < MIN_KEYS;
+                    tx.write(nbox, BNode::Leaf(entries));
+                    (Some(v), underflow)
+                }
+                Err(_) => (None, false),
+            },
+            BNode::Internal { seps, children } => {
+                let idx = seps.partition_point(|s| s <= key);
+                let child = children[idx].clone();
+                let (removed, underflow) = Self::remove_rec(tx, &child, key);
+                if removed.is_none() || !underflow {
+                    return (removed, false);
+                }
+                let mut seps = seps.clone();
+                let mut children = children.clone();
+                Self::fix_underflow(tx, &mut seps, &mut children, idx);
+                let parent_underflow = seps.len() < MIN_KEYS;
+                tx.write(nbox, BNode::Internal { seps, children });
+                (removed, parent_underflow)
+            }
+        }
+    }
+
+    /// Restores the minimum-occupancy invariant of `children[idx]` by
+    /// borrowing from or merging with a sibling.
+    fn fix_underflow(
+        tx: &mut Tx,
+        seps: &mut Vec<K>,
+        children: &mut Vec<VBox<BNode<K, V>>>,
+        idx: usize,
+    ) {
+        // Prefer borrowing from the richer adjacent sibling.
+        let left_len = if idx > 0 { Self::node_len(tx, &children[idx - 1]) } else { 0 };
+        let right_len =
+            if idx + 1 < children.len() { Self::node_len(tx, &children[idx + 1]) } else { 0 };
+
+        if left_len > MIN_KEYS && left_len >= right_len {
+            Self::borrow_from_left(tx, seps, children, idx);
+        } else if right_len > MIN_KEYS {
+            Self::borrow_from_right(tx, seps, children, idx);
+        } else if idx > 0 {
+            Self::merge(tx, seps, children, idx - 1);
+        } else {
+            Self::merge(tx, seps, children, idx);
+        }
+    }
+
+    fn node_len(tx: &mut Tx, nbox: &VBox<BNode<K, V>>) -> usize {
+        match &*tx.read(nbox) {
+            BNode::Leaf(e) => e.len(),
+            BNode::Internal { seps, .. } => seps.len(),
+        }
+    }
+
+    fn borrow_from_left(
+        tx: &mut Tx,
+        seps: &mut [K],
+        children: &mut [VBox<BNode<K, V>>],
+        idx: usize,
+    ) {
+        let left = children[idx - 1].clone();
+        let cur = children[idx].clone();
+        let mut lnode = (*tx.read(&left)).clone();
+        let mut cnode = (*tx.read(&cur)).clone();
+        match (&mut lnode, &mut cnode) {
+            (BNode::Leaf(le), BNode::Leaf(ce)) => {
+                let moved = le.pop().expect("left sibling above minimum");
+                seps[idx - 1] = moved.0.clone();
+                ce.insert(0, moved);
+            }
+            (
+                BNode::Internal { seps: ls, children: lc },
+                BNode::Internal { seps: cs, children: cc },
+            ) => {
+                // Rotate through the parent separator.
+                let moved_child = lc.pop().expect("left sibling above minimum");
+                let moved_sep = ls.pop().expect("left sibling above minimum");
+                let down = std::mem::replace(&mut seps[idx - 1], moved_sep);
+                cs.insert(0, down);
+                cc.insert(0, moved_child);
+            }
+            _ => unreachable!("siblings are at the same height"),
+        }
+        tx.write(&left, lnode);
+        tx.write(&cur, cnode);
+    }
+
+    fn borrow_from_right(
+        tx: &mut Tx,
+        seps: &mut [K],
+        children: &mut [VBox<BNode<K, V>>],
+        idx: usize,
+    ) {
+        let cur = children[idx].clone();
+        let right = children[idx + 1].clone();
+        let mut cnode = (*tx.read(&cur)).clone();
+        let mut rnode = (*tx.read(&right)).clone();
+        match (&mut cnode, &mut rnode) {
+            (BNode::Leaf(ce), BNode::Leaf(re)) => {
+                let moved = re.remove(0);
+                ce.push(moved);
+                seps[idx] = re[0].0.clone();
+            }
+            (
+                BNode::Internal { seps: cs, children: cc },
+                BNode::Internal { seps: rs, children: rc },
+            ) => {
+                let moved_child = rc.remove(0);
+                let moved_sep = rs.remove(0);
+                let down = std::mem::replace(&mut seps[idx], moved_sep);
+                cs.push(down);
+                cc.push(moved_child);
+            }
+            _ => unreachable!("siblings are at the same height"),
+        }
+        tx.write(&cur, cnode);
+        tx.write(&right, rnode);
+    }
+
+    /// Merges `children[i + 1]` into `children[i]`.
+    fn merge(tx: &mut Tx, seps: &mut Vec<K>, children: &mut Vec<VBox<BNode<K, V>>>, i: usize) {
+        let left = children[i].clone();
+        let right = children[i + 1].clone();
+        let mut lnode = (*tx.read(&left)).clone();
+        let rnode = (*tx.read(&right)).clone();
+        let sep = seps.remove(i);
+        children.remove(i + 1);
+        match (&mut lnode, rnode) {
+            (BNode::Leaf(le), BNode::Leaf(re)) => {
+                le.extend(re);
+            }
+            (BNode::Internal { seps: ls, children: lc }, BNode::Internal { seps: rs, children: rc }) => {
+                ls.push(sep);
+                ls.extend(rs);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same height"),
+        }
+        tx.write(&left, lnode);
+    }
+
+    /// Collects all entries with `lo <= key < hi`, in order.
+    pub fn range(&self, tx: &mut Tx, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if lo < hi {
+            self.range_into(tx, &self.root.clone(), lo, hi, &mut out);
+        }
+        out
+    }
+
+    fn range_into(
+        &self,
+        tx: &mut Tx,
+        nbox: &VBox<BNode<K, V>>,
+        lo: &K,
+        hi: &K,
+        out: &mut Vec<(K, V)>,
+    ) {
+        let node = tx.read(nbox);
+        match &*node {
+            BNode::Leaf(entries) => {
+                let start = entries.partition_point(|(k, _)| k < lo);
+                for (k, v) in &entries[start..] {
+                    if k >= hi {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+            BNode::Internal { seps, children } => {
+                let first = seps.partition_point(|s| s <= lo);
+                let last = seps.partition_point(|s| s < hi);
+                for child in &children[first..=last] {
+                    let child = child.clone();
+                    self.range_into(tx, &child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// In-order visit of every entry.
+    pub fn for_each(&self, tx: &mut Tx, f: &mut impl FnMut(&K, &V)) {
+        Self::for_each_rec(tx, &self.root.clone(), f);
+    }
+
+    fn for_each_rec(tx: &mut Tx, nbox: &VBox<BNode<K, V>>, f: &mut impl FnMut(&K, &V)) {
+        let node = tx.read(nbox);
+        match &*node {
+            BNode::Leaf(entries) => {
+                for (k, v) in entries {
+                    f(k, v);
+                }
+            }
+            BNode::Internal { children, .. } => {
+                for child in children.clone() {
+                    Self::for_each_rec(tx, &child, f);
+                }
+            }
+        }
+    }
+
+    /// Number of entries (full scan).
+    pub fn count(&self, tx: &mut Tx) -> usize {
+        let mut n = 0;
+        self.for_each(tx, &mut |_, _| n += 1);
+        n
+    }
+
+    /// Checks all structure invariants; returns the entry count.
+    /// Test/diagnostic helper (full scan).
+    pub fn debug_validate(&self, tx: &mut Tx) -> usize {
+        fn walk<K: TKey, V: TVal>(
+            tx: &mut Tx,
+            nbox: &VBox<BNode<K, V>>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+            is_root: bool,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> usize {
+            let node = tx.read(nbox);
+            match &*node {
+                BNode::Leaf(entries) => {
+                    assert!(is_root || entries.len() >= MIN_KEYS, "leaf underflow");
+                    assert!(entries.len() <= MAX_KEYS + 1, "leaf overflow");
+                    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted leaf");
+                    if let Some(lo) = lo {
+                        assert!(entries.iter().all(|(k, _)| k >= lo), "key below bound");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(entries.iter().all(|(k, _)| k < hi), "key above bound");
+                    }
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "unbalanced tree"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    entries.len()
+                }
+                BNode::Internal { seps, children } => {
+                    assert!(is_root || seps.len() >= MIN_KEYS, "internal underflow");
+                    assert_eq!(children.len(), seps.len() + 1, "child/sep mismatch");
+                    assert!(seps.windows(2).all(|w| w[0] < w[1]), "unsorted seps");
+                    let children = children.clone();
+                    let seps = seps.clone();
+                    let mut total = 0;
+                    for (i, child) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                        let chi = if i == seps.len() { hi } else { Some(&seps[i]) };
+                        total += walk(tx, child, clo, chi, false, depth + 1, leaf_depth);
+                    }
+                    total
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(tx, &self.root.clone(), None, None, true, 0, &mut leaf_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf::Rtf;
+    use std::collections::BTreeMap;
+
+    fn tm() -> Rtf {
+        Rtf::builder().workers(1).build()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let tm = tm();
+        let m: TBTreeMap<u64, String> = TBTreeMap::new();
+        tm.atomic(|tx| {
+            assert_eq!(m.insert(tx, 5, "five".into()), None);
+            assert_eq!(m.insert(tx, 5, "FIVE".into()), Some("five".into()));
+            assert_eq!(m.get(tx, &5), Some("FIVE".into()));
+            assert_eq!(m.get(tx, &6), None);
+            assert_eq!(m.remove(tx, &5), Some("FIVE".into()));
+            assert_eq!(m.remove(tx, &5), None);
+        });
+    }
+
+    #[test]
+    fn grows_through_many_splits() {
+        let tm = tm();
+        let m: TBTreeMap<u64, u64> = TBTreeMap::new();
+        tm.atomic(|tx| {
+            for i in 0..2000u64 {
+                m.insert(tx, i * 7 % 2000, i);
+            }
+            assert_eq!(m.debug_validate(tx), 2000);
+            for i in 0..2000u64 {
+                assert!(m.contains_key(tx, &i), "missing {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn shrinks_through_merges_and_borrows() {
+        let tm = tm();
+        let m: TBTreeMap<u64, u64> = TBTreeMap::new();
+        tm.atomic(|tx| {
+            for i in 0..1000u64 {
+                m.insert(tx, i, i);
+            }
+            // Remove in a mixed pattern to exercise left/right borrows and
+            // merges at several depths.
+            for i in (0..1000u64).step_by(2) {
+                assert_eq!(m.remove(tx, &i), Some(i));
+                if i % 64 == 0 {
+                    m.debug_validate(tx);
+                }
+            }
+            for i in (1..1000u64).rev().filter(|i| i % 2 == 1) {
+                assert_eq!(m.remove(tx, &i), Some(i));
+                if i % 63 == 0 {
+                    m.debug_validate(tx);
+                }
+            }
+            assert_eq!(m.count(tx), 0);
+            m.debug_validate(tx);
+        });
+    }
+
+    #[test]
+    fn range_scan_matches_model() {
+        let tm = tm();
+        let m: TBTreeMap<u64, u64> = TBTreeMap::new();
+        tm.atomic(|tx| {
+            let mut model = BTreeMap::new();
+            for i in 0..500u64 {
+                let k = (i * 37) % 1000;
+                m.insert(tx, k, i);
+                model.insert(k, i);
+            }
+            for (lo, hi) in [(0u64, 1000u64), (100, 200), (999, 1000), (500, 500), (0, 1)] {
+                let got = m.range(tx, &lo, &hi);
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "range {lo}..{hi}");
+            }
+        });
+    }
+
+    #[test]
+    fn for_each_is_in_order() {
+        let tm = tm();
+        let m: TBTreeMap<i64, ()> = TBTreeMap::new();
+        tm.atomic(|tx| {
+            for i in [5i64, -3, 99, 0, 42, -77] {
+                m.insert(tx, i, ());
+            }
+            let mut seen = Vec::new();
+            m.for_each(tx, &mut |k, _| seen.push(*k));
+            assert_eq!(seen, vec![-77, -3, 0, 5, 42, 99]);
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_disjoint_ranges() {
+        let tm = std::sync::Arc::new(Rtf::builder().workers(2).build());
+        let m: TBTreeMap<u64, u64> = TBTreeMap::new();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tm = std::sync::Arc::clone(&tm);
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let k = t * 1000 + i;
+                        tm.atomic(|tx| {
+                            m.insert(tx, k, k);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        tm.atomic(|tx| {
+            assert_eq!(m.debug_validate(tx), 400);
+        });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_std_btreemap(ops in proptest::collection::vec(
+            (0u8..3, 0u16..256, 0u64..1000), 1..400)) {
+            let tm = Rtf::builder().workers(0).build();
+            let m: TBTreeMap<u16, u64> = TBTreeMap::new();
+            // Replay deterministically inside one transaction; the model
+            // must match at every step. The model lives inside the closure
+            // so the body stays `Fn` (re-executable).
+            tm.atomic(|tx| {
+                let mut model: BTreeMap<u16, u64> = BTreeMap::new();
+                for (op, k, v) in &ops {
+                    match op {
+                        0 => {
+                            let got = m.insert(tx, *k, *v);
+                            let want = model.insert(*k, *v);
+                            proptest::prop_assert_eq!(got, want);
+                        }
+                        1 => {
+                            let got = m.remove(tx, k);
+                            let want = model.remove(k);
+                            proptest::prop_assert_eq!(got, want);
+                        }
+                        _ => {
+                            let got = m.get(tx, k);
+                            let want = model.get(k).copied();
+                            proptest::prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(m.debug_validate(tx), model.len());
+                Ok(())
+            })?;
+        }
+    }
+}

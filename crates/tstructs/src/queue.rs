@@ -1,0 +1,155 @@
+//! A transactional FIFO queue.
+//!
+//! Two boxes — a front stack and a back stack (the classic two-list queue)
+//! — so steady-state `push` and `pop` touch *different* boxes: producers
+//! and consumers only conflict when the front stack runs empty and a pop
+//! must reverse the back stack.
+
+use rtf::{Tx, VBox};
+
+use crate::btree::TVal;
+
+/// A transactional FIFO queue (two-list representation).
+pub struct TQueue<T: TVal> {
+    front: VBox<Vec<T>>, // popped from the end
+    back: VBox<Vec<T>>,  // pushed at the end
+}
+
+impl<T: TVal> Clone for TQueue<T> {
+    fn clone(&self) -> Self {
+        TQueue { front: self.front.clone(), back: self.back.clone() }
+    }
+}
+
+impl<T: TVal> Default for TQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: TVal> TQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        TQueue { front: VBox::new(Vec::new()), back: VBox::new(Vec::new()) }
+    }
+
+    /// Enqueues at the back.
+    pub fn push(&self, tx: &mut Tx, value: T) {
+        let mut b = (*tx.read(&self.back)).clone();
+        b.push(value);
+        tx.write(&self.back, b);
+    }
+
+    /// Dequeues from the front; `None` when empty.
+    pub fn pop(&self, tx: &mut Tx) -> Option<T> {
+        let f = tx.read(&self.front);
+        if let Some(last) = f.last() {
+            let out = last.clone();
+            let mut f = (*f).clone();
+            f.pop();
+            tx.write(&self.front, f);
+            return Some(out);
+        }
+        // Front empty: reverse the back stack into the front.
+        let b = tx.read(&self.back);
+        if b.is_empty() {
+            return None;
+        }
+        let mut moved: Vec<T> = b.iter().cloned().collect();
+        moved.reverse();
+        let out = moved.pop().expect("non-empty");
+        tx.write(&self.back, Vec::new());
+        tx.write(&self.front, moved);
+        Some(out)
+    }
+
+    /// Next element without removing it.
+    pub fn peek(&self, tx: &mut Tx) -> Option<T> {
+        let f = tx.read(&self.front);
+        if let Some(last) = f.last() {
+            return Some(last.clone());
+        }
+        tx.read(&self.back).first().cloned()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self, tx: &mut Tx) -> usize {
+        tx.read(&self.front).len() + tx.read(&self.back).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, tx: &mut Tx) -> bool {
+        self.len(tx) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf::Rtf;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let tm = Rtf::builder().workers(1).build();
+        let q: TQueue<u32> = TQueue::new();
+        tm.atomic(|tx| {
+            assert!(q.is_empty(tx));
+            assert_eq!(q.pop(tx), None);
+            for i in 0..10 {
+                q.push(tx, i);
+            }
+            assert_eq!(q.len(tx), 10);
+            assert_eq!(q.peek(tx), Some(0));
+            for i in 0..10 {
+                assert_eq!(q.pop(tx), Some(i));
+            }
+            assert_eq!(q.pop(tx), None);
+        });
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_transactions() {
+        let tm = Rtf::builder().workers(1).build();
+        let q: TQueue<u32> = TQueue::new();
+        tm.atomic(|tx| {
+            q.push(tx, 1);
+            q.push(tx, 2);
+        });
+        assert_eq!(tm.atomic(|tx| q.pop(tx)), Some(1));
+        tm.atomic(|tx| q.push(tx, 3));
+        assert_eq!(tm.atomic(|tx| q.pop(tx)), Some(2));
+        assert_eq!(tm.atomic(|tx| q.pop(tx)), Some(3));
+        assert_eq!(tm.atomic(|tx| q.pop(tx)), None);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let tm = Arc::new(Rtf::builder().workers(2).build());
+        let q: TQueue<u64> = TQueue::new();
+        let produced = 4 * 50u64;
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let (tm, q) = (Arc::clone(&tm), q.clone());
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        tm.atomic(|tx| q.push(tx, p * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = tm.atomic(|tx| q.pop(tx)) {
+            got.push(v);
+        }
+        assert_eq!(got.len() as u64, produced);
+        // Per-producer FIFO order is preserved.
+        for p in 0..4u64 {
+            let mine: Vec<u64> = got.iter().copied().filter(|v| v / 1000 == p).collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]), "producer {p} out of order");
+        }
+    }
+}

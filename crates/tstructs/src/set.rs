@@ -1,0 +1,86 @@
+//! A transactional ordered set (thin wrapper over [`crate::TBTreeMap`]).
+
+use rtf::Tx;
+
+use crate::btree::{TBTreeMap, TKey};
+
+/// A transactional ordered set.
+pub struct TSet<K: TKey> {
+    map: TBTreeMap<K, ()>,
+}
+
+impl<K: TKey> Clone for TSet<K> {
+    fn clone(&self) -> Self {
+        TSet { map: self.map.clone() }
+    }
+}
+
+impl<K: TKey> Default for TSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: TKey> TSet<K> {
+    /// Empty set.
+    pub fn new() -> Self {
+        TSet { map: TBTreeMap::new() }
+    }
+
+    /// Inserts `key`; returns whether it was newly added.
+    pub fn insert(&self, tx: &mut Tx, key: K) -> bool {
+        self.map.insert(tx, key, ()).is_none()
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&self, tx: &mut Tx, key: &K) -> bool {
+        self.map.remove(tx, key).is_some()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tx: &mut Tx, key: &K) -> bool {
+        self.map.contains_key(tx, key)
+    }
+
+    /// Members in `[lo, hi)`, in order.
+    pub fn range(&self, tx: &mut Tx, lo: &K, hi: &K) -> Vec<K> {
+        self.map.range(tx, lo, hi).into_iter().map(|(k, ())| k).collect()
+    }
+
+    /// Visits every member in order.
+    pub fn for_each(&self, tx: &mut Tx, f: &mut impl FnMut(&K)) {
+        self.map.for_each(tx, &mut |k, ()| f(k));
+    }
+
+    /// Number of members (full scan).
+    pub fn count(&self, tx: &mut Tx) -> usize {
+        self.map.count(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf::Rtf;
+
+    #[test]
+    fn basic_set_ops() {
+        let tm = Rtf::builder().workers(1).build();
+        let s: TSet<u32> = TSet::new();
+        tm.atomic(|tx| {
+            assert!(s.insert(tx, 5));
+            assert!(!s.insert(tx, 5));
+            assert!(s.contains(tx, &5));
+            assert!(!s.contains(tx, &6));
+            assert!(s.insert(tx, 9));
+            assert!(s.insert(tx, 1));
+            assert_eq!(s.range(tx, &0, &10), vec![1, 5, 9]);
+            assert_eq!(s.count(tx), 3);
+            assert!(s.remove(tx, &5));
+            assert!(!s.remove(tx, &5));
+            let mut seen = Vec::new();
+            s.for_each(tx, &mut |k| seen.push(*k));
+            assert_eq!(seen, vec![1, 9]);
+        });
+    }
+}

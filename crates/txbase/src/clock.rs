@@ -1,0 +1,212 @@
+//! The global version clock and the active-transaction registry.
+//!
+//! Every top-level transaction in JTF receives, at begin time, the version
+//! number of the latest committed read-write transaction; this establishes
+//! the data snapshot the transaction observes (paper §III-A). The clock is
+//! published *after* a commit's write-back completes, so readers that see
+//! version `v` are guaranteed to find every version `<= v` in the permanent
+//! lists.
+//!
+//! The [`ActiveTxnRegistry`] tracks the start version of every live
+//! transaction in padded per-slot atomics; its minimum is the watermark under
+//! which old permanent versions may be garbage collected (JVSTM-style version
+//! GC).
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::Version;
+
+/// Monotonic clock of committed read-write top-level transactions.
+#[derive(Debug)]
+pub struct GlobalClock {
+    now: CachePadded<AtomicU64>,
+}
+
+impl GlobalClock {
+    /// Creates a clock at version `0` (the initial snapshot).
+    pub fn new() -> Self {
+        GlobalClock { now: CachePadded::new(AtomicU64::new(0)) }
+    }
+
+    /// Current snapshot version: the latest fully written-back commit.
+    #[inline]
+    pub fn now(&self) -> Version {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Publishes `v` as completed. Called once per commit record after its
+    /// write-back finished; helping threads may race, so the clock only moves
+    /// forward (monotone max).
+    #[inline]
+    pub fn publish(&self, v: Version) {
+        let mut cur = self.now.load(Ordering::Relaxed);
+        while cur < v {
+            match self.now.compare_exchange_weak(cur, v, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Default for GlobalClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const REGISTRY_SLOTS: usize = 128;
+const FREE: u64 = u64::MAX;
+
+/// Registry of the start versions of in-flight transactions.
+///
+/// A transaction registers its start version when it begins and deregisters
+/// on commit/abort. [`ActiveTxnRegistry::min_active`] returns the smallest
+/// registered version (or the supplied `fallback` when none is registered),
+/// which bounds the oldest snapshot any live transaction can still read:
+/// permanent versions strictly older than the watermark (other than the most
+/// recent one at or below it) are unreachable and can be trimmed.
+#[derive(Debug)]
+pub struct ActiveTxnRegistry {
+    slots: Box<[CachePadded<AtomicU64>]>,
+    next: CachePadded<AtomicU64>,
+}
+
+/// RAII registration handle; deregisters on drop.
+#[derive(Debug)]
+pub struct Registration<'a> {
+    registry: &'a ActiveTxnRegistry,
+    slot: usize,
+}
+
+impl ActiveTxnRegistry {
+    /// Creates a registry with a fixed number of padded slots.
+    pub fn new() -> Self {
+        let slots = (0..REGISTRY_SLOTS)
+            .map(|_| CachePadded::new(AtomicU64::new(FREE)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ActiveTxnRegistry { slots, next: CachePadded::new(AtomicU64::new(0)) }
+    }
+
+    /// Registers a transaction that started at `version`; the returned guard
+    /// deregisters it when dropped.
+    pub fn register(&self, version: Version) -> Registration<'_> {
+        debug_assert_ne!(version, FREE);
+        // Round-robin claim of a free slot; with more concurrent transactions
+        // than slots we spin — in practice thread counts are far below 128.
+        loop {
+            let start = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+            for off in 0..self.slots.len() {
+                let idx = (start + off) % self.slots.len();
+                if self.slots[idx]
+                    .compare_exchange(FREE, version, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return Registration { registry: self, slot: idx };
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Minimum start version among live transactions, or `fallback` when no
+    /// transaction is registered.
+    pub fn min_active(&self, fallback: Version) -> Version {
+        let mut min = FREE;
+        for s in self.slots.iter() {
+            let v = s.load(Ordering::Acquire);
+            if v < min {
+                min = v;
+            }
+        }
+        if min == FREE {
+            fallback
+        } else {
+            min
+        }
+    }
+
+    /// Number of currently registered transactions (for diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.load(Ordering::Relaxed) != FREE).count()
+    }
+}
+
+impl Default for ActiveTxnRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Registration<'_> {
+    fn drop(&mut self) {
+        self.registry.slots[self.slot].store(FREE, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_is_monotone_under_racing_publishes() {
+        let clock = Arc::new(GlobalClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        clock.publish(i * 4 + t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now(), 999 * 4 + 3);
+        clock.publish(5); // stale publish must not move the clock back
+        assert_eq!(clock.now(), 999 * 4 + 3);
+    }
+
+    #[test]
+    fn registry_tracks_minimum() {
+        let reg = ActiveTxnRegistry::new();
+        assert_eq!(reg.min_active(42), 42);
+        let a = reg.register(10);
+        let b = reg.register(7);
+        let c = reg.register(30);
+        assert_eq!(reg.min_active(0), 7);
+        assert_eq!(reg.active_count(), 3);
+        drop(b);
+        assert_eq!(reg.min_active(0), 10);
+        drop(a);
+        drop(c);
+        assert_eq!(reg.min_active(99), 99);
+        assert_eq!(reg.active_count(), 0);
+    }
+
+    #[test]
+    fn registry_handles_slot_churn() {
+        let reg = Arc::new(ActiveTxnRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let r = reg.register(t * 1000 + i + 1);
+                        assert!(reg.min_active(u64::MAX - 1) <= t * 1000 + i + 1);
+                        drop(r);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.active_count(), 0);
+    }
+}

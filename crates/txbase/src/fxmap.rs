@@ -1,0 +1,114 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! Read- and write-sets are keyed by box identities (pointer-derived `usize`
+//! or `u64` ids) on the transaction hot path. The standard library's SipHash
+//! is needlessly slow for such keys (see the Rust Performance Book, Hashing);
+//! since `rustc-hash` is not among this project's approved dependencies we
+//! implement the same multiply-rotate construction from scratch.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher in the style of rustc's FxHasher.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&500));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn hash_distributes_sequential_keys() {
+        // Sequential keys must not collapse to a few buckets: check that the
+        // low byte of hashes of 0..256 takes many distinct values.
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut seen = FxHashSet::default();
+        for i in 0..256u64 {
+            seen.insert(bh.hash_one(i) & 0xff);
+        }
+        assert!(seen.len() > 128, "only {} distinct low bytes", seen.len());
+    }
+
+    #[test]
+    fn byte_writes_match_padding_semantics() {
+        use std::hash::Hash;
+        let mut h1 = FxHasher::default();
+        b"hello world, this is 21".hash(&mut h1);
+        let mut h2 = FxHasher::default();
+        b"hello world, this is 21".hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let mut h3 = FxHasher::default();
+        b"hello world, this is 22".hash(&mut h3);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

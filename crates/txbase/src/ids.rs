@@ -1,0 +1,130 @@
+//! Identifiers used across the transactional-memory stack.
+//!
+//! All identifiers are plain `u64` newtypes allocated from process-wide
+//! monotonic counters. They are cheap to copy, hash and store inside atomic
+//! fields (ownership records store a raw [`NodeId`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot / commit version number drawn from the global version clock.
+///
+/// Version `0` is the initial snapshot: every box's initial value commits at
+/// version `0` and every transaction started before any commit reads it.
+pub type Version = u64;
+
+/// Identifier of one *node* of a transaction tree: the top-level (root)
+/// transaction, a transactional future, or a continuation.
+///
+/// Node ids are unique across the whole process and across re-executions:
+/// every execution *attempt* of a sub-transaction gets a fresh node id, which
+/// lets visibility checks distinguish writes of an aborted previous attempt
+/// from writes of the current one (paper §IV-B, read rule (1)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a transaction *tree* (one per top-level transaction
+/// attempt). Used to detect inter-tree conflicts on tentative lists.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeId(pub u64);
+
+/// Unique identity of one written value (permanent or tentative version).
+///
+/// Read-sets record the token of the version they observed; validation
+/// re-resolves the read and compares tokens, which is equivalent to the
+/// paper's "does the version coincide with the one in the read-set" check
+/// without comparing values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WriteToken(pub u64);
+
+impl NodeId {
+    /// Sentinel id that never names a real node.
+    pub const NONE: NodeId = NodeId(0);
+
+    /// Raw integer value (for storage in atomics).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl TreeId {
+    /// Sentinel id that never names a real tree.
+    pub const NONE: TreeId = TreeId(0);
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for WriteToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+static NODE_IDS: AtomicU64 = AtomicU64::new(1);
+static TREE_IDS: AtomicU64 = AtomicU64::new(1);
+static WRITE_TOKENS: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique [`NodeId`].
+#[inline]
+pub fn new_node_id() -> NodeId {
+    NodeId(NODE_IDS.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Allocates a fresh process-unique [`TreeId`].
+#[inline]
+pub fn new_tree_id() -> TreeId {
+    TreeId(TREE_IDS.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Allocates a fresh process-unique [`WriteToken`].
+#[inline]
+pub fn new_write_token() -> WriteToken {
+    WriteToken(WRITE_TOKENS.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let a = new_node_id();
+        let b = new_node_id();
+        assert!(b.0 > a.0);
+        let t1 = new_tree_id();
+        let t2 = new_tree_id();
+        assert_ne!(t1, t2);
+        let w1 = new_write_token();
+        let w2 = new_write_token();
+        assert!(w2 > w1);
+    }
+
+    #[test]
+    fn sentinels_never_collide_with_fresh_ids() {
+        assert_ne!(new_node_id(), NodeId::NONE);
+        assert_ne!(new_tree_id(), TreeId::NONE);
+    }
+
+    #[test]
+    fn ids_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..1000).map(|_| new_node_id().0).collect::<Vec<_>>()))
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

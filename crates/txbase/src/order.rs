@@ -1,0 +1,213 @@
+//! Serialization-order keys for the strong ordering semantics (paper §II).
+//!
+//! Under strong ordering a transactional future is serialized at its
+//! *submission* point: the parallel execution must be equivalent to a
+//! sequential run in which every future body executes synchronously where it
+//! was submitted. For the binary transaction trees of the paper this is the
+//! in-order traversal: a node's pre-submission writes, then its future
+//! subtree, then its continuation subtree.
+//!
+//! We encode positions as integer sequences ([`OrderKey`]) compared
+//! lexicographically with the natural prefix-first rule (Rust slice `Ord`),
+//! generalizing the paper's `follows()` function (§IV-A):
+//!
+//! * the root has the empty key;
+//! * the `i`-th fork (0-based) of a node with path `p` produces a future
+//!   child `p ++ [3i+1]` and a continuation child `p ++ [3i+2]`;
+//! * a *write* by the node itself after `i` completed forks carries the key
+//!   `p ++ [3i]`.
+//!
+//! The write-epoch component makes post-join writes of a parent serialize
+//! *after* its joined children without materializing extra continuation
+//! nodes: in the paper a parent halts forever at the submit point, so its
+//! trees are strictly binary; our `fork` API returns control to the parent
+//! after the subtree commits, which is semantically a fresh continuation.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A position in the serialization order of one transaction tree.
+///
+/// Keys are small (depth of the future-nesting, typically < 8) and compared
+/// lexicographically; clones are cheap relative to transactional bookkeeping.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct OrderKey(Vec<u32>);
+
+impl OrderKey {
+    /// Key of the tree root (top-level transaction).
+    pub fn root() -> Self {
+        OrderKey(Vec::new())
+    }
+
+    /// Path of the *future* child created by this node's `fork_idx`-th fork
+    /// (0-based).
+    pub fn child_future(&self, fork_idx: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(3 * fork_idx + 1);
+        OrderKey(v)
+    }
+
+    /// Path of the *continuation* child created by this node's
+    /// `fork_idx`-th fork (0-based).
+    pub fn child_cont(&self, fork_idx: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(3 * fork_idx + 2);
+        OrderKey(v)
+    }
+
+    /// Key of a write performed by this node itself after `forks_completed`
+    /// forks have joined (0 before the first fork).
+    pub fn write_key(&self, forks_completed: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(3 * forks_completed);
+        OrderKey(v)
+    }
+
+    /// Whether `self` is a strict prefix of `other`, i.e. the node at `self`
+    /// is a tree ancestor of the node at `other`.
+    pub fn is_ancestor_of(&self, other: &OrderKey) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Depth in the tree (root = 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw components (used by tests and diagnostics).
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    /// Lexicographic, prefix-first: exactly the strong-ordering serialization.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k")?;
+        f.debug_list().entries(self.0.iter()).finish()
+    }
+}
+
+/// The paper's `follows(T, T')`: does the write at key `a` serialize *after*
+/// the write at key `b`?
+#[inline]
+pub fn follows(a: &OrderKey, b: &OrderKey) -> bool {
+    a > b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rebuilds Fig 3a of the paper: T0 submits TF1 (which submits TF2 and
+    /// continues as TC3) and continues as TC4 (which submits TF5 and
+    /// continues as TC6). Checks the serialization order stated in §II:
+    /// TC4 after TF1, TF2, TC3; everything in T0's left subtree before the
+    /// right subtree.
+    #[test]
+    fn fig3a_serialization_order() {
+        let t0 = OrderKey::root();
+        let tf1 = t0.child_future(0);
+        let tc4 = t0.child_cont(0);
+        let tf2 = tf1.child_future(0);
+        let tc3 = tf1.child_cont(0);
+        let tf5 = tc4.child_future(0);
+        let tc6 = tc4.child_cont(0);
+
+        // Writes by each node before any nested fork:
+        let w = |k: &OrderKey| k.write_key(0);
+
+        let mut order = vec![
+            w(&tc6),
+            w(&tf5),
+            w(&tc4),
+            w(&tc3),
+            w(&tf2),
+            w(&tf1),
+            w(&t0),
+        ];
+        order.sort();
+        let expect = vec![w(&t0), w(&tf1), w(&tf2), w(&tc3), w(&tc4), w(&tf5), w(&tc6)];
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn parent_pre_fork_writes_precede_children() {
+        let x = OrderKey::root();
+        let pre = x.write_key(0);
+        let f = x.child_future(0).write_key(0);
+        let c = x.child_cont(0).write_key(0);
+        assert!(pre < f && f < c);
+        assert!(follows(&c, &f));
+        assert!(follows(&f, &pre));
+        assert!(!follows(&pre, &f));
+    }
+
+    #[test]
+    fn parent_post_join_writes_follow_children() {
+        let x = OrderKey::root();
+        let post = x.write_key(1); // after the first fork joined
+        let f = x.child_future(0).write_key(0);
+        let deep_c = x.child_cont(0).child_cont(0).child_cont(0).write_key(5);
+        assert!(follows(&post, &f));
+        assert!(follows(&post, &deep_c));
+    }
+
+    #[test]
+    fn sequential_forks_from_one_node_interleave_correctly() {
+        let x = OrderKey::root();
+        let w0 = x.write_key(0);
+        let f1 = x.child_future(0).write_key(0);
+        let c1 = x.child_cont(0).write_key(0);
+        let w1 = x.write_key(1);
+        let f2 = x.child_future(1).write_key(0);
+        let c2 = x.child_cont(1).write_key(0);
+        let w2 = x.write_key(2);
+        let mut v = vec![&w2, &c2, &f2, &w1, &c1, &f1, &w0];
+        v.sort();
+        assert_eq!(v, vec![&w0, &f1, &c1, &w1, &f2, &c2, &w2]);
+    }
+
+    #[test]
+    fn ancestor_detection() {
+        let x = OrderKey::root();
+        let f = x.child_future(0);
+        let fc = f.child_cont(0);
+        assert!(x.is_ancestor_of(&f));
+        assert!(x.is_ancestor_of(&fc));
+        assert!(f.is_ancestor_of(&fc));
+        assert!(!f.is_ancestor_of(&x));
+        assert!(!f.is_ancestor_of(&f.clone()));
+        assert!(!x.child_cont(0).is_ancestor_of(&fc));
+        assert_eq!(fc.depth(), 2);
+    }
+
+    #[test]
+    fn future_subtree_entirely_precedes_continuation_subtree() {
+        // "all the sub-transactions in the right sub-tree of T0 can only
+        //  commit after all the sub-transactions in T0's left sub-tree" (§II)
+        let t0 = OrderKey::root();
+        let left = t0.child_future(0);
+        let right = t0.child_cont(0);
+        // deepest rightmost element of the left subtree:
+        let left_max = left.child_cont(0).child_cont(3).write_key(9);
+        // leftmost element of the right subtree:
+        let right_min = right.child_future(0).child_future(0).write_key(0);
+        assert!(left_max < right_min);
+    }
+}

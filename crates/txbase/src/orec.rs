@@ -1,0 +1,149 @@
+//! Ownership records (`orec`s) for tentative versions (paper §III-A, Fig 3b).
+//!
+//! Every tentative version in a versioned box points to the ownership record
+//! of the (sub-)transaction execution that created it. The record holds:
+//!
+//! * `owner` — the node that currently owns the version. The creator sets it
+//!   to itself; on (sub-)commit ownership is *propagated* to the parent
+//!   (Alg 4 lines 7–13), making the write visible to the parent's later
+//!   children;
+//! * `tx_tree_ver` — the value of the new owner's `nClock` at propagation
+//!   time, compared against the reader's `ancVer` snapshot to decide
+//!   visibility (paper §III-A and Alg 2);
+//! * `status` — `Running` / `Committed` / `Aborted`, used by writers to
+//!   decide whether the list head can be re-owned (Alg 1 line 10) and by
+//!   readers to skip versions of aborted execution attempts.
+//!
+//! One orec exists per *execution attempt*: a re-executed sub-transaction
+//! allocates a fresh orec, so stale versions of the aborted attempt can never
+//! be confused with current ones.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::ids::NodeId;
+
+/// Lifecycle of the transaction execution owning a set of writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OrecStatus {
+    /// The owning execution is still running (or waiting to validate).
+    Running = 0,
+    /// The owning execution committed; its writes were propagated upward.
+    Committed = 1,
+    /// The owning execution aborted; its writes must be ignored.
+    Aborted = 2,
+}
+
+impl OrecStatus {
+    fn from_u8(v: u8) -> OrecStatus {
+        match v {
+            0 => OrecStatus::Running,
+            1 => OrecStatus::Committed,
+            2 => OrecStatus::Aborted,
+            _ => unreachable!("invalid orec status"),
+        }
+    }
+}
+
+/// Ownership record shared (via `Arc`) by all tentative versions created by
+/// one execution attempt of a (sub-)transaction.
+#[derive(Debug)]
+pub struct Orec {
+    owner: AtomicU64,
+    tx_tree_ver: AtomicU64,
+    status: AtomicU8,
+}
+
+impl Orec {
+    /// New record owned by `creator`, in the `Running` state.
+    pub fn new(creator: NodeId) -> Self {
+        Orec {
+            owner: AtomicU64::new(creator.raw()),
+            tx_tree_ver: AtomicU64::new(0),
+            status: AtomicU8::new(OrecStatus::Running as u8),
+        }
+    }
+
+    /// Current owner node.
+    #[inline]
+    pub fn owner(&self) -> NodeId {
+        NodeId(self.owner.load(Ordering::Acquire))
+    }
+
+    /// `nClock` value of the owner at the time ownership was propagated to
+    /// it; `0` while still owned by the creator.
+    #[inline]
+    pub fn tx_tree_ver(&self) -> u64 {
+        self.tx_tree_ver.load(Ordering::Acquire)
+    }
+
+    /// Current status.
+    #[inline]
+    pub fn status(&self) -> OrecStatus {
+        OrecStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Propagates ownership to `new_owner` whose `nClock` is now
+    /// `new_owner_nclock` (Alg 4 lines 8–9 / 11–12). Also (re-)marks the
+    /// record committed: propagation only happens on sub-commit.
+    pub fn propagate_to(&self, new_owner: NodeId, new_owner_nclock: u64) {
+        self.tx_tree_ver.store(new_owner_nclock, Ordering::Release);
+        self.owner.store(new_owner.raw(), Ordering::Release);
+        self.status.store(OrecStatus::Committed as u8, Ordering::Release);
+    }
+
+    /// Marks the execution committed without changing ownership (used for a
+    /// root adopting final ownership at top-level commit).
+    pub fn mark_committed(&self) {
+        self.status.store(OrecStatus::Committed as u8, Ordering::Release);
+    }
+
+    /// Marks the execution aborted (Alg 4 lines 22–25): its tentative
+    /// versions become invisible and reclaimable.
+    pub fn mark_aborted(&self) {
+        self.status.store(OrecStatus::Aborted as u8, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::new_node_id;
+
+    #[test]
+    fn lifecycle_running_committed() {
+        let me = new_node_id();
+        let parent = new_node_id();
+        let o = Orec::new(me);
+        assert_eq!(o.owner(), me);
+        assert_eq!(o.status(), OrecStatus::Running);
+        assert_eq!(o.tx_tree_ver(), 0);
+
+        o.propagate_to(parent, 1);
+        assert_eq!(o.owner(), parent);
+        assert_eq!(o.status(), OrecStatus::Committed);
+        assert_eq!(o.tx_tree_ver(), 1);
+
+        // Second propagation (grand-parent adoption) keeps working.
+        let gp = new_node_id();
+        o.propagate_to(gp, 2);
+        assert_eq!(o.owner(), gp);
+        assert_eq!(o.tx_tree_ver(), 2);
+    }
+
+    #[test]
+    fn abort_is_terminal_for_visibility() {
+        let o = Orec::new(new_node_id());
+        o.mark_aborted();
+        assert_eq!(o.status(), OrecStatus::Aborted);
+    }
+
+    #[test]
+    fn mark_committed_preserves_owner() {
+        let me = new_node_id();
+        let o = Orec::new(me);
+        o.mark_committed();
+        assert_eq!(o.owner(), me);
+        assert_eq!(o.status(), OrecStatus::Committed);
+    }
+}

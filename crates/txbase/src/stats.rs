@@ -1,0 +1,218 @@
+//! Cache-padded statistics counters for the TM runtime.
+//!
+//! The evaluation section of the paper reports throughput, execution time
+//! and *abort rate* (Figs 5 and 6); these counters are the raw material. The
+//! counters are grouped in one struct so a `Rtf` instance (and each
+//! benchmark run) can own an isolated set, and they are cache-padded so that
+//! hot-path increments from different threads do not false-share.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$sm:meta])* $name:ident),+ $(,)?) => {
+        /// Runtime event counters (one instance per TM).
+        #[derive(Debug, Default)]
+        pub struct TmStats {
+            $($(#[$sm])* pub(crate) $name: CachePadded<AtomicU64>,)+
+        }
+
+        /// A point-in-time copy of [`TmStats`].
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct StatSnapshot {
+            $($(#[$sm])* pub $name: u64,)+
+        }
+
+        impl TmStats {
+            $(
+                /// Increments the counter by 1.
+                #[inline]
+                pub fn $name(&self) {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                }
+            )+
+
+            /// Adds to an arbitrary counter by name — used by the timing
+            /// accumulators below (kept out of the macro to keep increment
+            /// call sites terse).
+            #[inline]
+            pub fn add_wait_turn_ns(&self, ns: u64) {
+                self.wait_turn_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+
+            /// Accumulates sub-transaction validation time.
+            #[inline]
+            pub fn add_validation_ns(&self, ns: u64) {
+                self.validation_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+
+            /// Copies all counters.
+            pub fn snapshot(&self) -> StatSnapshot {
+                StatSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl StatSnapshot {
+            /// Per-field difference `self - earlier` (saturating).
+            pub fn since(&self, earlier: &StatSnapshot) -> StatSnapshot {
+                StatSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Top-level read-write transactions committed.
+    top_commits,
+    /// Top-level read-only transactions committed (validation skipped).
+    top_ro_commits,
+    /// Top-level transactions aborted at commit-time validation.
+    top_validation_aborts,
+    /// Whole-tree aborts caused by an inter-tree tentative-list conflict
+    /// (the paper's `ownedByAnotherTree` path).
+    inter_tree_aborts,
+    /// Top-level re-executions that ran in sequential fallback mode.
+    fallback_runs,
+    /// Sub-transactions (futures + continuations) committed.
+    sub_commits,
+    /// Sub-transactions aborted at validation (missed a preceding sibling's
+    /// write) and re-executed — the partial-rollback path.
+    sub_validation_aborts,
+    /// Implicit continuations that failed validation and had to restart the
+    /// whole top-level transaction (FCC substitution, DESIGN.md D1).
+    continuation_restarts,
+    /// Transactional futures submitted.
+    futures_submitted,
+    /// Read-only sub-transactions that skipped validation (§IV-E).
+    ro_validation_skips,
+    /// Read-only sub-transactions that could not skip validation.
+    ro_validation_taken,
+    /// Commit records written back by a helping thread (not their owner).
+    helped_writebacks,
+    /// Permanent versions trimmed by the version GC.
+    versions_gced,
+    /// Nanoseconds spent blocked in `waitTurn` (strong ordering's wait
+    /// rules, Alg 3) — the direct cost of the ordering discipline.
+    wait_turn_ns,
+    /// Nanoseconds spent in sub-transaction read-set validation.
+    validation_ns,
+}
+
+impl StatSnapshot {
+    /// Total top-level commits (read-write + read-only).
+    pub fn commits(&self) -> u64 {
+        self.top_commits + self.top_ro_commits
+    }
+
+    /// Total top-level aborts (validation + inter-tree).
+    pub fn top_aborts(&self) -> u64 {
+        self.top_validation_aborts + self.inter_tree_aborts + self.continuation_restarts
+    }
+
+    /// Abort rate over top-level attempts: aborts / (commits + aborts).
+    pub fn top_abort_rate(&self) -> f64 {
+        let a = self.top_aborts() as f64;
+        let c = self.commits() as f64;
+        if a + c == 0.0 {
+            0.0
+        } else {
+            a / (a + c)
+        }
+    }
+
+    /// Mean number of executions per committed top-level transaction
+    /// (1.0 = never re-executed).
+    pub fn executions_per_commit(&self) -> f64 {
+        let c = self.commits() as f64;
+        if c == 0.0 {
+            0.0
+        } else {
+            (self.commits() + self.top_aborts()) as f64 / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_count() {
+        let s = TmStats::default();
+        s.top_commits();
+        s.top_commits();
+        s.sub_commits();
+        let snap = s.snapshot();
+        assert_eq!(snap.top_commits, 2);
+        assert_eq!(snap.sub_commits, 1);
+        assert_eq!(snap.top_aborts(), 0);
+        assert_eq!(snap.commits(), 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = TmStats::default();
+        s.top_commits();
+        let a = s.snapshot();
+        s.top_commits();
+        s.inter_tree_aborts();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.top_commits, 1);
+        assert_eq!(d.inter_tree_aborts, 1);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = TmStats::default();
+        for _ in 0..3 {
+            s.top_commits();
+        }
+        s.top_validation_aborts();
+        let snap = s.snapshot();
+        assert!((snap.top_abort_rate() - 0.25).abs() < 1e-9);
+        assert!((snap.executions_per_commit() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        let s = Arc::new(TmStats::default());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.sub_commits();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().sub_commits, 40_000);
+    }
+
+    #[test]
+    fn timing_accumulators_add() {
+        let s = TmStats::default();
+        s.add_wait_turn_ns(120);
+        s.add_wait_turn_ns(30);
+        s.add_validation_ns(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_turn_ns, 150);
+        assert_eq!(snap.validation_ns, 7);
+    }
+
+    #[test]
+    fn zero_rates_are_zero() {
+        let snap = TmStats::default().snapshot();
+        assert_eq!(snap.top_abort_rate(), 0.0);
+        assert_eq!(snap.executions_per_commit(), 0.0);
+    }
+}

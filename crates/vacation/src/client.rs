@@ -1,0 +1,302 @@
+//! The Vacation client: STAMP's operation mix, executable sequentially or
+//! parallelized with transactional futures (the paper's adaptation, §V).
+
+use rtf::{Rtf, Tx};
+
+use crate::manager::{Manager, ReservationKind, KINDS};
+
+/// One pre-generated client task.
+#[derive(Clone, Debug)]
+pub enum VacationOp {
+    /// STAMP `ACTION_MAKE_RESERVATION`: query a batch of resources, pick
+    /// the highest-priced available item of each kind, reserve those for
+    /// the customer. The query loop is the "long cycle" the paper
+    /// parallelizes.
+    MakeReservation {
+        /// Customer making the trip.
+        customer: u64,
+        /// Resources to inspect.
+        queries: Vec<(ReservationKind, u64)>,
+    },
+    /// STAMP `ACTION_DELETE_CUSTOMER`: query the customer's bill and delete
+    /// the customer, releasing held units.
+    DeleteCustomer {
+        /// Customer to delete.
+        customer: u64,
+    },
+    /// STAMP `ACTION_UPDATE_TABLES`: grow/shrink random relation rows.
+    UpdateTables {
+        /// `(kind, id, add?, price)` updates.
+        updates: Vec<(ReservationKind, u64, bool, u32)>,
+    },
+    /// The paper's long read-only analytics transaction: identify travels
+    /// (car+flight+room triples by id) whose combined price lies in a
+    /// range, scanning `[0, relations)`.
+    PriceRangeQuery {
+        /// Lowest total price of interest.
+        price_lo: u32,
+        /// Highest total price of interest.
+        price_hi: u32,
+        /// Scan space: ids `[0, relations)`.
+        relations: u64,
+    },
+}
+
+/// Per-kind best (highest-price, available) resource seen in a query batch.
+type Best = [Option<(u64, u32)>; 3];
+
+fn merge_best(a: &mut Best, b: &Best) {
+    for (slot, cand) in a.iter_mut().zip(b.iter()) {
+        match (&slot, cand) {
+            (_, None) => {}
+            (None, Some(c)) => *slot = Some(*c),
+            (Some((_, sp)), Some((cid, cp))) => {
+                if cp > sp {
+                    *slot = Some((*cid, *cp));
+                }
+            }
+        }
+    }
+}
+
+fn kind_index(kind: ReservationKind) -> usize {
+    KINDS.iter().position(|k| *k == kind).expect("kind in KINDS")
+}
+
+/// Executes the operation mix against a [`Manager`].
+pub struct Client {
+    tm: Rtf,
+    mgr: Manager,
+    /// Futures per long transaction (0 = sequential STAMP behaviour).
+    pub futures: usize,
+}
+
+impl Client {
+    /// A client issuing transactions through `tm` against `mgr`,
+    /// parallelizing long transactions across `futures` transactional
+    /// futures (plus the continuation).
+    pub fn new(tm: Rtf, mgr: Manager, futures: usize) -> Self {
+        Client { tm, mgr, futures }
+    }
+
+    /// Runs one operation as a top-level transaction; returns an opaque
+    /// result checksum (keeps work from being optimized away and lets tests
+    /// compare configurations).
+    pub fn execute(&self, op: &VacationOp) -> u64 {
+        match op {
+            VacationOp::MakeReservation { customer, queries } => {
+                self.make_reservation(*customer, queries)
+            }
+            VacationOp::DeleteCustomer { customer } => {
+                let customer = *customer;
+                let mgr = self.mgr.clone();
+                self.tm.atomic(move |tx| {
+                    let bill = mgr.query_bill(tx, customer);
+                    if bill.is_some() {
+                        mgr.delete_customer(tx, customer);
+                    }
+                    bill.unwrap_or(0) as u64
+                })
+            }
+            VacationOp::UpdateTables { updates } => {
+                let mgr = self.mgr.clone();
+                let updates = updates.clone();
+                self.tm.atomic(move |tx| {
+                    let mut done = 0u64;
+                    for (kind, id, add, price) in &updates {
+                        if *add {
+                            mgr.add_resource(tx, *kind, *id, 100, *price);
+                            done += 1;
+                        } else if mgr.remove_resource(tx, *kind, *id, 100) {
+                            done += 1;
+                        }
+                    }
+                    done
+                })
+            }
+            VacationOp::PriceRangeQuery { price_lo, price_hi, relations } => {
+                self.price_range(*price_lo, *price_hi, *relations)
+            }
+        }
+    }
+
+    /// The long reservation transaction: scan the query batch for the best
+    /// available resource of each kind, then reserve. With `futures > 0`
+    /// the scan is split across transactional futures; the reservation
+    /// writes run in the continuation after merging — the exact structure
+    /// the paper evaluates.
+    fn make_reservation(&self, customer: u64, queries: &[(ReservationKind, u64)]) -> u64 {
+        let mgr = self.mgr.clone();
+        let futures = self.futures;
+        let queries = queries.to_vec();
+        self.tm.atomic(move |tx| {
+            let best: Best = if futures == 0 || queries.len() < futures + 1 {
+                scan_batch(tx, &mgr, &queries)
+            } else {
+                let chunk = queries.len().div_ceil(futures + 1);
+                let mut handles = Vec::new();
+                // The continuation keeps the first chunk; each remaining
+                // chunk becomes a future.
+                for part in queries[chunk..].chunks(chunk) {
+                    let mgr = mgr.clone();
+                    let part = part.to_vec();
+                    handles.push(tx.submit(move |tx| scan_batch(tx, &mgr, &part)));
+                }
+                let mut best = scan_batch(tx, &mgr, &queries[..chunk]);
+                for h in &handles {
+                    let b = tx.eval(h);
+                    merge_best(&mut best, &b);
+                }
+                best
+            };
+            let mut checksum = 0u64;
+            mgr.add_customer(tx, customer);
+            for slot in best.iter().enumerate() {
+                if let (i, Some((id, price))) = slot {
+                    if mgr.reserve(tx, customer, KINDS[i], *id) {
+                        checksum += *price as u64;
+                    }
+                }
+            }
+            checksum
+        })
+    }
+
+    /// The long read-only analytics transaction: find travels (same-id
+    /// car+flight+room triples) whose total price lies in the range,
+    /// scanning id space in parallel.
+    fn price_range(&self, price_lo: u32, price_hi: u32, relations: u64) -> u64 {
+        let mgr = self.mgr.clone();
+        let futures = self.futures;
+        self.tm.atomic_ro(move |tx| {
+            let segments = (futures + 1) as u64;
+            let seg_len = relations.div_ceil(segments);
+            let mut handles = Vec::new();
+            for seg in 1..segments {
+                let mgr = mgr.clone();
+                let (lo, hi) = (seg * seg_len, ((seg + 1) * seg_len).min(relations));
+                handles.push(tx.submit(move |tx| travel_scan(tx, &mgr, lo, hi, price_lo, price_hi)));
+            }
+            let mut acc = travel_scan(tx, &mgr, 0, seg_len.min(relations), price_lo, price_hi);
+            for h in &handles {
+                acc += *tx.eval(h);
+            }
+            acc
+        })
+    }
+}
+
+/// Queries each `(kind, id)` and keeps the best available item per kind —
+/// STAMP's inner loop of `client_run`'s make-reservation action.
+fn scan_batch(tx: &mut Tx, mgr: &Manager, queries: &[(ReservationKind, u64)]) -> Best {
+    let mut best: Best = [None, None, None];
+    for (kind, id) in queries {
+        if let (Some(price), Some(free)) =
+            (mgr.query_price(tx, *kind, *id), mgr.query_free(tx, *kind, *id))
+        {
+            if free > 0 {
+                merge_best(&mut best, &{
+                    let mut b: Best = [None, None, None];
+                    b[kind_index(*kind)] = Some((*id, price));
+                    b
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Counts travels with total price in `[lo_price, hi_price]` over ids
+/// `[lo, hi)`, returning `count * 1_000_000 + sum` as a checksum. Both
+/// components are additive, so per-segment results from parallel futures
+/// sum to exactly the sequential scan's value (strong ordering-friendly
+/// aggregation).
+fn travel_scan(tx: &mut Tx, mgr: &Manager, lo: u64, hi: u64, price_lo: u32, price_hi: u32) -> u64 {
+    if lo >= hi {
+        return 0;
+    }
+    let cars = mgr.scan_price_range(tx, ReservationKind::Car, lo, hi, 0, u32::MAX);
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    for (id, car_price) in cars {
+        let fp = mgr.query_price(tx, ReservationKind::Flight, id);
+        let rp = mgr.query_price(tx, ReservationKind::Room, id);
+        if let (Some(fp), Some(rp)) = (fp, rp) {
+            let total = car_price + fp + rp;
+            if total >= price_lo && total <= price_hi {
+                count += 1;
+                sum += total as u64;
+            }
+        }
+    }
+    count * 1_000_000 + sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::KINDS;
+    use rtf::Rtf;
+
+    fn populated(tm: &Rtf) -> Manager {
+        let mgr = Manager::new();
+        tm.atomic(|tx| {
+            for id in 0..64u64 {
+                for kind in KINDS {
+                    mgr.add_resource(tx, kind, id, 10, 50 + ((id * 13) % 50) as u32 * 10);
+                }
+            }
+            for c in 0..32u64 {
+                mgr.add_customer(tx, c);
+            }
+        });
+        mgr
+    }
+
+    #[test]
+    fn sequential_and_parallel_reservation_agree() {
+        let tm0 = Rtf::builder().workers(2).build();
+        let tm1 = Rtf::builder().workers(2).build();
+        let m0 = populated(&tm0);
+        let m1 = populated(&tm1);
+        let queries: Vec<_> = (0..24u64).map(|i| (KINDS[(i % 3) as usize], i % 64)).collect();
+        let op = VacationOp::MakeReservation { customer: 5, queries };
+        let seq = Client::new(tm0, m0, 0).execute(&op);
+        let par = Client::new(tm1, m1, 3).execute(&op);
+        assert_eq!(seq, par, "strong ordering: parallel result equals sequential");
+    }
+
+    #[test]
+    fn mixed_ops_keep_consistency() {
+        let tm = Rtf::builder().workers(2).build();
+        let mgr = populated(&tm);
+        let client = Client::new(tm.clone(), mgr.clone(), 2);
+        for i in 0..30u64 {
+            let op = match i % 4 {
+                0 | 1 => VacationOp::MakeReservation {
+                    customer: i % 32,
+                    queries: (0..12).map(|j| (KINDS[(j % 3) as usize], (i * 7 + j) % 64)).collect(),
+                },
+                2 => VacationOp::UpdateTables {
+                    updates: vec![(KINDS[(i % 3) as usize], i % 64, i % 2 == 0, 90)],
+                },
+                _ => VacationOp::DeleteCustomer { customer: i % 32 },
+            };
+            client.execute(&op);
+        }
+        assert!(tm.atomic(|tx| mgr.check_consistency(tx)));
+    }
+
+    #[test]
+    fn price_range_query_is_read_only_and_stable() {
+        let tm = Rtf::builder().workers(2).build();
+        let mgr = populated(&tm);
+        let client = Client::new(tm.clone(), mgr, 3);
+        let op = VacationOp::PriceRangeQuery { price_lo: 0, price_hi: 5000, relations: 64 };
+        let a = client.execute(&op);
+        let b = client.execute(&op);
+        assert_eq!(a, b);
+        assert!(a >= 1000, "some travels should match");
+        assert!(tm.stats().top_ro_commits >= 2);
+    }
+}

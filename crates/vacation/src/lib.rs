@@ -1,0 +1,28 @@
+//! STAMP **Vacation** ported to `rtf` transactional futures.
+//!
+//! Vacation emulates a travel reservation system: a manager owns four
+//! tables — cars, flights, rooms (each a relation of `Reservation` rows)
+//! and customers — and clients issue three kinds of transactions
+//! (make-reservation, delete-customer, update-tables), mirroring the STAMP
+//! C implementation's operation mix. The paper (§V) adapts the benchmark by
+//! parallelizing, with transactional futures, the long transactions that
+//! "read a number of domain objects and compute various functions, e.g.,
+//! identify travels within a given price range".
+//!
+//! * [`Manager`] — the four tables and their invariant-preserving
+//!   operations;
+//! * [`client`] — the STAMP operation mix, with both sequential and
+//!   future-parallelized make-reservation/query paths;
+//! * [`workload`] — deterministic workload generation (pre-generated task
+//!   lists so every configuration replays identical work).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod client;
+pub mod manager;
+pub mod workload;
+
+pub use client::{Client, VacationOp};
+pub use manager::{Manager, ReservationKind};
+pub use workload::{VacationConfig, VacationWorkload};

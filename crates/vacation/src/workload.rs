@@ -1,0 +1,162 @@
+//! Deterministic Vacation workload generation (STAMP's CLI parameters).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtf::Rtf;
+
+use crate::client::VacationOp;
+use crate::manager::{Manager, KINDS};
+
+/// STAMP-style workload parameters (`vacation -n -q -u -r -t`).
+#[derive(Clone, Debug)]
+pub struct VacationConfig {
+    /// `-r`: rows per relation.
+    pub relations: u64,
+    /// `-n`: queries per reservation transaction (the long cycle's length).
+    pub queries_per_tx: usize,
+    /// `-q`: % of relations touched by queries (locality / contention dial;
+    /// lower = hotter).
+    pub query_range_pct: u32,
+    /// `-u`: % of operations that are make-reservation (the rest split
+    /// between delete-customer and update-tables as in STAMP).
+    pub user_pct: u32,
+    /// Additional share (%) of the paper's long read-only price-range
+    /// analytics transactions, taken out of the non-user share.
+    pub audit_pct: u32,
+    /// RNG seed (workloads replay identically across configurations).
+    pub seed: u64,
+}
+
+impl Default for VacationConfig {
+    fn default() -> Self {
+        // STAMP "vacation-low" flavour, scaled to fit CI-sized runs.
+        VacationConfig {
+            relations: 4096,
+            queries_per_tx: 64,
+            query_range_pct: 90,
+            user_pct: 80,
+            audit_pct: 5,
+            seed: 0x7AC5_EED0,
+        }
+    }
+}
+
+/// A populated manager plus a pre-generated task list.
+pub struct VacationWorkload {
+    /// The tables.
+    pub manager: Manager,
+    /// Tasks, in issue order.
+    pub ops: Vec<VacationOp>,
+}
+
+impl VacationConfig {
+    /// Populates tables (STAMP: `total` 100–500, price 50–550 in steps of
+    /// 50) and pre-generates `num_ops` tasks.
+    pub fn build(&self, tm: &Rtf, num_ops: usize) -> VacationWorkload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let manager = Manager::new();
+        let num_customers = self.relations;
+        // Populate in moderately sized transactions to keep version lists
+        // and commit records small.
+        for chunk_start in (0..self.relations).step_by(512) {
+            let hi = (chunk_start + 512).min(self.relations);
+            let rows: Vec<(u64, [u32; 6])> = (chunk_start..hi)
+                .map(|id| {
+                    let mut row = [0u32; 6];
+                    for k in 0..3 {
+                        row[k * 2] = rng.gen_range(1..=5) * 100; // total
+                        row[k * 2 + 1] = (rng.gen_range(1..=11)) * 50; // price
+                    }
+                    (id, row)
+                })
+                .collect();
+            let manager = manager.clone();
+            tm.atomic(move |tx| {
+                for (id, row) in &rows {
+                    for (k, kind) in KINDS.iter().enumerate() {
+                        manager.add_resource(tx, *kind, *id, row[k * 2], row[k * 2 + 1]);
+                    }
+                    if *id < num_customers {
+                        manager.add_customer(tx, *id);
+                    }
+                }
+            });
+        }
+
+        let query_range = ((self.relations as f64) * (self.query_range_pct as f64) / 100.0)
+            .ceil()
+            .max(1.0) as u64;
+        let ops = (0..num_ops)
+            .map(|_| {
+                let dice = rng.gen_range(0..100u32);
+                if dice < self.user_pct {
+                    let customer = rng.gen_range(0..num_customers);
+                    let queries = (0..self.queries_per_tx)
+                        .map(|_| {
+                            (KINDS[rng.gen_range(0..3usize)], rng.gen_range(0..query_range))
+                        })
+                        .collect();
+                    VacationOp::MakeReservation { customer, queries }
+                } else if dice < self.user_pct + self.audit_pct {
+                    VacationOp::PriceRangeQuery {
+                        price_lo: rng.gen_range(100..400),
+                        price_hi: rng.gen_range(800..1650),
+                        relations: self.relations,
+                    }
+                } else if dice % 2 == 0 {
+                    VacationOp::DeleteCustomer { customer: rng.gen_range(0..num_customers) }
+                } else {
+                    let updates = (0..self.queries_per_tx / 8)
+                        .map(|_| {
+                            (
+                                KINDS[rng.gen_range(0..3usize)],
+                                rng.gen_range(0..query_range),
+                                rng.gen_bool(0.5),
+                                rng.gen_range(1..=11) * 50,
+                            )
+                        })
+                        .collect();
+                    VacationOp::UpdateTables { updates }
+                }
+            })
+            .collect();
+        VacationWorkload { manager, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = VacationConfig { relations: 128, queries_per_tx: 8, ..Default::default() };
+        let tm = Rtf::builder().workers(1).build();
+        let w1 = cfg.build(&tm, 50);
+        let w2 = cfg.build(&tm, 50);
+        assert_eq!(w1.ops.len(), 50);
+        let fmt = |ops: &[VacationOp]| format!("{ops:?}");
+        assert_eq!(fmt(&w1.ops), fmt(&w2.ops));
+    }
+
+    #[test]
+    fn generated_workload_runs_clean() {
+        let cfg = VacationConfig {
+            relations: 256,
+            queries_per_tx: 16,
+            user_pct: 70,
+            audit_pct: 10,
+            ..Default::default()
+        };
+        let tm = Rtf::builder().workers(2).build();
+        let w = cfg.build(&tm, 60);
+        let client = Client::new(tm.clone(), w.manager.clone(), 2);
+        for op in &w.ops {
+            client.execute(op);
+        }
+        assert!(tm.atomic(|tx| w.manager.check_consistency(tx)));
+        let stats = tm.stats();
+        assert!(stats.commits() >= 60);
+    }
+}

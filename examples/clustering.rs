@@ -1,0 +1,38 @@
+//! KMeans clustering with transactional futures: multiple worker threads
+//! process point chunks as transactions, each parallelizing its assignment
+//! loop across futures — the same pattern the paper uses for long
+//! transactions, on a numeric workload.
+//!
+//! Run with: `cargo run --release -p rtf-integration --example clustering`
+
+use rtf::Rtf;
+use rtf_kmeans::{KMeans, Points};
+
+fn main() {
+    let tm = Rtf::builder().workers(4).build();
+    let points = Points::synthetic(6_000, 8, 5, 7);
+    println!("clustering {} points (8-d, 5 blobs)...", points.len());
+
+    let km = KMeans::new(points, 5);
+    let t0 = std::time::Instant::now();
+    let (iters, moved) = km.run(&tm, 2, 500, 3, 60, 1e-4);
+    let elapsed = t0.elapsed();
+
+    println!("converged after {iters} iterations in {elapsed:.2?} (last movement² {moved:.2e})");
+    let centroids = km.centroids();
+    for c in 0..5 {
+        let coord: Vec<String> =
+            centroids[c * 8..c * 8 + 3].iter().map(|v| format!("{v:7.1}")).collect();
+        println!("cluster {c}: [{} ...]", coord.join(", "));
+    }
+
+    let stats = tm.stats();
+    println!(
+        "commits: {}, futures: {}, top-level aborts: {}, partial rollbacks: {}",
+        stats.commits(),
+        stats.futures_submitted,
+        stats.top_aborts(),
+        stats.sub_validation_aborts,
+    );
+    assert!(iters < 60, "must converge");
+}

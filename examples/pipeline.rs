@@ -1,0 +1,62 @@
+//! Futures as a cross-transaction communication channel (paper Fig 2).
+//!
+//! Transaction T1 (producer thread) submits a transactional future and
+//! stores its handle; transaction T2 (consumer thread) picks the handle up
+//! and evaluates it — possibly long after T1 committed. Strong ordering
+//! makes this sound: the future was serialized at its submission point
+//! inside T1, so its value is well-defined no matter where it is evaluated.
+//!
+//! Run with: `cargo run -p rtf-integration --example pipeline`
+
+use parking_lot::Mutex;
+use rtf::{Rtf, TxFuture, VBox};
+use std::sync::Arc;
+
+fn main() {
+    let tm = Rtf::builder().workers(2).build();
+    let inventory = VBox::new(120u64);
+
+    // A mailbox of future handles passed between threads (any channel
+    // works; the handles are Send + Clone).
+    let mailbox: Arc<Mutex<Vec<TxFuture<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Producer: T1 reserves stock and publishes the audit computation as a
+    // future.
+    let producer = {
+        let tm = tm.clone();
+        let inventory = inventory.clone();
+        let mailbox = Arc::clone(&mailbox);
+        std::thread::spawn(move || {
+            for batch in 1..=5u64 {
+                let mb = Arc::clone(&mailbox);
+                let inv = inventory.clone();
+                tm.atomic(move |tx| {
+                    let have = *tx.read(&inv);
+                    tx.write(&inv, have - 10);
+                    // The audit future: serialized right here, after the
+                    // decrement above — it will observe `have - 10`.
+                    let audit = tx.submit({
+                        let inv = inv.clone();
+                        move |tx| *tx.read(&inv) * 1000 + batch
+                    });
+                    let _ = tx.eval(&audit); // ensure resolved before commit
+                    mb.lock().push(audit);
+                });
+            }
+        })
+    };
+    producer.join().unwrap();
+
+    // Consumer: T2 evaluates the futures from a different transaction.
+    let audits = tm.atomic(|tx| {
+        let handles = mailbox.lock().clone();
+        handles.iter().map(|h| *tx.eval(h)).collect::<Vec<u64>>()
+    });
+
+    println!("audit trail: {audits:?}");
+    // Each audit saw the inventory right after its own batch's decrement:
+    // 110, 100, 90, 80, 70 — tagged with the batch number.
+    assert_eq!(audits, vec![110_001, 100_002, 90_003, 80_004, 70_005]);
+    assert_eq!(*inventory.read_committed(), 70);
+    println!("final inventory: {}", inventory.read_committed());
+}

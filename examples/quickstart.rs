@@ -1,0 +1,65 @@
+//! Quickstart: transactional futures in 60 lines.
+//!
+//! A tiny payment flow: the fee computation runs in a transactional future
+//! in parallel with the rest of the transaction, yet the result is exactly
+//! what a sequential execution would produce (strong ordering semantics).
+//!
+//! Run with: `cargo run -p rtf-integration --example quickstart`
+
+use rtf::{Rtf, VBox};
+
+fn main() {
+    // The runtime: a worker pool executes transactional futures.
+    let tm = Rtf::builder().workers(4).build();
+
+    // Shared state lives in versioned boxes.
+    let checking = VBox::new(1_000i64);
+    let savings = VBox::new(250i64);
+    let fees_collected = VBox::new(0i64);
+
+    // Transfer with a parallel fee computation.
+    let transferred = tm.atomic(|tx| {
+        // Submit: the closure runs as a sub-transaction on the pool. It is
+        // serialized HERE, at the submission point — whatever it reads is
+        // consistent with this transaction's snapshot and earlier writes.
+        let fee = tx.submit({
+            let checking = checking.clone();
+            move |tx| {
+                // Pretend this is expensive: 1% fee, minimum 5.
+                let balance = *tx.read(&checking);
+                (balance / 100).max(5)
+            }
+        });
+
+        // Meanwhile, the continuation does the bookkeeping.
+        let amount = 300i64;
+        let c = *tx.read(&checking);
+        let s = *tx.read(&savings);
+
+        // Evaluate the future (blocks until its sub-transaction commits).
+        let fee = *tx.eval(&fee);
+
+        tx.write(&checking, c - amount - fee);
+        tx.write(&savings, s + amount);
+        let collected = *tx.read(&fees_collected);
+        tx.write(&fees_collected, collected + fee);
+        amount
+    });
+
+    println!("transferred {transferred}");
+    println!("checking:  {}", checking.read_committed());
+    println!("savings:   {}", savings.read_committed());
+    println!("fees:      {}", fees_collected.read_committed());
+
+    assert_eq!(*checking.read_committed(), 1_000 - 300 - 10);
+    assert_eq!(*savings.read_committed(), 550);
+    assert_eq!(*fees_collected.read_committed(), 10);
+
+    let stats = tm.stats();
+    println!(
+        "commits: {}, futures submitted: {}, sub-commits: {}",
+        stats.commits(),
+        stats.futures_submitted,
+        stats.sub_commits
+    );
+}

@@ -1,0 +1,72 @@
+//! The Vacation travel agency with future-parallelized long transactions
+//! (the paper's §V adaptation of STAMP Vacation).
+//!
+//! Loads the agency tables, runs a mixed workload from several client
+//! threads — reservations scan a batch of resources before booking, and
+//! that scan runs across transactional futures — then audits the books.
+//!
+//! Run with: `cargo run --release -p rtf-integration --example travel_agency`
+
+use rtf::Rtf;
+use rtf_vacation::{Client, VacationConfig, VacationOp};
+use std::sync::Arc;
+
+fn main() {
+    let tm = Rtf::builder().workers(6).build();
+    let cfg = VacationConfig {
+        relations: 1024,
+        queries_per_tx: 48,
+        query_range_pct: 90,
+        user_pct: 80,
+        audit_pct: 10,
+        seed: 42,
+    };
+    println!("loading tables ({} rows per relation)...", cfg.relations);
+    let workload = cfg.build(&tm, 300);
+    let manager = workload.manager.clone();
+
+    // 3 client threads, each parallelizing long transactions with 3
+    // transactional futures (a `3*4` allocation in the paper's notation).
+    let client = Arc::new(Client::new(tm.clone(), manager.clone(), 3));
+    let ops = Arc::new(workload.ops);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..3 {
+            let client = Arc::clone(&client);
+            let ops = Arc::clone(&ops);
+            s.spawn(move || {
+                for op in ops.iter().skip(c).step_by(3) {
+                    client.execute(op);
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    // Verify the books: units reserved across tables must equal the
+    // reservations customers hold.
+    let consistent = tm.atomic(|tx| manager.check_consistency(tx));
+    assert!(consistent, "reservation accounting must balance");
+
+    // One last analytics run: travels under 600 in total.
+    let affordable = client.execute(&VacationOp::PriceRangeQuery {
+        price_lo: 0,
+        price_hi: 600,
+        relations: cfg.relations,
+    });
+
+    let stats = tm.stats();
+    println!("executed {} ops in {:.2?}", ops.len(), elapsed);
+    println!("affordable travel checksum: {affordable}");
+    println!(
+        "commits: {} (ro: {}), futures: {}, sub-commits: {}, partial rollbacks: {}, \
+         top-level aborts: {}",
+        stats.commits(),
+        stats.top_ro_commits,
+        stats.futures_submitted,
+        stats.sub_commits,
+        stats.sub_validation_aborts,
+        stats.top_aborts(),
+    );
+    println!("books consistent ✓");
+}

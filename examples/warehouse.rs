@@ -1,0 +1,65 @@
+//! TPC-C on transactional futures: the order pipeline of a wholesale
+//! supplier, with long transactions (NewOrder line processing, Delivery's
+//! per-district loop, the warehouse audit) parallelized across futures.
+//!
+//! Run with: `cargo run --release -p rtf-integration --example warehouse`
+
+use rtf::Rtf;
+use rtf_tpcc::workload::run_op;
+use rtf_tpcc::{TpccConfig, TpccExecutor, TpccScale};
+use std::sync::Arc;
+
+fn main() {
+    let tm = Rtf::builder().workers(6).build();
+    let cfg = TpccConfig {
+        scale: TpccScale { warehouses: 2, customers_per_district: 60, items: 512, seed: 7 },
+        ..TpccConfig::default()
+    };
+    println!(
+        "loading {} warehouses × 10 districts × {} customers, {} items...",
+        cfg.scale.warehouses, cfg.scale.customers_per_district, cfg.scale.items
+    );
+    let w = cfg.build(&tm, 400);
+    let ex = Arc::new(TpccExecutor::new(tm.clone(), w.db.clone(), 3));
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..2 {
+            let ex = Arc::clone(&ex);
+            let ops = &w.ops;
+            s.spawn(move || {
+                for op in ops.iter().skip(c).step_by(2) {
+                    run_op(&ex, op);
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    // TPC-C consistency conditions must hold afterwards.
+    let (ytd_ok, oid_ok) = tm.atomic(|tx| {
+        (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx))
+    });
+    assert!(ytd_ok, "W_YTD == sum(D_YTD) must hold");
+    assert!(oid_ok, "order ids must be dense per district");
+
+    // The paper's long analytics transaction, in parallel.
+    let audit0 = ex.warehouse_audit(0);
+    let audit1 = ex.warehouse_audit(1);
+
+    let stats = tm.stats();
+    println!("executed {} ops in {:.2?}", w.ops.len(), elapsed);
+    println!("warehouse 0 money raised: {} cents", audit0);
+    println!("warehouse 1 money raised: {} cents", audit1);
+    println!(
+        "commits: {} (ro: {}), futures: {}, sub-commits: {}, partial rollbacks: {}, \
+         top-level aborts: {}",
+        stats.commits(),
+        stats.top_ro_commits,
+        stats.futures_submitted,
+        stats.sub_commits,
+        stats.sub_validation_aborts,
+        stats.top_aborts(),
+    );
+    println!("consistency checks ✓");
+}

@@ -1,0 +1,100 @@
+//! Parallel analytics inside a transaction: word statistics over a shared
+//! document store, while editor threads keep mutating the documents.
+//!
+//! The analytics transaction forks one transactional future per document
+//! shard; opacity guarantees the statistics describe one consistent
+//! snapshot of the store even though editors commit concurrently, and
+//! strong ordering makes the parallel scan equivalent to a sequential one.
+//!
+//! Run with: `cargo run --release -p rtf-integration --example word_stats`
+
+use rtf::{Rtf, VBox};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let tm = Rtf::builder().workers(4).build();
+
+    // The document store: one box per document.
+    let docs: Arc<Vec<VBox<String>>> = Arc::new(
+        (0..64)
+            .map(|i| VBox::new(format!("document {i} starts with exactly seven words here")))
+            .collect(),
+    );
+
+    // Editors append words concurrently.
+    let stop = Arc::new(AtomicBool::new(false));
+    let editors: Vec<_> = (0..2)
+        .map(|e| {
+            let tm = tm.clone();
+            let docs = Arc::clone(&docs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = e;
+                while !stop.load(Ordering::Relaxed) {
+                    let d = docs[i % docs.len()].clone();
+                    tm.atomic(move |tx| {
+                        let cur = tx.read(&d);
+                        tx.write(&d, format!("{cur} edit"));
+                    });
+                    i += 7;
+                }
+            })
+        })
+        .collect();
+
+    // Run several consistent analytics passes while the editors churn.
+    for pass in 0..5 {
+        let docs2 = Arc::clone(&docs);
+        let (words, longest) = tm.atomic_ro(move |tx| {
+            let shards = 4usize;
+            let per = docs2.len() / shards;
+            let mut handles = Vec::new();
+            for s in 1..shards {
+                let docs3 = Arc::clone(&docs2);
+                handles.push(tx.submit(move |tx| {
+                    let mut words = 0usize;
+                    let mut longest = 0usize;
+                    for d in &docs3[s * per..(s + 1) * per] {
+                        let text = tx.read(d);
+                        words += text.split_whitespace().count();
+                        longest =
+                            longest.max(text.split_whitespace().map(|w| w.len()).max().unwrap_or(0));
+                    }
+                    (words, longest)
+                }));
+            }
+            let mut words = 0usize;
+            let mut longest = 0usize;
+            for d in &docs2[..per] {
+                let text = tx.read(d);
+                words += text.split_whitespace().count();
+                longest = longest.max(text.split_whitespace().map(|w| w.len()).max().unwrap_or(0));
+            }
+            for h in &handles {
+                let (w, l) = *tx.eval(h);
+                words += w;
+                longest = longest.max(l);
+            }
+            (words, longest)
+        });
+        // Every document contributes  7 base words + its edits: the count is
+        // a multiple-of-1 sanity property; the key assertion is snapshot
+        // consistency, which would otherwise make counts tear.
+        println!("pass {pass}: {words} words, longest word {longest} chars");
+        assert!(words >= 64 * 7);
+        assert!(longest >= "document".len());
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for e in editors {
+        e.join().unwrap();
+    }
+    let stats = tm.stats();
+    println!(
+        "done. commits: {} (ro: {}), ro validation skips: {}",
+        stats.commits(),
+        stats.top_ro_commits,
+        stats.ro_validation_skips
+    );
+}

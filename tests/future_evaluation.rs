@@ -1,0 +1,156 @@
+//! Evaluation semantics of transactional futures: Fig 1 and Fig 2 of the
+//! paper, evaluation from other threads/transactions/outside any
+//! transaction, and handle utilities.
+
+use rtf::{Rtf, TxFuture, VBox};
+use std::sync::Arc;
+
+/// Fig 1: T0 submits TF1; TF1 submits TF2; T0 evaluates TF2 later. TF2 is
+/// serialized at its submission inside TF1 — after TF1's `w(x, x1)` and
+/// after T0's `w(y, y0)` (inherited snapshot), regardless of where the
+/// evaluation happens.
+#[test]
+fn fig1_nested_submission_cross_evaluation() {
+    let tm = Rtf::builder().workers(3).build();
+    let x = VBox::new(0u64);
+    let y = VBox::new(0u64);
+    let (x_seen, y_seen) = tm.atomic(|tx| {
+        tx.write(&y, 44); // w(y, y0) by T0 before the submission chain
+        let tf1 = tx.submit({
+            let (x, y) = (x.clone(), y.clone());
+            move |tx| {
+                tx.write(&x, 11); // w(x, x1) by TF1
+                tx.submit({
+                    let (x, y) = (x.clone(), y.clone());
+                    move |tx| (*tx.read(&x), *tx.read(&y)) // TF2
+                })
+            }
+        });
+        let tf2 = tx.eval(&tf1);
+        *tx.eval(&tf2)
+    });
+    assert_eq!((x_seen, y_seen), (11, 44), "TF2 must observe both ancestor writes");
+}
+
+/// Fig 2: T1 submits TF, T2 (another top-level transaction, another
+/// thread) evaluates it — the future works as an inter-thread channel.
+#[test]
+fn fig2_future_as_cross_transaction_channel() {
+    let tm = Arc::new(Rtf::builder().workers(2).build());
+    let stock = VBox::new(500u64);
+    let (sender, receiver) = std::sync::mpsc::channel::<TxFuture<u64>>();
+
+    let t1 = {
+        let (tm, stock) = (Arc::clone(&tm), stock.clone());
+        std::thread::spawn(move || {
+            tm.atomic(move |tx| {
+                let f = tx.submit({
+                    let stock = stock.clone();
+                    move |tx| *tx.read(&stock) / 5
+                });
+                let _ = tx.eval(&f);
+                sender.send(f).expect("receiver alive");
+            });
+        })
+    };
+    let t2 = {
+        let tm = Arc::clone(&tm);
+        std::thread::spawn(move || {
+            let f = receiver.recv().expect("sender alive");
+            tm.atomic(move |tx| *tx.eval(&f))
+        })
+    };
+    t1.join().unwrap();
+    assert_eq!(t2.join().unwrap(), 100);
+}
+
+/// Evaluating outside any transactional context blocks until the future
+/// committed and returns its value (paper §III: evaluation does not
+/// require a transactional context).
+#[test]
+fn evaluation_outside_transactions() {
+    let tm = Rtf::builder().workers(2).build();
+    let b = VBox::new(21u64);
+    let f: TxFuture<u64> = tm.atomic(|tx| {
+        let f = tx.submit({
+            let b = b.clone();
+            move |tx| *tx.read(&b) * 2
+        });
+        let _ = tx.eval(&f);
+        f
+    });
+    assert_eq!(*f.wait(), 42);
+    assert_eq!(*f.try_get().expect("already resolved"), 42);
+    assert!(f.is_done());
+}
+
+/// `spawn_future` submits from outside any transaction (paper footnote 1:
+/// an implicit empty top-level transaction).
+#[test]
+fn spawn_future_outside_transaction() {
+    let tm = Rtf::builder().workers(2).build();
+    let b = VBox::new(5u64);
+    let b2 = b.clone();
+    let f = tm.spawn_future(move |tx| *tx.read(&b2) + 1);
+    assert_eq!(*f.wait(), 6);
+}
+
+/// Handles are cloneable and shareable: many threads evaluating the same
+/// future all obtain the same value.
+#[test]
+fn many_evaluators_one_future() {
+    let tm = Rtf::builder().workers(2).build();
+    let b = VBox::new(9u64);
+    let b2 = b.clone();
+    let f = tm.spawn_future(move |tx| *tx.read(&b2) * 9);
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let f = f.clone();
+            std::thread::spawn(move || *f.wait())
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 81);
+    }
+}
+
+/// A future's return value can itself carry future handles (the paper's
+/// trees of futures); evaluation composes.
+#[test]
+fn futures_returning_futures() {
+    let tm = Rtf::builder().workers(3).build();
+    let out = tm.atomic(|tx| {
+        let outer: TxFuture<Vec<TxFuture<u64>>> = tx.submit(|tx| {
+            (0..4u64)
+                .map(|i| tx.submit(move |_tx| i * i))
+                .collect()
+        });
+        let inner = tx.eval(&outer);
+        inner.iter().map(|f| *tx.eval(f)).sum::<u64>()
+    });
+    assert_eq!(out, 14); // 0² + 1² + 2² + 3²
+}
+
+/// Read-only futures skip validation when no read-write sub-transaction
+/// committed meanwhile (§IV-E) — and still return correct values.
+#[test]
+fn read_only_future_optimization_correctness() {
+    let tm = Rtf::builder().workers(2).build();
+    let data: Vec<VBox<u64>> = (0..16).map(|i| VBox::new(i as u64)).collect();
+    let data = Arc::new(data);
+    for _ in 0..10 {
+        let d = Arc::clone(&data);
+        let sum = tm.atomic_ro(move |tx| {
+            let futs: Vec<_> = (0..4)
+                .map(|s| {
+                    let d = Arc::clone(&d);
+                    tx.submit(move |tx| (s * 4..(s + 1) * 4).map(|i| *tx.read(&d[i])).sum::<u64>())
+                })
+                .collect();
+            futs.iter().map(|f| *tx.eval(f)).sum::<u64>()
+        });
+        assert_eq!(sum, (0..16u64).sum());
+    }
+    let s = tm.stats();
+    assert!(s.ro_validation_skips > 0, "the §IV-E skip should trigger: {s:?}");
+}

@@ -1,0 +1,151 @@
+//! Inter-tree conflicts (paper Alg 1, `ownedByAnotherTree`): when a
+//! sub-transaction writes a box whose tentative list is held by another
+//! active transaction tree, its whole tree aborts and re-executes —
+//! eventually in the sequential fallback mode that routes writes through
+//! the top-level write-set (DESIGN.md D3).
+
+use rtf::{Rtf, VBox};
+use std::sync::Arc;
+
+/// Two trees whose futures hammer the same boxes: inter-tree aborts occur,
+/// the fallback engages, and no update is lost.
+#[test]
+fn conflicting_trees_converge_exactly() {
+    let tm = Arc::new(Rtf::builder().workers(2).fallback_threshold(1).build());
+    let shared = VBox::new(0u64);
+    let threads = 3;
+    let per = 150;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let (tm, shared) = (Arc::clone(&tm), shared.clone());
+            std::thread::spawn(move || {
+                for _ in 0..per {
+                    tm.atomic(|tx| {
+                        let s2 = shared.clone();
+                        let f = tx.submit(move |tx| {
+                            let v = *tx.read(&s2);
+                            tx.write(&s2, v + 1);
+                            0u8
+                        });
+                        let _ = tx.eval(&f);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*shared.read_committed(), (threads * per) as u64);
+    let s = tm.stats();
+    assert_eq!(s.commits(), (threads * per) as u64);
+    // With three trees fighting for one box, inter-tree conflicts are
+    // essentially guaranteed at this scale.
+    assert!(
+        s.inter_tree_aborts > 0,
+        "expected some ownedByAnotherTree aborts: {s:?}"
+    );
+    assert!(s.fallback_runs > 0, "fallback mode should have engaged: {s:?}");
+}
+
+/// The fallback threshold is honoured: with a huge threshold the fallback
+/// never engages, yet the result is still exact (pure optimistic retries).
+#[test]
+fn high_threshold_avoids_fallback() {
+    let tm = Arc::new(Rtf::builder().workers(2).fallback_threshold(u32::MAX).build());
+    let shared = VBox::new(0u64);
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let (tm, shared) = (Arc::clone(&tm), shared.clone());
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    tm.atomic(|tx| {
+                        let s2 = shared.clone();
+                        let f = tx.submit(move |tx| {
+                            let v = *tx.read(&s2);
+                            tx.write(&s2, v + 1);
+                            0u8
+                        });
+                        let _ = tx.eval(&f);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*shared.read_committed(), 200);
+    assert_eq!(tm.stats().fallback_runs, 0);
+}
+
+/// Disjoint write sets never trigger inter-tree conflicts.
+#[test]
+fn disjoint_trees_never_interfere() {
+    let tm = Arc::new(Rtf::builder().workers(2).build());
+    let boxes: Arc<Vec<VBox<u64>>> = Arc::new((0..4).map(|_| VBox::new(0u64)).collect());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let (tm, boxes) = (Arc::clone(&tm), Arc::clone(&boxes));
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let own = boxes[t].clone();
+                    tm.atomic(move |tx| {
+                        let o2 = own.clone();
+                        let f = tx.submit(move |tx| {
+                            let v = *tx.read(&o2);
+                            tx.write(&o2, v + 1);
+                            0u8
+                        });
+                        let _ = tx.eval(&f);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for b in boxes.iter() {
+        assert_eq!(*b.read_committed(), 100);
+    }
+    let s = tm.stats();
+    assert_eq!(s.inter_tree_aborts, 0, "{s:?}");
+    assert_eq!(s.top_validation_aborts, 0, "{s:?}");
+}
+
+/// A tree in fallback mode coexists correctly with parallel-mode trees:
+/// the fallback tree's writes go through the top-level write-set and are
+/// validated like any top-level commit.
+#[test]
+fn fallback_and_parallel_trees_mix() {
+    let tm = Arc::new(Rtf::builder().workers(2).fallback_threshold(1).build());
+    let a = VBox::new(0u64);
+    let b = VBox::new(0u64);
+    // Thread 1 fights over `a` (will fall back); thread 2 uses futures on
+    // disjoint `b` (stays parallel). A third thread also fights over `a`.
+    let mk_fighter = |tmr: &Arc<Rtf>, boxr: &VBox<u64>| {
+        let (tm, bx) = (Arc::clone(tmr), boxr.clone());
+        std::thread::spawn(move || {
+            for _ in 0..120 {
+                tm.atomic(|tx| {
+                    let b2 = bx.clone();
+                    let f = tx.submit(move |tx| {
+                        let v = *tx.read(&b2);
+                        tx.write(&b2, v + 1);
+                        0u8
+                    });
+                    let _ = tx.eval(&f);
+                });
+            }
+        })
+    };
+    let h1 = mk_fighter(&tm, &a);
+    let h2 = mk_fighter(&tm, &a);
+    let h3 = mk_fighter(&tm, &b);
+    h1.join().unwrap();
+    h2.join().unwrap();
+    h3.join().unwrap();
+    assert_eq!(*a.read_committed(), 240);
+    assert_eq!(*b.read_committed(), 120);
+}

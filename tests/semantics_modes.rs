@@ -1,0 +1,130 @@
+//! Contrasts the paper's strong ordering semantics (§II) with the
+//! unordered parallel-nesting mode (ablation A4, cf. paper §VI / JVSTM):
+//! strong ordering pins a future's serialization to its submission point;
+//! parallel nesting serializes sub-transactions in commit order, so a
+//! future can legally observe its own continuation's writes — exactly the
+//! ambiguity (paper Fig 1/Fig 2 discussion) strong ordering exists to rule
+//! out.
+
+use rtf::{Rtf, TreeSemantics, VBox};
+use std::sync::Arc;
+
+/// A slowed-down future reads a box its continuation writes.
+/// Strong ordering: the future serializes first and MUST read the old
+/// value. Parallel nesting: the continuation commits first (nothing makes
+/// it wait), the future's validation detects the committed write and
+/// re-executes, observing the continuation's value.
+fn slow_future_reads_conts_write(semantics: TreeSemantics) -> u64 {
+    let tm = Rtf::builder().workers(2).semantics(semantics).build();
+    let x = VBox::new(0u64);
+    tm.atomic(|tx| {
+        let x_fut = x.clone();
+        let x_cont = x.clone();
+        let h = tx.fork(
+            move |tx| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                *tx.read(&x_fut)
+            },
+            move |tx, f| {
+                tx.write(&x_cont, 5);
+                f.clone()
+            },
+        );
+        *tx.eval(&h)
+    })
+}
+
+#[test]
+fn strong_ordering_pins_future_before_continuation() {
+    assert_eq!(
+        slow_future_reads_conts_write(TreeSemantics::StrongOrdering),
+        0,
+        "under strong ordering the future must not see its continuation's write"
+    );
+}
+
+#[test]
+fn parallel_nesting_serializes_in_commit_order() {
+    assert_eq!(
+        slow_future_reads_conts_write(TreeSemantics::ParallelNesting),
+        5,
+        "under parallel nesting the late-committing future serializes after \
+         the continuation and observes its write"
+    );
+}
+
+/// Parallel nesting remains *serializable*: concurrent read-modify-writes
+/// inside one tree never lose updates (validation still runs).
+#[test]
+fn nesting_is_still_serializable_within_a_tree() {
+    let tm = Rtf::builder().workers(3).semantics(TreeSemantics::ParallelNesting).build();
+    let counter = VBox::new(0u64);
+    let out = tm.atomic(|tx| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = counter.clone();
+            handles.push(tx.submit(move |tx| {
+                for _ in 0..25 {
+                    let v = *tx.read(&c);
+                    tx.write(&c, v + 1);
+                }
+            }));
+        }
+        for h in &handles {
+            let _ = tx.eval(h);
+        }
+        *tx.read(&counter)
+    });
+    assert_eq!(out, 100, "intra-tree serializability must hold in nesting mode");
+    assert_eq!(*counter.read_committed(), 100);
+}
+
+/// Nesting mode and strong mode agree on conflict-free parallel work,
+/// and opacity across top-level transactions holds in both.
+#[test]
+fn nesting_mode_cross_transaction_isolation() {
+    let tm = Arc::new(Rtf::builder().workers(3).semantics(TreeSemantics::ParallelNesting).build());
+    let a = VBox::new(0i64);
+    let b = VBox::new(0i64);
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let (tm, a, b) = (Arc::clone(&tm), a.clone(), b.clone());
+            std::thread::spawn(move || {
+                for _ in 0..60 {
+                    tm.atomic(|tx| {
+                        let a2 = a.clone();
+                        let f = tx.submit(move |tx| {
+                            let v = *tx.read(&a2);
+                            tx.write(&a2, v + 1);
+                        });
+                        let _ = tx.eval(&f);
+                        let v = *tx.read(&b);
+                        tx.write(&b, v - 1);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*a.read_committed(), 180);
+    assert_eq!(*b.read_committed(), -180);
+}
+
+/// Un-evaluated futures are still awaited before the top level commits in
+/// nesting mode (no dangling sub-transactions).
+#[test]
+fn nesting_waits_for_unevaluated_futures() {
+    let tm = Rtf::builder().workers(2).semantics(TreeSemantics::ParallelNesting).build();
+    let x = VBox::new(0u64);
+    tm.atomic(|tx| {
+        let x2 = x.clone();
+        let _unevaluated = tx.submit(move |tx| {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            tx.write(&x2, 9);
+        });
+        // Never eval'd: the runtime must still include its effects.
+    });
+    assert_eq!(*x.read_committed(), 9, "the future's write must be part of the commit");
+}

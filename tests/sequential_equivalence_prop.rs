@@ -1,0 +1,148 @@
+//! Property-based test of the paper's core guarantee: *any* program built
+//! from reads, writes and (nested) transactional futures produces exactly
+//! the results of its sequential execution — the one in which every future
+//! body runs synchronously at its submission point (§II).
+//!
+//! Random programs are generated as trees of operations, executed twice:
+//! once by a trivial sequential interpreter over a plain array, once by the
+//! TM with real parallelism. Final box states and every context's
+//! accumulator must match bit-for-bit.
+
+use proptest::prelude::*;
+use rtf::{Rtf, Tx, VBox};
+use std::sync::Arc;
+
+const BOXES: usize = 6;
+
+/// One step of a program; `Fork` splits into a future and a continuation.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Fold the value of box `k` into the accumulator.
+    Read(u8),
+    /// Write a value derived from the accumulator into box `k`.
+    Write(u8),
+    /// Fork: run the first program as a transactional future, the second as
+    /// the continuation; both start from the current accumulator. The
+    /// future's result is folded in afterwards.
+    Fork(Box<Prog>, Box<Prog>),
+}
+
+type Prog = Vec<Step>;
+
+fn mix(acc: u64, v: u64) -> u64 {
+    acc.wrapping_mul(31).wrapping_add(v ^ 0x9E3779B9)
+}
+
+/// Sequential reference semantics.
+fn interp(prog: &Prog, state: &mut [u64; BOXES], acc0: u64) -> u64 {
+    let mut acc = acc0;
+    for step in prog {
+        match step {
+            Step::Read(k) => acc = mix(acc, state[*k as usize % BOXES]),
+            Step::Write(k) => {
+                state[*k as usize % BOXES] = acc.wrapping_add(*k as u64);
+            }
+            Step::Fork(fut, cont) => {
+                // Future first (serialized at its submission point), then
+                // the continuation; both see the fork-point accumulator.
+                let facc = interp(fut, state, acc);
+                let cacc = interp(cont, state, acc);
+                acc = mix(facc, cacc);
+            }
+        }
+    }
+    acc
+}
+
+/// The same semantics through the TM, futures actually parallel.
+fn run_tm(tx: &mut Tx, prog: &Prog, boxes: &Arc<Vec<VBox<u64>>>, acc0: u64) -> u64 {
+    let mut acc = acc0;
+    for step in prog {
+        match step {
+            Step::Read(k) => acc = mix(acc, *tx.read(&boxes[*k as usize % BOXES])),
+            Step::Write(k) => {
+                tx.write(&boxes[*k as usize % BOXES], acc.wrapping_add(*k as u64));
+            }
+            Step::Fork(fut, cont) => {
+                let fut2 = (**fut).clone();
+                let boxes2 = Arc::clone(boxes);
+                let facc_cacc = tx.fork(
+                    move |tx| run_tm(tx, &fut2, &boxes2, acc0_of(acc)),
+                    |tx, f| {
+                        let cacc = run_tm(tx, cont, boxes, acc0_of(acc));
+                        let facc = *tx.eval(f);
+                        (facc, cacc)
+                    },
+                );
+                let (facc, cacc) = facc_cacc;
+                acc = mix(facc, cacc);
+            }
+        }
+    }
+    acc
+}
+
+// Helper so the closure captures a copy, keeping `run_tm` recursion simple.
+fn acc0_of(acc: u64) -> u64 {
+    acc
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let leaf = prop_oneof![
+        (0u8..BOXES as u8).prop_map(Step::Read),
+        (0u8..BOXES as u8).prop_map(Step::Write),
+    ];
+    leaf.prop_recursive(2, 16, 3, |inner| {
+        (
+            prop::collection::vec(inner.clone(), 1..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(f, c)| Step::Fork(Box::new(f), Box::new(c)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random future-trees equal their sequential execution — final state
+    /// *and* accumulator.
+    #[test]
+    fn random_programs_match_sequential(prog in prop::collection::vec(step_strategy(), 1..8)) {
+        // Reference run.
+        let mut expect_state = [0u64; BOXES];
+        for (i, s) in expect_state.iter_mut().enumerate() {
+            *s = (i as u64 + 1) * 100;
+        }
+        let expect_acc = interp(&prog, &mut expect_state, 7);
+
+        // TM run with real parallelism.
+        let tm = Rtf::builder().workers(3).build();
+        let boxes: Arc<Vec<VBox<u64>>> =
+            Arc::new((0..BOXES).map(|i| VBox::new((i as u64 + 1) * 100)).collect());
+        let got_acc = tm.atomic(|tx| run_tm(tx, &prog, &boxes, 7));
+
+        prop_assert_eq!(got_acc, expect_acc, "accumulator diverged");
+        for (i, b) in boxes.iter().enumerate() {
+            prop_assert_eq!(*b.read_committed(), expect_state[i], "box {} diverged", i);
+        }
+    }
+
+    /// The same programs must also be deterministic across repeated TM runs
+    /// (fresh boxes each time).
+    #[test]
+    fn tm_runs_are_deterministic(prog in prop::collection::vec(step_strategy(), 1..6)) {
+        let run = || {
+            let tm = Rtf::builder().workers(2).build();
+            let boxes: Arc<Vec<VBox<u64>>> =
+                Arc::new((0..BOXES).map(|i| VBox::new(i as u64)).collect());
+            let acc = tm.atomic(|tx| run_tm(tx, &prog, &boxes, 1));
+            let state: Vec<u64> = boxes.iter().map(|b| *b.read_committed()).collect();
+            (acc, state)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests of the strong ordering semantics (paper §II): the
+//! result of any program using transactional futures equals the result of
+//! the sequential program in which each future body runs synchronously at
+//! its submission point.
+
+use rtf::{Rtf, VBox};
+
+fn tm() -> Rtf {
+    Rtf::builder().workers(3).build()
+}
+
+/// The full Fig 3a tree, with every node reading and writing a shared box.
+/// Sequential semantics fix the exact interleaving:
+/// T0(pre), TF1(pre), TF2, TC3, TC4(pre), TF5, TC6 — each appending its tag.
+#[test]
+fn fig3a_tree_matches_sequential_trace() {
+    let tm = tm();
+    let log = VBox::new(Vec::<&'static str>::new());
+    let push = |tx: &mut rtf::Tx, b: &VBox<Vec<&'static str>>, tag: &'static str| {
+        let mut v = (*tx.read(b)).clone();
+        v.push(tag);
+        tx.write(b, v);
+    };
+
+    tm.atomic(|tx| {
+        push(tx, &log, "T0");
+        let log1 = log.clone();
+        let log4 = log.clone();
+        tx.fork(
+            // Left subtree: TF1, which itself forks TF2 / TC3.
+            move |tx| {
+                push(tx, &log1, "TF1");
+                let log2 = log1.clone();
+                let log3 = log1.clone();
+                tx.fork(
+                    move |tx| push(tx, &log2, "TF2"),
+                    move |tx, f2| {
+                        push(tx, &log3, "TC3");
+                        let _ = tx.eval(f2);
+                    },
+                );
+            },
+            // Right subtree: TC4, which forks TF5 / TC6.
+            move |tx, f1| {
+                push(tx, &log4, "TC4");
+                let log5 = log4.clone();
+                let log6 = log4.clone();
+                tx.fork(
+                    move |tx| push(tx, &log5, "TF5"),
+                    move |tx, f5| {
+                        push(tx, &log6, "TC6");
+                        let _ = tx.eval(f5);
+                    },
+                );
+                let _ = tx.eval(f1);
+            },
+        );
+    });
+
+    assert_eq!(
+        *log.read_committed(),
+        vec!["T0", "TF1", "TF2", "TC3", "TC4", "TF5", "TC6"],
+        "strong ordering must reproduce the sequential trace of Fig 3a"
+    );
+}
+
+/// A future and its continuation both increment the same counter many
+/// times; sequentially the result is exact, and so it must be in parallel
+/// (the continuation re-executes until it sees the future's writes).
+#[test]
+fn future_and_continuation_rmw_same_box() {
+    let tm = tm();
+    let counter = VBox::new(0u64);
+    let out = tm.atomic(|tx| {
+        tx.fork(
+            {
+                let counter = counter.clone();
+                move |tx| {
+                    for _ in 0..100 {
+                        let v = *tx.read(&counter);
+                        tx.write(&counter, v + 1);
+                    }
+                }
+            },
+            {
+                let counter = counter.clone();
+                move |tx, f| {
+                    for _ in 0..100 {
+                        let v = *tx.read(&counter);
+                        tx.write(&counter, v + 1);
+                    }
+                    let _ = tx.eval(f);
+                    *tx.read(&counter)
+                }
+            },
+        )
+    });
+    assert_eq!(out, 200);
+    assert_eq!(*counter.read_committed(), 200);
+}
+
+/// Chained submits: each future reads what every earlier future wrote
+/// (serialized at submission), even though all bodies run concurrently.
+#[test]
+fn chained_futures_observe_predecessors() {
+    let tm = tm();
+    let b = VBox::new(1u64);
+    let finals = tm.atomic(|tx| {
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let b2 = b.clone();
+            handles.push(tx.submit(move |tx| {
+                let v = *tx.read(&b2);
+                tx.write(&b2, v * 2);
+                v
+            }));
+        }
+        handles.iter().map(|h| *tx.eval(h)).collect::<Vec<_>>()
+    });
+    assert_eq!(finals, vec![1, 2, 4, 8, 16, 32]);
+    assert_eq!(*b.read_committed(), 64);
+}
+
+/// Evaluation timing must not affect serialization: evaluating futures in
+/// reverse order yields the same values as in-order evaluation.
+#[test]
+fn evaluation_order_is_irrelevant() {
+    let run = |reverse: bool| {
+        let tm = tm();
+        let b = VBox::new(3u64);
+        tm.atomic(move |tx| {
+            let mut handles = Vec::new();
+            for i in 0..5u64 {
+                let b2 = b.clone();
+                handles.push(tx.submit(move |tx| {
+                    let v = *tx.read(&b2);
+                    tx.write(&b2, v + i);
+                    v
+                }));
+            }
+            let mut vals: Vec<u64> = if reverse {
+                handles.iter().rev().map(|h| *tx.eval(h)).collect()
+            } else {
+                handles.iter().map(|h| *tx.eval(h)).collect()
+            };
+            if reverse {
+                vals.reverse();
+            }
+            vals
+        })
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Deep nesting: a recursive parallel sum over a range must equal the
+/// arithmetic result regardless of tree shape.
+#[test]
+fn recursive_divide_and_conquer_sum() {
+    let tm = tm();
+    let data: Vec<VBox<u64>> = (0..64).map(|i| VBox::new(i as u64)).collect();
+    let data = std::sync::Arc::new(data);
+
+    fn psum(tx: &mut rtf::Tx, data: &std::sync::Arc<Vec<VBox<u64>>>, lo: usize, hi: usize) -> u64 {
+        if hi - lo <= 8 {
+            return (lo..hi).map(|i| *tx.read(&data[i])).sum();
+        }
+        let mid = (lo + hi) / 2;
+        let d2 = std::sync::Arc::clone(data);
+        tx.fork(
+            move |tx| psum(tx, &d2, lo, mid),
+            |tx, f| {
+                let right = psum(tx, data, mid, hi);
+                *tx.eval(f) + right
+            },
+        )
+    }
+
+    let total = tm.atomic(|tx| psum(tx, &data, 0, 64));
+    assert_eq!(total, (0..64u64).sum());
+}
+
+/// Writes by later-serialized sub-transactions must not leak into earlier
+/// ones: the future (serialized first) must never see the continuation's
+/// write even when the continuation commits while the future still runs.
+#[test]
+fn no_backward_leakage() {
+    for _ in 0..20 {
+        let tm = tm();
+        let a = VBox::new(0u64);
+        let b = VBox::new(0u64);
+        let (fut_saw, _) = tm.atomic(|tx| {
+            tx.fork(
+                {
+                    let a = a.clone();
+                    move |tx| {
+                        // Give the continuation a head start sometimes.
+                        std::thread::yield_now();
+                        *tx.read(&a)
+                    }
+                },
+                {
+                    let a = a.clone();
+                    let b = b.clone();
+                    move |tx, f| {
+                        tx.write(&a, 99);
+                        let v = *tx.read(&b);
+                        tx.write(&b, v + 1);
+                        (*tx.eval(f), ())
+                    }
+                },
+            )
+        });
+        assert_eq!(fut_saw, 0, "future serialized before its continuation");
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end workload tests: Vacation and TPC-C behave identically with
+//! and without intra-transaction parallelism, under real concurrency, and
+//! keep their domain invariants.
+
+use rtf::Rtf;
+use rtf_tpcc::workload::{run_op, TpccOp};
+use rtf_tpcc::{TpccConfig, TpccExecutor, TpccScale};
+use rtf_vacation::{Client, VacationConfig};
+use std::sync::Arc;
+
+/// The same pre-generated Vacation workload, executed sequentially (no
+/// futures) and with 3 futures per transaction, must produce the same
+/// per-operation results and the same final table contents.
+#[test]
+fn vacation_parallel_equals_sequential() {
+    let results: Vec<(Vec<u64>, u64)> = [0usize, 3]
+        .into_iter()
+        .map(|futures| {
+            let tm = Rtf::builder().workers(4).build();
+            let cfg = VacationConfig {
+                relations: 256,
+                queries_per_tx: 24,
+                user_pct: 70,
+                audit_pct: 10,
+                seed: 99,
+                ..VacationConfig::default()
+            };
+            let w = cfg.build(&tm, 80);
+            let client = Client::new(tm.clone(), w.manager.clone(), futures);
+            let per_op: Vec<u64> = w.ops.iter().map(|op| client.execute(op)).collect();
+            // Fingerprint the final state: every customer's bill plus every
+            // table's free units.
+            let fingerprint = tm.atomic(|tx| {
+                let mut acc = 0u64;
+                for kind in rtf_vacation::manager::KINDS {
+                    for (id, price) in
+                        w.manager.scan_price_range(tx, kind, 0, 256, 0, u32::MAX)
+                    {
+                        acc = acc
+                            .wrapping_mul(31)
+                            .wrapping_add(id ^ (price as u64) << 8)
+                            .wrapping_add(
+                                w.manager.query_free(tx, kind, id).unwrap_or(0) as u64,
+                            );
+                    }
+                }
+                for c in 0..256 {
+                    acc = acc
+                        .wrapping_mul(33)
+                        .wrapping_add(w.manager.query_bill(tx, c).map_or(7, |b| b as u64));
+                }
+                acc
+            });
+            assert!(tm.atomic(|tx| w.manager.check_consistency(tx)));
+            (per_op, fingerprint)
+        })
+        .collect();
+    assert_eq!(results[0].0, results[1].0, "per-op results must match");
+    assert_eq!(results[0].1, results[1].1, "final state must match");
+}
+
+/// TPC-C: same invariance between sequential and future-parallel runs.
+#[test]
+fn tpcc_parallel_equals_sequential() {
+    let results: Vec<(Vec<i64>, bool, bool, i64)> = [0usize, 3]
+        .into_iter()
+        .map(|futures| {
+            let tm = Rtf::builder().workers(4).build();
+            let cfg = TpccConfig {
+                scale: TpccScale {
+                    warehouses: 1,
+                    customers_per_district: 20,
+                    items: 128,
+                    seed: 13,
+                },
+                seed: 31,
+                ..TpccConfig::default()
+            };
+            let w = cfg.build(&tm, 70);
+            let ex = TpccExecutor::new(tm.clone(), w.db.clone(), futures);
+            let per_op: Vec<i64> = w.ops.iter().map(|op| run_op(&ex, op)).collect();
+            let (ytd, oid) = tm.atomic(|tx| {
+                (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx))
+            });
+            let audit = ex.warehouse_audit(0);
+            (per_op, ytd, oid, audit)
+        })
+        .collect();
+    assert_eq!(results[0].0, results[1].0, "per-op results must match");
+    assert!(results[0].1 && results[1].1, "YTD consistency");
+    assert!(results[0].2 && results[1].2, "order-id consistency");
+    assert_eq!(results[0].3, results[1].3, "audit totals must match");
+}
+
+/// Vacation under real multi-client concurrency keeps its accounting
+/// invariant, with futures enabled.
+#[test]
+fn vacation_concurrent_consistency() {
+    let tm = Rtf::builder().workers(4).fallback_threshold(2).build();
+    let cfg = VacationConfig {
+        relations: 128,
+        queries_per_tx: 16,
+        query_range_pct: 60, // hot: drive real conflicts
+        user_pct: 75,
+        audit_pct: 5,
+        seed: 5,
+    };
+    let w = cfg.build(&tm, 240);
+    let client = Arc::new(Client::new(tm.clone(), w.manager.clone(), 2));
+    let ops = Arc::new(w.ops);
+    std::thread::scope(|s| {
+        for c in 0..3 {
+            let client = Arc::clone(&client);
+            let ops = Arc::clone(&ops);
+            s.spawn(move || {
+                for op in ops.iter().skip(c).step_by(3) {
+                    client.execute(op);
+                }
+            });
+        }
+    });
+    assert!(tm.atomic(|tx| w.manager.check_consistency(tx)));
+    let stats = tm.stats();
+    assert!(stats.commits() >= 240, "{stats:?}");
+}
+
+/// TPC-C under multi-client concurrency: the spec's consistency conditions
+/// hold afterwards, and payments/orders are all accounted for.
+#[test]
+fn tpcc_concurrent_consistency() {
+    let tm = Rtf::builder().workers(4).fallback_threshold(2).build();
+    let cfg = TpccConfig {
+        scale: TpccScale { warehouses: 1, customers_per_district: 15, items: 96, seed: 3 },
+        ..TpccConfig::default()
+    };
+    let w = cfg.build(&tm, 180);
+    let ex = Arc::new(TpccExecutor::new(tm.clone(), w.db.clone(), 2));
+    let new_orders_expected = w
+        .ops
+        .iter()
+        .filter(|o| match o {
+            // Orders carrying the spec's 1% invalid item roll back and
+            // must NOT consume an order id.
+            TpccOp::NewOrder { lines, .. } => lines.iter().all(|l| l.i_id != u64::MAX),
+            _ => false,
+        })
+        .count() as u32;
+    let ops = Arc::new(w.ops);
+    std::thread::scope(|s| {
+        for c in 0..3 {
+            let ex = Arc::clone(&ex);
+            let ops = Arc::clone(&ops);
+            s.spawn(move || {
+                for op in ops.iter().skip(c).step_by(3) {
+                    run_op(&ex, op);
+                }
+            });
+        }
+    });
+    let (ytd, oid, orders_created) = tm.atomic(|tx| {
+        let mut created = 0u32;
+        for d in 0..rtf_tpcc::model::DISTRICTS_PER_WAREHOUSE {
+            created += w
+                .db
+                .districts
+                .get(tx, &rtf_tpcc::model::district_key(0, d))
+                .expect("district")
+                .next_o_id
+                - 1;
+        }
+        (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx), created)
+    });
+    assert!(ytd, "W_YTD == sum(D_YTD)");
+    assert!(oid, "dense order ids");
+    assert_eq!(orders_created, new_orders_expected, "every NewOrder created exactly one order");
+}
