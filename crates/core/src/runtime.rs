@@ -247,7 +247,7 @@ impl Rtf {
                     // nesting must wait for stragglers explicitly.
                     if inner.config.semantics == TreeSemantics::ParallelNesting {
                         let pool = inner.env.pool.clone();
-                        tree.wait_quiescent(|| pool.help_one());
+                        tree.wait_quiescent(|| pool.help_one(None));
                     }
                     if self.root_commit(&tree) {
                         return Ok(r);
@@ -306,7 +306,7 @@ impl Rtf {
     fn teardown(&self, tree: &TreeCtx) {
         tree.poison(PoisonKind::ContinuationRestart); // ensure latched
         let pool = self.inner.env.pool.clone();
-        tree.wait_quiescent(|| pool.help_one());
+        tree.wait_quiescent(|| pool.help_one(None));
         tree.scrub_tentative();
     }
 

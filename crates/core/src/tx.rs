@@ -33,7 +33,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use rtf_mvstm::{downcast, erase, TxData, Val, VBox, VBoxCell};
-use rtf_taskpool::Pool;
+use rtf_taskpool::{OrderTag, Pool};
 use rtf_txbase::TmStats;
 
 use crate::future::TxFuture;
@@ -380,11 +380,16 @@ impl Tx {
         rtf_trace!("eval begin (node {:?})", self.current().node.id);
         let pool = self.env.pool.clone();
         let tree = Arc::clone(&self.tree);
+        // Helping is fenced at the current node's serialization position:
+        // running a *later*-positioned task inline could suspend our
+        // uncommitted frames beneath work that transitively waits on them
+        // (see the taskpool module docs on the helping inversion).
+        let bound = order_tag(&self.tree, &self.current().node.path);
         match fut.wait_helping(move || {
             if tree.is_poisoned() {
                 std::panic::panic_any(PoisonSignal);
             }
-            pool.help_one()
+            pool.help_one(Some(&bound))
         }) {
             Ok(v) => v,
             Err(()) => {
@@ -425,7 +430,8 @@ impl Tx {
             requeues: 0,
         };
         stage.tree.task_started();
-        self.env.pool.spawn(Box::new(move || run_future_task(stage)));
+        let tag = order_tag(&self.tree, &parent.path.child_future(fork_idx));
+        self.env.pool.spawn_ordered(tag, Box::new(move || run_future_task(stage)));
     }
 
     // ----------------------------------------------- sub-commit machinery
@@ -491,6 +497,13 @@ impl Tx {
 
 }
 
+/// The pool-level serialization tag of position `key` within `tree` (the
+/// tree is the ordering realm: positions of different trees never constrain
+/// each other).
+fn order_tag(tree: &TreeCtx, key: &rtf_txbase::OrderKey) -> OrderTag {
+    OrderTag::new(tree.tree_id.0, key.components())
+}
+
 /// Outcome of a non-blocking commit attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum CommitBlock {
@@ -532,8 +545,15 @@ fn commit_frame(
                 node.id, node.kind, target.id, target.nclock(), threshold
             );
             let t0 = std::time::Instant::now();
-            let ok =
-                target.wait_nclock_at_least(threshold, || pool.help_one(), || tree.is_poisoned());
+            // Fence helping at the committing node's position, for the same
+            // reason as in `Tx::eval`: everything this wait depends on is
+            // serialized strictly before `node`.
+            let bound = order_tag(tree, &node.path);
+            let ok = target.wait_nclock_at_least(
+                threshold,
+                || pool.help_one(Some(&bound)),
+                || tree.is_poisoned(),
+            );
             env.stats.add_wait_turn_ns(t0.elapsed().as_nanos() as u64);
             if !ok {
                 std::panic::panic_any(PoisonSignal);
@@ -713,14 +733,19 @@ where
                     _ => 500,
                 };
                 let pool = stage.env.pool.clone();
-                pool.spawn(Box::new(move || {
-                    if pause_us == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(std::time::Duration::from_micros(pause_us));
-                    }
-                    run_future_task(stage);
-                }));
+                let tag =
+                    order_tag(&stage.tree, &stage.parent.path.child_future(stage.fork_idx));
+                pool.spawn_ordered(
+                    tag,
+                    Box::new(move || {
+                        if pause_us == 0 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(pause_us));
+                        }
+                        run_future_task(stage);
+                    }),
+                );
                 return; // NOT task_finished: the stage is still in flight.
             }
             Err(payload) => {

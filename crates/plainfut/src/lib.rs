@@ -91,7 +91,7 @@ impl PlainExecutor {
     /// Blocking evaluation; the calling thread helps drain the pool.
     pub fn eval<A: Send + Clone + 'static>(&self, fut: &PlainFuture<A>) -> A {
         let pool = self.pool.clone();
-        fut.wait_helping(move || pool.help_one())
+        fut.wait_helping(move || pool.help_one(None))
     }
 }
 

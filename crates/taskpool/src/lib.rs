@@ -11,6 +11,19 @@
 //! works, with all futures executed by helping threads (degenerating to lazy
 //! inline execution).
 //!
+//! Helping has a soundness constraint that plain work stealing does not:
+//! the helper's stack holds *suspended* work (the frames of whatever it was
+//! doing when it blocked), and a helped task that transitively waits on
+//! those frames can never be satisfied — the thread cannot unwind to them
+//! while the helped task sits on top. Tasks therefore carry an optional
+//! [`OrderTag`] (their position in a realm-local serialization order), every
+//! blocking wait passes the position it is blocked *at*, and [`Pool::help_one`]
+//! only runs tasks positioned strictly before every enclosing wait of the
+//! same realm. Positions earlier in the order never wait on later ones, so
+//! bounded helping can only nest earlier work under later work — the
+//! inversion is impossible by construction. Fences compose across nested
+//! helps through a thread-local stack.
+//!
 //! Design notes (following the Rayon/crossbeam idiom from the HPC guides):
 //! a global [`Injector`] feeds per-worker [`Worker`] deques with batch
 //! stealing; parked workers are woken through a `Mutex`/`Condvar` pair kept
@@ -21,6 +34,7 @@
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,9 +44,81 @@ use std::time::Duration;
 /// responsibility to catch (the `rtf` runtime wraps every future body).
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A task's position in the serialization order of its *realm* (one
+/// transaction tree, in `rtf` terms). Positions are sequences compared
+/// lexicographically with the prefix-first rule; tags from different realms
+/// are unordered and never constrain each other.
+#[derive(Clone, Debug)]
+pub struct OrderTag {
+    realm: u64,
+    pos: Box<[u32]>,
+}
+
+impl OrderTag {
+    /// Tags a position `pos` in `realm`'s serialization order.
+    pub fn new(realm: u64, pos: &[u32]) -> Self {
+        OrderTag { realm, pos: pos.into() }
+    }
+}
+
+/// One queued task plus its (optional) serialization position.
+struct Job {
+    tag: Option<OrderTag>,
+    run: Task,
+}
+
+thread_local! {
+    /// Serialization positions of every wait the current thread is blocked
+    /// at, innermost last. A helped task must precede all of them within
+    /// its realm (the innermost fence of a realm is always the strictest,
+    /// so only that one is consulted).
+    static FENCES: RefCell<Vec<OrderTag>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the current thread's fence stack permits running a task tagged
+/// `tag`. Untagged tasks and tasks from unfenced realms are always allowed.
+fn fences_allow(tag: &Option<OrderTag>) -> bool {
+    let Some(tag) = tag else { return true };
+    FENCES.with(|f| {
+        f.borrow()
+            .iter()
+            .rev()
+            .find(|fence| fence.realm == tag.realm)
+            .is_none_or(|fence| tag.pos < fence.pos)
+    })
+}
+
+/// RAII frame pushing a fence for the duration of one `help_one` call (the
+/// task runs with the fence in place, so its own nested helps respect it).
+struct FenceGuard {
+    pushed: bool,
+}
+
+impl FenceGuard {
+    fn push(bound: Option<&OrderTag>) -> Self {
+        match bound {
+            Some(b) => {
+                FENCES.with(|f| f.borrow_mut().push(b.clone()));
+                FenceGuard { pushed: true }
+            }
+            None => FenceGuard { pushed: false },
+        }
+    }
+}
+
+impl Drop for FenceGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            FENCES.with(|f| {
+                f.borrow_mut().pop();
+            });
+        }
+    }
+}
+
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
     sleep_lock: Mutex<()>,
     wake: Condvar,
     sleepers: AtomicUsize,
@@ -57,7 +143,7 @@ impl Pool {
     /// Builds a pool with `workers` background threads (0 is allowed: all
     /// tasks then run via [`Pool::help_one`] on helping threads).
     pub fn start(workers: usize) -> PoolRunner {
-        let worker_deques: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let worker_deques: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
         let stealers = worker_deques.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
@@ -85,8 +171,19 @@ impl Pool {
 
     /// Enqueues a task for asynchronous execution.
     pub fn spawn(&self, task: Task) {
+        self.push_job(Job { tag: None, run: task });
+    }
+
+    /// Enqueues a task carrying its serialization position, so helping
+    /// threads can tell whether running it inline is safe (see the module
+    /// docs on the helping inversion).
+    pub fn spawn_ordered(&self, tag: OrderTag, task: Task) {
+        self.push_job(Job { tag: Some(tag), run: task });
+    }
+
+    fn push_job(&self, job: Job) {
         self.shared.pending.fetch_add(1, Ordering::Release);
-        self.shared.injector.push(task);
+        self.shared.injector.push(job);
         // Wake one parked worker, if any. The counter check keeps the
         // common (all-workers-busy) path lock-free.
         if self.shared.sleepers.load(Ordering::Acquire) > 0 {
@@ -98,11 +195,39 @@ impl Pool {
     /// Runs one pending task inline, if any. Returns `true` when a task was
     /// executed. Called by threads about to block on a condition that some
     /// queued task may be needed to satisfy.
-    pub fn help_one(&self) -> bool {
-        match find_task(&self.shared, None) {
-            Some(task) => {
-                self.shared.pending.fetch_sub(1, Ordering::Release);
-                task();
+    ///
+    /// `bound` is the serialization position the caller is blocked at (if
+    /// its realm orders tasks): only tasks positioned strictly before it —
+    /// and before every enclosing wait on this thread — are run. Tasks the
+    /// fence forbids are put back; `false` means nothing runnable was found,
+    /// and the caller should park briefly rather than spin.
+    pub fn help_one(&self, bound: Option<&OrderTag>) -> bool {
+        let _fence = FenceGuard::push(bound);
+        let shared = &self.shared;
+        // Scan at most the currently queued jobs once, deferring the ones
+        // the fence stack forbids and running the first permitted one. The
+        // deferred jobs are re-injected (reordering is fine: queue position
+        // carries no semantics — tasks re-queue themselves all the time).
+        let mut deferred: Vec<Job> = Vec::new();
+        let mut chosen: Option<Job> = None;
+        let limit = shared.pending.load(Ordering::Acquire);
+        for _ in 0..=limit {
+            match find_task(shared, None) {
+                Some(job) if fences_allow(&job.tag) => {
+                    chosen = Some(job);
+                    break;
+                }
+                Some(job) => deferred.push(job),
+                None => break,
+            }
+        }
+        for job in deferred {
+            shared.injector.push(job);
+        }
+        match chosen {
+            Some(job) => {
+                shared.pending.fetch_sub(1, Ordering::Release);
+                (job.run)();
                 true
             }
             None => false,
@@ -135,7 +260,7 @@ impl Drop for PoolRunner {
     }
 }
 
-fn find_task(shared: &Shared, local: Option<&Worker<Task>>) -> Option<Task> {
+fn find_task(shared: &Shared, local: Option<&Worker<Job>>) -> Option<Job> {
     if let Some(local) = local {
         if let Some(t) = local.pop() {
             return Some(t);
@@ -169,11 +294,13 @@ fn find_task(shared: &Shared, local: Option<&Worker<Task>>) -> Option<Task> {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, local: Worker<Task>) {
+fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
     loop {
-        if let Some(task) = find_task(&shared, Some(&local)) {
+        // Workers run any task unconditionally: an idle worker's stack holds
+        // no suspended frames, so no fence applies.
+        if let Some(job) = find_task(&shared, Some(&local)) {
             shared.pending.fetch_sub(1, Ordering::Release);
-            task();
+            (job.run)();
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -228,9 +355,9 @@ mod tests {
             pool.spawn(Box::new(move || flag.store(true, Ordering::Relaxed)));
         }
         assert_eq!(pool.pending(), 1);
-        assert!(pool.help_one());
+        assert!(pool.help_one(None));
         assert!(flag.load(Ordering::Relaxed));
-        assert!(!pool.help_one());
+        assert!(!pool.help_one(None));
         assert_eq!(pool.pending(), 0);
     }
 
@@ -246,7 +373,7 @@ mod tests {
             }));
         }
         while counter.load(Ordering::Relaxed) < 500 {
-            pool.help_one();
+            pool.help_one(None);
         }
         assert_eq!(counter.load(Ordering::Relaxed), 500);
     }
@@ -265,7 +392,7 @@ mod tests {
         // Drain before dropping: drop only guarantees joining workers, not
         // that queued tasks ran.
         while counter.load(Ordering::Relaxed) < 50 {
-            pool.help_one();
+            pool.help_one(None);
             std::hint::spin_loop();
         }
         drop(runner);

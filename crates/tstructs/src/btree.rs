@@ -581,11 +581,17 @@ mod tests {
         });
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
-        #[test]
-        fn matches_std_btreemap(ops in proptest::collection::vec(
-            (0u8..3, 0u16..256, 0u64..1000), 1..400)) {
+    /// Seeded random operation sequences replayed against
+    /// `std::collections::BTreeMap` (64 deterministic cases).
+    #[test]
+    fn matches_std_btreemap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0xB7EE_0000 + seed);
+            let ops: Vec<(u8, u16, u64)> = (0..rng.gen_range(1..400usize))
+                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u16..256), rng.gen_range(0u64..1000)))
+                .collect();
             let tm = Rtf::builder().workers(0).build();
             let m: TBTreeMap<u16, u64> = TBTreeMap::new();
             // Replay deterministically inside one transaction; the model
@@ -598,23 +604,22 @@ mod tests {
                         0 => {
                             let got = m.insert(tx, *k, *v);
                             let want = model.insert(*k, *v);
-                            proptest::prop_assert_eq!(got, want);
+                            assert_eq!(got, want, "insert diverged (seed {seed})");
                         }
                         1 => {
                             let got = m.remove(tx, k);
                             let want = model.remove(k);
-                            proptest::prop_assert_eq!(got, want);
+                            assert_eq!(got, want, "remove diverged (seed {seed})");
                         }
                         _ => {
                             let got = m.get(tx, k);
                             let want = model.get(k).copied();
-                            proptest::prop_assert_eq!(got, want);
+                            assert_eq!(got, want, "get diverged (seed {seed})");
                         }
                     }
                 }
-                proptest::prop_assert_eq!(m.debug_validate(tx), model.len());
-                Ok(())
-            })?;
+                assert_eq!(m.debug_validate(tx), model.len(), "length diverged (seed {seed})");
+            });
         }
     }
 }

@@ -172,25 +172,30 @@ mod tests {
         });
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
-        #[test]
-        fn matches_std_hashmap(ops in proptest::collection::vec(
-            (0u8..3, 0u16..128, 0u64..100), 1..200)) {
+    /// Seeded random operation sequences replayed against
+    /// `std::collections::HashMap` (48 deterministic cases).
+    #[test]
+    fn matches_std_hashmap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..48u64 {
+            let mut rng = StdRng::seed_from_u64(0x4A5D_0000 + seed);
+            let ops: Vec<(u8, u16, u64)> = (0..rng.gen_range(1..200usize))
+                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u16..128), rng.gen_range(0u64..100)))
+                .collect();
             let tm = Rtf::builder().workers(0).build();
             let m: THashMap<u16, u64> = THashMap::with_buckets(16);
             tm.atomic(|tx| {
                 let mut model: HashMap<u16, u64> = HashMap::new();
                 for (op, k, v) in &ops {
                     match op {
-                        0 => proptest::prop_assert_eq!(m.insert(tx, *k, *v), model.insert(*k, *v)),
-                        1 => proptest::prop_assert_eq!(m.remove(tx, k), model.remove(k)),
-                        _ => proptest::prop_assert_eq!(m.get(tx, k), model.get(k).copied()),
+                        0 => assert_eq!(m.insert(tx, *k, *v), model.insert(*k, *v)),
+                        1 => assert_eq!(m.remove(tx, k), model.remove(k)),
+                        _ => assert_eq!(m.get(tx, k), model.get(k).copied()),
                     }
                 }
-                proptest::prop_assert_eq!(m.count(tx), model.len());
-                Ok(())
-            })?;
+                assert_eq!(m.count(tx), model.len(), "count diverged (seed {seed})");
+            });
         }
     }
 }

@@ -64,8 +64,8 @@ impl VacationConfig {
                 .map(|id| {
                     let mut row = [0u32; 6];
                     for k in 0..3 {
-                        row[k * 2] = rng.gen_range(1..=5) * 100; // total
-                        row[k * 2 + 1] = (rng.gen_range(1..=11)) * 50; // price
+                        row[k * 2] = rng.gen_range(1..=5u32) * 100; // total
+                        row[k * 2 + 1] = (rng.gen_range(1..=11u32)) * 50; // price
                     }
                     (id, row)
                 })
@@ -112,7 +112,7 @@ impl VacationConfig {
                                 KINDS[rng.gen_range(0..3usize)],
                                 rng.gen_range(0..query_range),
                                 rng.gen_bool(0.5),
-                                rng.gen_range(1..=11) * 50,
+                                rng.gen_range(1..=11u32) * 50,
                             )
                         })
                         .collect();

@@ -15,16 +15,31 @@ fn conflicting_trees_converge_exactly() {
     let shared = VBox::new(0u64);
     let threads = 3;
     let per = 150;
+    // All trees start together: their first transactions overlap even when
+    // the test runs on a loaded machine, so the contention asserted below
+    // does not depend on thread-spawn timing.
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
     let handles: Vec<_> = (0..threads)
         .map(|_| {
             let (tm, shared) = (Arc::clone(&tm), shared.clone());
+            let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
+                barrier.wait();
                 for _ in 0..per {
                     tm.atomic(|tx| {
                         let s2 = shared.clone();
                         let f = tx.submit(move |tx| {
                             let v = *tx.read(&s2);
                             tx.write(&s2, v + 1);
+                            // Keep the tentative entry live long enough for
+                            // the sibling trees to collide with it — the
+                            // window would otherwise be a few hundred
+                            // nanoseconds and the contention this test
+                            // asserts on becomes a coin flip.
+                            let t = std::time::Instant::now();
+                            while t.elapsed() < std::time::Duration::from_micros(20) {
+                                std::hint::spin_loop();
+                            }
                             0u8
                         });
                         let _ = tx.eval(&f);

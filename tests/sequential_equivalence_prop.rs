@@ -1,14 +1,16 @@
-//! Property-based test of the paper's core guarantee: *any* program built
+//! Property-style test of the paper's core guarantee: *any* program built
 //! from reads, writes and (nested) transactional futures produces exactly
 //! the results of its sequential execution — the one in which every future
 //! body runs synchronously at its submission point (§II).
 //!
-//! Random programs are generated as trees of operations, executed twice:
-//! once by a trivial sequential interpreter over a plain array, once by the
-//! TM with real parallelism. Final box states and every context's
-//! accumulator must match bit-for-bit.
+//! Random programs are generated as trees of operations from a seeded PRNG
+//! (deterministic across runs), executed twice: once by a trivial
+//! sequential interpreter over a plain array, once by the TM with real
+//! parallelism. Final box states and every context's accumulator must
+//! match bit-for-bit.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rtf::{Rtf, Tx, VBox};
 use std::sync::Arc;
 
@@ -87,31 +89,40 @@ fn acc0_of(acc: u64) -> u64 {
     acc
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    let leaf = prop_oneof![
-        (0u8..BOXES as u8).prop_map(Step::Read),
-        (0u8..BOXES as u8).prop_map(Step::Write),
-    ];
-    leaf.prop_recursive(2, 16, 3, |inner| {
-        (
-            prop::collection::vec(inner.clone(), 1..3),
-            prop::collection::vec(inner, 0..3),
-        )
-            .prop_map(|(f, c)| Step::Fork(Box::new(f), Box::new(c)))
-    })
+/// One random step. `depth` bounds fork nesting (matching the previous
+/// proptest strategy: leaves are reads/writes, forks recurse twice at most
+/// with 1–2 future steps and 0–2 continuation steps).
+fn gen_step(rng: &mut StdRng, depth: u32) -> Step {
+    if depth > 0 && rng.gen_range(0..4u32) == 0 {
+        let fut: Prog = {
+            let n = rng.gen_range(1..3usize);
+            (0..n).map(|_| gen_step(rng, depth - 1)).collect()
+        };
+        let cont: Prog = {
+            let n = rng.gen_range(0..3usize);
+            (0..n).map(|_| gen_step(rng, depth - 1)).collect()
+        };
+        Step::Fork(Box::new(fut), Box::new(cont))
+    } else if rng.gen_bool(0.5) {
+        Step::Read(rng.gen_range(0..BOXES as u8))
+    } else {
+        Step::Write(rng.gen_range(0..BOXES as u8))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 20,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+fn gen_prog(rng: &mut StdRng, max_len: usize) -> Prog {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| gen_step(rng, 2)).collect()
+}
 
-    /// Random future-trees equal their sequential execution — final state
-    /// *and* accumulator.
-    #[test]
-    fn random_programs_match_sequential(prog in prop::collection::vec(step_strategy(), 1..8)) {
+/// Random future-trees equal their sequential execution — final state
+/// *and* accumulator.
+#[test]
+fn random_programs_match_sequential() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E00 + seed);
+        let prog = gen_prog(&mut rng, 8);
+
         // Reference run.
         let mut expect_state = [0u64; BOXES];
         for (i, s) in expect_state.iter_mut().enumerate() {
@@ -125,16 +136,24 @@ proptest! {
             Arc::new((0..BOXES).map(|i| VBox::new((i as u64 + 1) * 100)).collect());
         let got_acc = tm.atomic(|tx| run_tm(tx, &prog, &boxes, 7));
 
-        prop_assert_eq!(got_acc, expect_acc, "accumulator diverged");
+        assert_eq!(got_acc, expect_acc, "accumulator diverged (seed {seed}, prog {prog:?})");
         for (i, b) in boxes.iter().enumerate() {
-            prop_assert_eq!(*b.read_committed(), expect_state[i], "box {} diverged", i);
+            assert_eq!(
+                *b.read_committed(),
+                expect_state[i],
+                "box {i} diverged (seed {seed}, prog {prog:?})"
+            );
         }
     }
+}
 
-    /// The same programs must also be deterministic across repeated TM runs
-    /// (fresh boxes each time).
-    #[test]
-    fn tm_runs_are_deterministic(prog in prop::collection::vec(step_strategy(), 1..6)) {
+/// The same programs must also be deterministic across repeated TM runs
+/// (fresh boxes each time).
+#[test]
+fn tm_runs_are_deterministic() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE7E + seed);
+        let prog = gen_prog(&mut rng, 6);
         let run = || {
             let tm = Rtf::builder().workers(2).build();
             let boxes: Arc<Vec<VBox<u64>>> =
@@ -143,6 +162,6 @@ proptest! {
             let state: Vec<u64> = boxes.iter().map(|b| *b.read_committed()).collect();
             (acc, state)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "non-deterministic result (seed {seed}, prog {prog:?})");
     }
 }

@@ -1,0 +1,284 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: `Criterion::default()` with `sample_size` /
+//! `measurement_time` / `warm_up_time`, `bench_function`, `Bencher::iter`
+//! and `Bencher::iter_batched`, plus the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a straightforward calibrated timing loop (no statistical
+//! regression, outlier analysis, or HTML reports): each sample runs a batch
+//! sized so the whole measurement fits in `measurement_time`, and the shim
+//! prints min/median/mean per-iteration times. Good enough to compare runs
+//! of this repository against each other, which is all the harness needs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// re-creates one input per measured call regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver configured fluently, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark: hands `f` a [`Bencher`] and reports the timing.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Per-iteration timing results, in nanoseconds.
+struct Stats {
+    min: f64,
+    median: f64,
+    mean: f64,
+}
+
+/// Runs the measured routine; handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Per-iteration nanoseconds of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` directly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up & calibration: find how many iterations fit one sample.
+        let mut iters_per_sample = 1u64;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            let target = self.measurement_time.div_f64(self.sample_size as f64);
+            if elapsed >= target || Instant::now() >= warm_deadline {
+                if elapsed < target {
+                    let scale = target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    iters_per_sample =
+                        ((iters_per_sample as f64 * scale).ceil() as u64).max(iters_per_sample);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up: at least one call, bounded by the warm-up budget.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        // One timed call per sample; setup cost excluded.
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Stats { min: sorted[0], median, mean })
+    }
+
+    fn report(&self, name: &str) {
+        match self.stats() {
+            Some(s) => println!(
+                "bench: {name:<60} min {} median {} mean {}",
+                fmt_ns(s.min),
+                fmt_ns(s.median),
+                fmt_ns(s.mean),
+            ),
+            None => println!("bench: {name:<60} (no samples)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either the block form
+/// (`name = ident; config = expr; targets = fns`) or the simple list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("shim_smoke_iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("shim_smoke_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= runs && runs >= 3);
+    }
+
+    #[test]
+    fn group_macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro_target", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(5))
+                .warm_up_time(Duration::from_millis(1));
+            targets = target
+        }
+        benches();
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline shim for the subset of `crossbeam-deque` this workspace uses:
+//! [`Injector`], [`Worker`]/[`Stealer`], and the [`Steal`] result enum.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this shim uses
+//! a mutex-guarded `VecDeque` per queue, which preserves the API and the
+//! FIFO semantics (all queues here are created with [`Worker::new_fifo`])
+//! at some loss of peak throughput. The task pool's throughput is
+//! dominated by task bodies, not queue operations, so this is an
+//! acceptable stand-in when the real crate cannot be fetched.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and may be retried. (This shim's locked
+    /// queues never race, so `Retry` is never produced; the variant exists
+    /// for API compatibility.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether this is [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Whether this is [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A global FIFO queue every worker can push to and steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the global queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals one task from the global queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks into `dest`'s local queue and pops one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Move up to half of the remainder (capped) into the local queue.
+        let take = (q.len() / 2).min(16);
+        if take > 0 {
+            let mut local = lock(&dest.queue);
+            for _ in 0..take {
+                match q.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+/// A worker-local FIFO queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a task onto the local queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the next local task.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// Whether the local queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// A handle other threads use to steal from this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// Steals tasks from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the owning worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_fifo_and_batch_steal() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert!(matches!(inj.steal(), Steal::Success(0)));
+        let w = Worker::new_fifo();
+        // Pops 1, moves up to half the remaining 8 into the local queue.
+        assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(1)));
+        let mut local = Vec::new();
+        while let Some(t) = w.pop() {
+            local.push(t);
+        }
+        assert_eq!(local, vec![2, 3, 4, 5]);
+        assert!(matches!(inj.steal(), Steal::Success(6)));
+    }
+
+    #[test]
+    fn stealer_takes_from_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        assert!(s.steal().is_empty());
+        w.push('a');
+        w.push('b');
+        assert!(matches!(s.steal(), Steal::Success('a')));
+        assert_eq!(w.pop(), Some('b'));
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline shim for the subset of `crossbeam-epoch` this workspace uses:
+//! [`Atomic`], [`Owned`], [`Shared`], [`Guard`] with [`Guard::defer_destroy`],
+//! [`pin`] and [`unprotected`].
+//!
+//! Reclamation is era-based quiescent-state tracking rather than crossbeam's
+//! per-thread garbage bags:
+//!
+//! * a global **era** counter is bumped after every retirement;
+//! * a pinned thread advertises the era it pinned at in a registry slot;
+//! * garbage retired at era `R` is freed once every pinned thread advertises
+//!   an era `> R`.
+//!
+//! Safety argument (matching how the commit chain uses the API): a node is
+//! *unlinked* (made unreachable from the shared structure) before it is
+//! retired, and the retirement records the era **before** bumping it. Any
+//! thread that could still hold a reference to the node must therefore have
+//! pinned before the unlink, i.e. at an era `<= R`. Once the minimum
+//! advertised era exceeds `R`, no such thread remains pinned and the node
+//! can be freed. All protocol accesses use `SeqCst`, so the claim-slot →
+//! pin → load ordering and the unlink → retire → bump ordering are both
+//! within the single total order the argument needs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+const SLOT_COUNT: usize = 4096;
+const INACTIVE: u64 = u64::MAX;
+
+static ERA: AtomicU64 = AtomicU64::new(1);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const INACTIVE_SLOT: AtomicU64 = AtomicU64::new(INACTIVE);
+static SLOTS: [AtomicU64; SLOT_COUNT] = [INACTIVE_SLOT; SLOT_COUNT];
+/// Number of registry slots ever claimed; bounds the collection scan.
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+static FREE_SLOTS: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+/// Type-erased deferred destruction of a `Box<T>`.
+struct Garbage {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+// The pointee was unlinked from all shared structures before retirement;
+// whichever thread frees it has exclusive access.
+unsafe impl Send for Garbage {}
+
+impl Garbage {
+    fn new<T>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        Garbage { ptr: ptr.cast(), drop_fn: drop_box::<T> }
+    }
+
+    fn free(self) {
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+static LIMBO: Mutex<Vec<(u64, Garbage)>> = Mutex::new(Vec::new());
+
+struct ThreadReg {
+    slot: usize,
+    depth: Cell<usize>,
+}
+
+impl ThreadReg {
+    fn claim() -> ThreadReg {
+        let slot = loop {
+            if let Some(i) =
+                FREE_SLOTS.lock().unwrap_or_else(PoisonError::into_inner).pop()
+            {
+                break i;
+            }
+            let hw = HIGH_WATER.load(Ordering::SeqCst);
+            if hw < SLOT_COUNT
+                && HIGH_WATER
+                    .compare_exchange(hw, hw + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                break hw;
+            }
+            // More live threads than slots: wait for one to exit.
+            std::thread::yield_now();
+        };
+        ThreadReg { slot, depth: Cell::new(0) }
+    }
+}
+
+impl Drop for ThreadReg {
+    fn drop(&mut self) {
+        SLOTS[self.slot].store(INACTIVE, Ordering::SeqCst);
+        FREE_SLOTS.lock().unwrap_or_else(PoisonError::into_inner).push(self.slot);
+    }
+}
+
+thread_local! {
+    static REG: ThreadReg = ThreadReg::claim();
+}
+
+/// Frees every limbo entry whose retirement era precedes the minimum era
+/// advertised by a pinned thread. Skips the pass when the limbo lock is
+/// contended — some other thread is already collecting.
+fn try_collect() {
+    let mut limbo = match LIMBO.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return,
+    };
+    if limbo.is_empty() {
+        return;
+    }
+    let hw = HIGH_WATER.load(Ordering::SeqCst).min(SLOT_COUNT);
+    let mut min = u64::MAX;
+    for slot in SLOTS.iter().take(hw) {
+        min = min.min(slot.load(Ordering::SeqCst));
+    }
+    let mut keep = Vec::new();
+    for (era, g) in limbo.drain(..) {
+        if era < min {
+            g.free();
+        } else {
+            keep.push((era, g));
+        }
+    }
+    *limbo = keep;
+}
+
+/// A pinned-participant handle. While alive, garbage retired at or after
+/// the pin cannot be freed.
+pub struct Guard {
+    /// Registry slot of the pinning thread; `-1` marks the unprotected guard.
+    slot: isize,
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pins the current thread, returning a guard that keeps loaded [`Shared`]
+/// pointers valid until dropped.
+pub fn pin() -> Guard {
+    REG.with(|reg| {
+        if reg.depth.get() == 0 {
+            SLOTS[reg.slot].store(ERA.load(Ordering::SeqCst), Ordering::SeqCst);
+        }
+        reg.depth.set(reg.depth.get() + 1);
+        Guard { slot: reg.slot as isize, _not_send: PhantomData }
+    })
+}
+
+struct StaticGuard(Guard);
+// The unprotected guard carries no thread state.
+unsafe impl Sync for StaticGuard {}
+static UNPROTECTED: StaticGuard = StaticGuard(Guard { slot: -1, _not_send: PhantomData });
+
+/// Returns a guard that performs no pinning.
+///
+/// # Safety
+///
+/// Callers must guarantee no other thread concurrently accesses the data
+/// structure (e.g. inside `Drop` with `&mut self`).
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED.0
+}
+
+impl Guard {
+    /// Defers destruction of the value `ptr` points to until no pinned
+    /// thread can still be holding a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to an initialized, owned allocation that has been
+    /// made unreachable to threads that pin after this call.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        debug_assert!(!ptr.is_null());
+        if self.slot < 0 {
+            // Unprotected: the caller asserts exclusive access.
+            drop(unsafe { Box::from_raw(ptr.ptr) });
+            return;
+        }
+        let era = ERA.load(Ordering::SeqCst);
+        LIMBO
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((era, Garbage::new(ptr.ptr)));
+        ERA.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.slot < 0 {
+            return;
+        }
+        let _ = REG.try_with(|reg| {
+            let d = reg.depth.get() - 1;
+            reg.depth.set(d);
+            if d == 0 {
+                SLOTS[reg.slot].store(INACTIVE, Ordering::SeqCst);
+            }
+        });
+        try_collect();
+    }
+}
+
+/// Types that can be handed to [`Atomic::store`] / [`Atomic::compare_exchange`]:
+/// owned boxes ([`Owned`]) and borrowed pointers ([`Shared`]).
+pub trait Pointer<T> {
+    /// Consumes `self` into a raw pointer (without dropping the pointee).
+    fn into_ptr(self) -> *mut T;
+    /// Reconstructs `Self` from a raw pointer produced by [`Pointer::into_ptr`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `into_ptr` of the same implementing type.
+    unsafe fn from_ptr(ptr: *mut T) -> Self;
+}
+
+/// An owned, heap-allocated value destined for an [`Atomic`].
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Send for Owned<T> {}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned { ptr: Box::into_raw(Box::new(value)) }
+    }
+
+    /// Converts into a [`Shared`] pointer bound to `guard`.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { ptr: self.into_ptr(), _marker: PhantomData }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        drop(unsafe { Box::from_raw(self.ptr) });
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        let p = self.ptr;
+        std::mem::forget(self);
+        p
+    }
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Owned { ptr }
+    }
+}
+
+/// A pointer into an [`Atomic`], valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.ptr, other.ptr)
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared { ptr: std::ptr::null_mut(), _marker: PhantomData }
+    }
+
+    /// Whether this pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences, returning `None` for null.
+    ///
+    /// # Safety
+    ///
+    /// Non-null pointers must reference live data (guaranteed while the
+    /// guard that produced them is held and the data was reachable).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Dereferences a known non-null pointer.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Shared::as_ref`], plus the pointer must be non-null.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.ptr }
+    }
+
+    /// Takes ownership of the pointee.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee and the pointer
+    /// must be non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned { ptr: self.ptr }
+    }
+
+    /// The raw pointer value.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr
+    }
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Shared { ptr, _marker: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+/// Error of a failed [`Atomic::compare_exchange`]: the value actually
+/// found, and the not-installed new value handed back to the caller.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic held instead of the expected one.
+    pub current: Shared<'g, T>,
+    /// The new value, returned so the caller can retry without realloc.
+    pub new: P,
+}
+
+/// An atomic pointer usable with epoch-guarded loads.
+pub struct Atomic<T> {
+    inner: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub fn null() -> Self {
+        Atomic { inner: AtomicPtr::new(std::ptr::null_mut()) }
+    }
+
+    /// Allocates `value` and stores a pointer to it.
+    pub fn new(value: T) -> Self {
+        Atomic { inner: AtomicPtr::new(Box::into_raw(Box::new(value))) }
+    }
+
+    /// Loads the pointer; the result is valid while `_guard` is held.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { ptr: self.inner.load(ord), _marker: PhantomData }
+    }
+
+    /// Stores `new` (a [`Shared`] or [`Owned`]).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.inner.store(new.into_ptr(), ord);
+    }
+
+    /// Compare-exchange: installs `new` if the current value is `current`.
+    /// On failure the not-installed `new` is handed back in the error.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_ptr = new.into_ptr();
+        match self.inner.compare_exchange(current.ptr, new_ptr, success, failure) {
+            Ok(_) => Ok(Shared { ptr: new_ptr, _marker: PhantomData }),
+            Err(found) => Err(CompareExchangeError {
+                current: Shared { ptr: found, _marker: PhantomData },
+                new: unsafe { P::from_ptr(new_ptr) },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Value whose drops are counted through a per-test counter (tests run
+    /// concurrently, so a global counter would race).
+    struct Counted(u64, Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.1.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn cas_load_and_reclaim() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Atomic<Counted> = Atomic::new(Counted(1, Arc::clone(&drops)));
+        {
+            let guard = pin();
+            let old = a.load(Ordering::Acquire, &guard);
+            let newv = Owned::new(Counted(2, Arc::clone(&drops)));
+            let installed = a
+                .compare_exchange(old, newv, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .ok()
+                .expect("uncontended CAS succeeds");
+            assert_eq!(unsafe { installed.deref() }.0, 2);
+            unsafe { guard.defer_destroy(old) };
+        }
+        // Collection only needs *some* later unpin with no pins active; other
+        // tests may hold pins concurrently, so poll briefly.
+        for _ in 0..1000 {
+            drop(pin());
+            if drops.load(Ordering::SeqCst) >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(drops.load(Ordering::SeqCst) >= 1, "retired node never collected");
+        // Free the live node via the unprotected path.
+        let guard = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, guard);
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn failed_cas_returns_new_value() {
+        let a: Atomic<u64> = Atomic::new(7);
+        let guard = pin();
+        let stale = Shared::null();
+        let n = Owned::new(9u64);
+        match a.compare_exchange(stale, n, Ordering::AcqRel, Ordering::Acquire, &guard) {
+            Ok(_) => panic!("CAS against null must fail: value is non-null"),
+            Err(e) => {
+                assert_eq!(unsafe { e.current.deref() }, &7);
+                assert_eq!(*e.new, 9); // Owned handed back intact
+            }
+        }
+        drop(guard);
+        let unp = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, unp);
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Arc<Atomic<Counted>> = Arc::new(Atomic::new(Counted(10, Arc::clone(&drops))));
+
+        let reader_guard = pin();
+        let held = a.load(Ordering::Acquire, &reader_guard);
+
+        // Another thread swaps the value out and retires the old node.
+        let a2 = Arc::clone(&a);
+        let d2 = Arc::clone(&drops);
+        std::thread::spawn(move || {
+            let guard = pin();
+            let old = a2.load(Ordering::Acquire, &guard);
+            let n = Owned::new(Counted(11, d2));
+            a2.compare_exchange(old, n, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .ok()
+                .expect("uncontended CAS succeeds");
+            unsafe { guard.defer_destroy(old) };
+        })
+        .join()
+        .unwrap();
+
+        // While we stay pinned the node must not be freed.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(unsafe { held.deref() }.0, 10);
+        drop(reader_guard);
+
+        // After unpinning, collection passes eventually free it.
+        for _ in 0..1000 {
+            drop(pin());
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "retired node never collected");
+
+        let guard = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, guard);
+        drop(unsafe { cur.into_owned() });
+    }
+}
