@@ -8,10 +8,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn bench_commit(c: &mut Criterion) {
-    for (name, strategy) in [
-        ("lockfree", CommitStrategy::LockFreeHelping),
-        ("mutex", CommitStrategy::GlobalMutex),
-    ] {
+    for (name, strategy) in
+        [("lockfree", CommitStrategy::LockFreeHelping), ("mutex", CommitStrategy::GlobalMutex)]
+    {
         let tm = Rtf::builder().workers(0).commit_strategy(strategy).build();
         let vb = VBox::new(0u64);
         c.bench_function(&format!("commit/{name}/solo"), |b| {
@@ -25,10 +24,9 @@ fn bench_commit(c: &mut Criterion) {
     }
 
     // With a background committer hammering disjoint boxes.
-    for (name, strategy) in [
-        ("lockfree", CommitStrategy::LockFreeHelping),
-        ("mutex", CommitStrategy::GlobalMutex),
-    ] {
+    for (name, strategy) in
+        [("lockfree", CommitStrategy::LockFreeHelping), ("mutex", CommitStrategy::GlobalMutex)]
+    {
         let tm = Arc::new(Rtf::builder().workers(0).commit_strategy(strategy).build());
         let mine = VBox::new(0u64);
         let theirs = VBox::new(0u64);

@@ -38,12 +38,7 @@ pub fn ablation_commit(args: &Args) -> Table {
         };
         let lf = thr(CommitStrategy::LockFreeHelping);
         let gm = thr(CommitStrategy::GlobalMutex);
-        t.row(vec![
-            clients.to_string(),
-            fmt_f64(lf),
-            fmt_f64(gm),
-            fmt_f64(lf / gm),
-        ]);
+        t.row(vec![clients.to_string(), fmt_f64(lf), fmt_f64(gm), fmt_f64(lf / gm)]);
     }
     t
 }
@@ -58,10 +53,7 @@ pub fn ablation_roflag(args: &Args) -> Table {
         &["ro_opt", "throughput (txs/s)", "ro skips", "ro validations"],
     );
     for ro_opt in [true, false] {
-        let tm = Rtf::builder()
-            .workers(clients * futures)
-            .read_only_optimization(ro_opt)
-            .build();
+        let tm = Rtf::builder().workers(clients * futures).read_only_optimization(ro_opt).build();
         let data: TArray<u64> = TArray::new(1 << 12, |i| i as u64);
         let before = tm.stats();
         let m = run_clients(clients, ops, |c, i| {
@@ -96,7 +88,6 @@ pub fn ablation_roflag(args: &Args) -> Table {
     }
     t
 }
-
 
 /// A4: the cost of strong ordering — the paper's submission-point
 /// serialization vs unordered parallel nesting (JVSTM-style, paper §VI) on

@@ -41,9 +41,7 @@ impl Args {
                 "--array-size" => args.array_size = Some(parse_num(&take("--array-size"))),
                 "--csv" => args.csv = Some(PathBuf::from(take("--csv"))),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --quick  --threads N  --ops N  --array-size N  --csv DIR"
-                    );
+                    eprintln!("flags: --quick  --threads N  --ops N  --array-size N  --csv DIR");
                     std::process::exit(0);
                 }
                 other => {

@@ -25,7 +25,12 @@ impl Fig5aGrid {
     /// Paper-shaped grid, scaled by `--quick`.
     pub fn new(args: &Args) -> Fig5aGrid {
         if args.quick {
-            Fig5aGrid { tx_lens: vec![10, 100, 1000], iters: vec![0, 100, 1000], futures: 3, clients: 2 }
+            Fig5aGrid {
+                tx_lens: vec![10, 100, 1000],
+                iters: vec![0, 100, 1000],
+                futures: 3,
+                clients: 2,
+            }
         } else {
             Fig5aGrid {
                 tx_lens: vec![10, 100, 1_000, 10_000, 100_000],
@@ -57,14 +62,16 @@ pub fn fig5a(args: &Args) -> Vec<Table> {
         .collect();
     let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t_jtf = Table::new(
-        format!("Fig 5a — JTF transactional futures, normalized throughput ({}x{} vs {} plain threads)",
-            grid.clients, grid.futures + 1, grid.clients),
+        format!(
+            "Fig 5a — JTF transactional futures, normalized throughput ({}x{} vs {} plain threads)",
+            grid.clients,
+            grid.futures + 1,
+            grid.clients
+        ),
         &headers,
     );
-    let mut t_plain = Table::new(
-        "Fig 5a — plain (non-transactional) futures, normalized throughput",
-        &headers,
-    );
+    let mut t_plain =
+        Table::new("Fig 5a — plain (non-transactional) futures, normalized throughput", &headers);
     let mut t_ratio = Table::new(
         "Fig 5a — JTF / plain-future throughput ratio (isolates the transactional \
 machinery's cost on top of plain futures; cf. the paper's <1% overhead claim)",
@@ -103,7 +110,12 @@ machinery's cost on top of plain futures; cf. the paper's <1% overhead claim)",
 }
 
 /// Re-shapes the shared array workload without reallocating the data.
-fn shaped(data: &SyntheticArray, mut cfg: SyntheticConfig, tx_len: usize, iter: u32) -> SyntheticArray {
+fn shaped(
+    data: &SyntheticArray,
+    mut cfg: SyntheticConfig,
+    tx_len: usize,
+    iter: u32,
+) -> SyntheticArray {
     cfg.tx_len = tx_len;
     cfg.iters_between = iter;
     data.with_config(cfg)
@@ -249,9 +261,8 @@ fn build_alloc_table(
     metric: impl Fn(&ContendedCell, &ContendedCell) -> String,
 ) -> Table {
     let allocs = allocations(budget);
-    let header: Vec<String> = std::iter::once("prefix".to_string())
-        .chain(allocs.iter().map(|a| a.to_string()))
-        .collect();
+    let header: Vec<String> =
+        std::iter::once("prefix".to_string()).chain(allocs.iter().map(|a| a.to_string())).collect();
     let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(title, &headers);
     let mut prefixes: Vec<usize> = cells.iter().map(|c| c.prefix).collect();
@@ -266,7 +277,9 @@ fn build_alloc_table(
         for a in &allocs {
             let cell = cells
                 .iter()
-                .find(|c| c.prefix == p && c.alloc.clients == a.clients && c.alloc.futures == a.futures)
+                .find(|c| {
+                    c.prefix == p && c.alloc.clients == a.clients && c.alloc.futures == a.futures
+                })
                 .expect("cell present");
             row.push(metric(cell, base));
         }

@@ -156,8 +156,7 @@ pub fn tables(app: App, cells: &[Fig6Cell]) -> Vec<Table> {
         .iter()
         .zip(figs)
         .map(|((metric_name, metric), fig)| {
-            let mut t =
-                Table::new(format!("Fig {fig} — {name}: {metric_name}"), &headers);
+            let mut t = Table::new(format!("Fig {fig} — {name}: {metric_name}"), &headers);
             for &th in &threads {
                 let mut row = vec![th.to_string()];
                 for &f in &FUTURE_STRATEGIES {

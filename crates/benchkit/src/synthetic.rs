@@ -100,9 +100,11 @@ impl SyntheticArray {
             for f in 1..=futures {
                 let arr = arr.clone();
                 let len = chunk.min(cfg.tx_len.saturating_sub(f * chunk));
-                handles.push(tx.submit(move |tx| {
-                    scan_chunk(tx, &arr, cfg, seed.wrapping_add(f as u64), len)
-                }));
+                handles.push(
+                    tx.submit(move |tx| {
+                        scan_chunk(tx, &arr, cfg, seed.wrapping_add(f as u64), len)
+                    }),
+                );
             }
             let mut acc = scan_chunk(tx, &arr, cfg, seed, chunk);
             for h in &handles {
@@ -172,7 +174,9 @@ impl SyntheticArray {
 
     /// Sum of the hot-spot elements (post-run verification).
     pub fn hot_sum(&self) -> u64 {
-        (0..self.cfg.hot_spots).map(|i| *self.arr.slot(i).read_committed()).fold(0, u64::wrapping_add)
+        (0..self.cfg.hot_spots)
+            .map(|i| *self.arr.slot(i).read_committed())
+            .fold(0, u64::wrapping_add)
     }
 }
 

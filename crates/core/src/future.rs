@@ -18,7 +18,7 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rtf_mvstm::TxData;
+use rtf_txengine::TxData;
 
 enum FutState<A> {
     Pending,
@@ -47,7 +47,9 @@ impl<A: TxData> Clone for TxFuture<A> {
 
 impl<A: TxData> TxFuture<A> {
     pub(crate) fn new_pending() -> Self {
-        TxFuture { shared: Arc::new(Shared { state: Mutex::new(FutState::Pending), cv: Condvar::new() }) }
+        TxFuture {
+            shared: Arc::new(Shared { state: Mutex::new(FutState::Pending), cv: Condvar::new() }),
+        }
     }
 
     /// A handle that is already resolved (used by the sequential fallback

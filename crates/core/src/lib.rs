@@ -51,7 +51,9 @@
 //!   continuation closure, giving partial rollback), [`Tx::eval`].
 //! * [`TxFuture`] — the future handle; sendable anywhere, evaluatable even
 //!   from other top-level transactions (paper Fig 2).
-//! * Substrates: `rtf-mvstm` (multi-version boxes, snapshot reads,
+//! * Substrates: `rtf-txengine` (versioned cells, the shared
+//!   read-resolution / token-validation pipeline, the [`EventSink`]
+//!   instrumentation seam), `rtf-mvstm` (top-level snapshot policy and
 //!   lock-free helping commit) and `rtf-taskpool` (helping work pool).
 //!
 //! The concurrency control implements the paper's machinery: per-box
@@ -59,18 +61,23 @@
 //! propagated on sub-commit, `ancVer`/`nClock` visibility, the `waitTurn`
 //! ordering rules, read-set re-resolution at sub-commit, the inter-tree
 //! `ownedByAnotherTree` fallback, and the read-only validation-skip
-//! optimization. See `DESIGN.md` for the map from paper sections to
-//! modules, and for the documented substitutions (closure-based partial
-//! rollback instead of JVM first-class continuations; mutex-guarded
-//! tentative lists with unchanged ordering semantics).
+//! optimization. Since the engine extraction this crate contributes only
+//! the *policies* — `rw::SubRead` (Fig 4 visibility) and
+//! `rw::SubValidation` (commit-time variant) — plus the tree/commit
+//! protocol; the single generic read walk and validation loop live in
+//! `rtf-txengine` and are shared with the top-level path. See `DESIGN.md`
+//! §3.10 for the engine layer, and for the documented substitutions
+//! (closure-based partial rollback instead of JVM first-class
+//! continuations; mutex-guarded tentative lists with unchanged ordering
+//! semantics).
+//!
+//! [`EventSink`]: rtf_txengine::EventSink
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod future;
 mod node;
-#[macro_use]
-pub(crate) mod trace;
 mod runtime;
 mod rw;
 mod tree;
@@ -82,15 +89,17 @@ pub use tree::TreeSemantics;
 pub use tx::Tx;
 
 // Re-export the data layer so `rtf` alone suffices for applications.
-pub use rtf_mvstm::{CommitStrategy, TxData, VBox};
+pub use rtf_mvstm::CommitStrategy;
 pub use rtf_txbase::StatSnapshot;
+pub use rtf_txengine::{TxData, VBox};
 
 // Internal APIs for sibling crates (data structures, benches) and tests.
 #[doc(hidden)]
 pub mod internals {
     pub use crate::node::{Node, NodeKind};
-    pub use crate::rw::{sub_read, sub_write, validate_reads, ReadEntry, ReadKind};
+    pub use crate::rw::{sub_read, sub_write, validate_reads, SubRead, SubValidation};
     pub use crate::tree::TreeCtx;
+    pub use rtf_txengine::{ReadRecord, Source};
 }
 
 #[cfg(test)]
@@ -439,7 +448,12 @@ mod tests {
                 v
             })
         });
-        let want: Vec<u64> = (1..=12u64).scan(0, |s, i| { *s += i; Some(*s) }).collect();
+        let want: Vec<u64> = (1..=12u64)
+            .scan(0, |s, i| {
+                *s += i;
+                Some(*s)
+            })
+            .collect();
         assert_eq!(prefix, want);
         assert_eq!(*acc.read_committed(), 78);
     }

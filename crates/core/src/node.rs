@@ -23,8 +23,8 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
-use rtf_mvstm::VBoxCell;
-use rtf_txbase::{new_node_id, FxHashMap, NodeId, Orec, OrderKey, WriteToken};
+use rtf_txbase::{new_node_id, FxHashMap, NodeId, OrderKey, Orec, WriteToken};
+use rtf_txengine::VBoxCell;
 
 /// Role of a node within its parent (the paper's future/continuation
 /// distinction, extended with the fork index for nodes that fork several

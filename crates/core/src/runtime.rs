@@ -22,9 +22,13 @@
 
 use std::sync::Arc;
 
-use rtf_mvstm::{CommitStrategy, CommitWrite, MvStm, TxData};
+use rtf_mvstm::{CommitStrategy, MvStm, TxData};
 use rtf_taskpool::{Pool, PoolRunner};
-use rtf_txbase::{FxHashMap, OrecStatus, StatSnapshot, TmStats};
+use rtf_txbase::{OrecStatus, StatSnapshot, TmStats};
+use rtf_txengine::{
+    Event, EventSink, ReadRecord, ReadSet, RetryDriver, Source, StatsSink, TeeSink, TraceSink,
+    WriteEntry, WriteSet,
+};
 
 use crate::future::TxFuture;
 use crate::tree::{PoisonKind, TreeCtx, TreeSemantics};
@@ -156,12 +160,17 @@ impl Rtf {
     pub fn with_config(config: RtfConfig) -> Rtf {
         install_quiet_poison_hook();
         let mvstm = MvStm::with_strategy(config.commit_strategy);
-        let pool_runner = Pool::start(config.workers);
-        let env = Arc::new(TxEnv {
-            pool: pool_runner.pool(),
-            stats: Arc::clone(mvstm.stats_arc()),
-            ro_opt: config.ro_opt,
-        });
+        // One sink for the whole runtime: statistics always, plus the
+        // stderr trace stream when `RTF_TRACE` requests it.
+        let stats_sink: Arc<dyn EventSink> =
+            Arc::new(StatsSink::new(Arc::clone(mvstm.stats_arc())));
+        let sink: Arc<dyn EventSink> = if TraceSink::env_enabled() {
+            Arc::new(TeeSink::new(vec![stats_sink, Arc::new(TraceSink)]))
+        } else {
+            stats_sink
+        };
+        let pool_runner = Pool::start_with_sink(config.workers, Arc::clone(&sink));
+        let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt });
         Rtf { inner: Arc::new(RtfInner { mvstm, env, config, _pool_runner: pool_runner }) }
     }
 
@@ -215,13 +224,13 @@ impl Rtf {
 
     fn run_top_level<R>(&self, body: impl Fn(&mut Tx) -> R, ro_mode: bool) -> Result<R, Cancelled> {
         let inner = &self.inner;
-        let stats = inner.mvstm.stats();
-        let mut attempt = 0u32;
+        let sink = &inner.env.sink;
+        let mut retry = RetryDriver::new();
         let mut consecutive_inter_tree = 0u32;
         loop {
             let fallback = consecutive_inter_tree >= inner.config.fallback_threshold;
             if fallback {
-                stats.fallback_runs();
+                sink.event(Event::FallbackRun);
             }
             // Register before snapshotting (GC watermark soundness; see
             // `rtf_mvstm::txn::TopTxn::new`).
@@ -258,7 +267,7 @@ impl Rtf {
                     // An implicit continuation missed a write: without FCC
                     // the whole top-level transaction restarts (D1).
                     self.teardown(&tree);
-                    stats.continuation_restarts();
+                    sink.event(Event::ContinuationRestart);
                 }
                 Err(payload) => {
                     if payload.is::<CancelSignal>() {
@@ -271,11 +280,11 @@ impl Rtf {
                         self.teardown(&tree);
                         match tree.take_poison() {
                             Some(PoisonKind::InterTree) => {
-                                stats.inter_tree_aborts();
+                                sink.event(Event::InterTreeAbort);
                                 consecutive_inter_tree += 1;
                             }
                             Some(PoisonKind::ContinuationRestart) => {
-                                stats.continuation_restarts();
+                                sink.event(Event::ContinuationRestart);
                             }
                             Some(PoisonKind::UserPanic(p)) => {
                                 if p.is::<CancelSignal>() {
@@ -295,8 +304,7 @@ impl Rtf {
                     }
                 }
             }
-            rtf_mvstm::retry_backoff(attempt);
-            attempt = attempt.saturating_add(1);
+            retry.backoff();
         }
     }
 
@@ -314,14 +322,15 @@ impl Rtf {
     /// Returns whether the commit succeeded.
     fn root_commit(&self, tree: &TreeCtx) -> bool {
         let inner = &self.inner;
-        let stats = inner.mvstm.stats();
+        let sink = &inner.env.sink;
 
         // Consolidated write-set: the root's private writes, overridden by
         // the head (latest in serialization order) of each touched
-        // tentative list.
-        let mut writes: FxHashMap<rtf_mvstm::CellId, CommitWrite> = FxHashMap::default();
-        for (cell, value, token) in tree.root_ws_drain() {
-            writes.insert(cell.id(), CommitWrite { cell, value, token });
+        // tentative list. `WriteSet::insert` keeps the tentative entry's
+        // own token, so the write retains one identity through write-back.
+        let mut writes = WriteSet::new();
+        for entry in tree.root_ws_drain() {
+            writes.insert(entry);
         }
         for cell in tree.touched_cells() {
             let list = cell.tentative_lock();
@@ -334,47 +343,47 @@ impl Rtf {
                     tree.root.id,
                     "all committed sub-transaction writes must be root-owned at top commit"
                 );
-                writes.insert(
-                    cell.id(),
-                    CommitWrite { cell: Arc::clone(&cell), value: e.value.clone(), token: e.token },
-                );
+                writes.insert(WriteEntry {
+                    cell: Arc::clone(&cell),
+                    value: e.value.clone(),
+                    token: e.token,
+                });
             }
         }
 
         if writes.is_empty() {
             // Read-only fast path (§IV-E).
-            stats.top_ro_commits();
+            sink.event(Event::TopRoCommit);
             tree.scrub_tentative();
             return true;
         }
 
         // Consolidated read-set: the root's own permanent reads were merged
         // into its inbox by the implicit-chain commit; sub-transactions
-        // merged theirs on their commits.
+        // merged theirs on their commits. First read of a cell wins, which
+        // `ReadSet::record` guarantees.
         let inbox = std::mem::take(&mut *tree.root.inbox.lock());
-        let mut reads: FxHashMap<rtf_mvstm::CellId, (Arc<rtf_mvstm::VBoxCell>, _)> =
-            FxHashMap::default();
+        let mut reads = ReadSet::new();
         for (cell, token) in inbox.perm_reads {
-            reads.entry(cell.id()).or_insert((cell, token));
+            reads.record(ReadRecord { cell, token, source: Source::Permanent, epoch: 0 });
         }
 
         let committed = inner
             .mvstm
             .chain()
             .try_commit(
-                tree.start_version,
                 &reads,
-                writes.into_values().collect(),
+                writes.into_writes(),
                 inner.mvstm.clock(),
                 inner.mvstm.registry(),
-                stats,
+                sink.as_ref(),
             )
             .is_ok();
         tree.scrub_tentative();
         if committed {
-            stats.top_commits();
+            sink.event(Event::TopCommit);
         } else {
-            stats.top_validation_aborts();
+            sink.event(Event::TopValidationAbort);
         }
         committed
     }

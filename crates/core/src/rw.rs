@@ -1,5 +1,11 @@
-//! Sub-transaction reads, writes and validation — Algorithms 1, 2 and the
-//! validation half of Algorithm 4 of the paper.
+//! Sub-transaction visibility policies — Algorithms 1, 2 and the validation
+//! half of Algorithm 4 of the paper, expressed over the shared engine.
+//!
+//! The actual read-resolution walk and validation loop live in
+//! `rtf-txengine` ([`resolve_read`] / [`rtf_txengine::validate_reads`]);
+//! this module contributes only the two sub-transaction [`Visibility`]
+//! policies plus the tentative-list *write* path (Alg 1), which is specific
+//! to transaction trees.
 //!
 //! # Write (Alg 1)
 //! A sub-transaction writing a box appends a tentative version to the box's
@@ -9,7 +15,7 @@
 //! caller tears its tree down (the paper's `ownedByAnotherTree` fallback,
 //! DESIGN.md D3). Entries of aborted executions are scrubbed in passing.
 //!
-//! # Read (Alg 2)
+//! # Read (Alg 2) — [`SubRead`]
 //! A sub-transaction read walks the tentative list most-recent-first and
 //! returns the first *visible* entry; failing that it consults the
 //! top-level private write-set (Alg 2 lines 21–22) and finally the permanent
@@ -21,7 +27,7 @@
 //!   propagated to `A` before `T` started (`v = 0` covers `A`'s own live
 //!   writes, which necessarily precede `T`'s spawn).
 //!
-//! # Validation
+//! # Validation — [`SubValidation`]
 //! At commit (after `waitTurn`, so every predecessor has committed and
 //! propagated), each recorded read is *re-resolved* against the final
 //! predecessor state: the first non-aborted entry whose order key precedes
@@ -32,41 +38,14 @@
 
 use std::sync::Arc;
 
-use rtf_mvstm::{tentative_insert, TentativeEntry, Val, VBoxCell};
-use rtf_txbase::{new_write_token, NodeId, Orec, OrecStatus, OrderKey, WriteToken};
+use rtf_txbase::{new_write_token, NodeId, OrderKey, Orec, OrecStatus, Version, WriteToken};
+use rtf_txengine::{
+    resolve_read, tentative_insert, CellId, ReadRecord, Source, TentativeEntry, VBoxCell, Val,
+    Visibility,
+};
 
 use crate::node::Node;
 use crate::tree::{TreeCtx, TreeSemantics};
-
-/// Where a read was served from (determines validation treatment).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReadKind {
-    /// Permanent store at the tree snapshot — participates in intra-tree
-    /// re-resolution *and* in the root's inter-tree validation.
-    Permanent,
-    /// The top-level private write-set — own-transaction data; intra-tree
-    /// re-resolution only.
-    RootWs,
-    /// A visible tentative entry of another sub-transaction of the tree.
-    Tentative,
-    /// The reader's own (current-attempt) tentative write; exempt from
-    /// validation (nothing can serialize between a write and a read of the
-    /// same sub-transaction at the same submit epoch).
-    OwnWrite,
-}
-
-/// One recorded read of a sub-transaction.
-pub struct ReadEntry {
-    /// Box that was read.
-    pub cell: Arc<VBoxCell>,
-    /// Identity of the version that was returned.
-    pub token: WriteToken,
-    /// Source of the value.
-    pub kind: ReadKind,
-    /// The reader's `fork_count` at read time; the read's serialization
-    /// position is `node.path.write_key(epoch)`.
-    pub epoch: u32,
-}
 
 /// Error: the tentative list is owned by another active transaction tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,50 +68,118 @@ fn orec_snapshot(orec: &Orec) -> (NodeId, u64, OrecStatus) {
     }
 }
 
-/// Read-time visibility (module docs; Alg 2 lines 9–19).
-fn visible_at_read(node: &Node, entry: &TentativeEntry) -> Option<ReadKind> {
-    let (owner, ver, status) = orec_snapshot(&entry.orec);
-    if status == OrecStatus::Aborted {
-        return None;
+/// Read-time visibility of a sub-transaction (module docs; Alg 2). The
+/// tentative rule is the paper's Fig 4; the local buffer is the top-level
+/// private write-set (Alg 2 lines 21–22) and the permanent fallback is
+/// bounded by the tree snapshot.
+pub struct SubRead<'a> {
+    tree: &'a TreeCtx,
+    node: &'a Node,
+}
+
+impl<'a> SubRead<'a> {
+    /// The read policy of `node` within `tree`.
+    pub fn new(tree: &'a TreeCtx, node: &'a Node) -> Self {
+        SubRead { tree, node }
     }
-    if owner == node.id {
-        if Arc::ptr_eq(&entry.orec, &node.orec) {
-            return Some(ReadKind::OwnWrite);
+}
+
+impl Visibility for SubRead<'_> {
+    fn tentative(&self, entry: &TentativeEntry) -> Option<Source> {
+        if entry.tree != self.tree.tree_id {
+            return None;
         }
-        return Some(ReadKind::Tentative); // adopted from a committed child
+        let (owner, ver, status) = orec_snapshot(&entry.orec);
+        if status == OrecStatus::Aborted {
+            return None;
+        }
+        if owner == self.node.id {
+            if Arc::ptr_eq(&entry.orec, &self.node.orec) {
+                return Some(Source::OwnWrite);
+            }
+            return Some(Source::Tentative); // adopted from a committed child
+        }
+        match self.node.anc_ver.get(&owner) {
+            Some(&witnessed) if witnessed >= ver => Some(Source::Tentative),
+            _ => None,
+        }
     }
-    match node.anc_ver.get(&owner) {
-        Some(&witnessed) if witnessed >= ver => Some(ReadKind::Tentative),
-        _ => None,
+
+    fn local(&self, id: CellId) -> Option<(Val, WriteToken)> {
+        self.tree.root_ws_get(id)
+    }
+
+    fn snapshot(&self) -> Version {
+        self.tree.start_version
+    }
+}
+
+/// Validation-time visibility (Alg 4 line 3): every predecessor of the
+/// validating node has committed and propagated, so a predecessor write is
+/// recognized by its owner being the node itself or any ancestor; `anc_ver`
+/// *values* are deliberately ignored — that is exactly how a missed write is
+/// caught. Under strong ordering, entries at or after the read's own
+/// serialization position (`read_pos`) are skipped: they are the reader's
+/// own later writes or its children's, all within its subtree.
+pub struct SubValidation<'a> {
+    tree: &'a TreeCtx,
+    node: &'a Node,
+    read_pos: Option<OrderKey>,
+}
+
+impl<'a> SubValidation<'a> {
+    /// The validation policy for one recorded read of `node`. Strong
+    /// ordering re-resolves *at the read's serialization position*;
+    /// unordered nesting serializes at commit time, so every committed
+    /// predecessor write counts regardless of position.
+    pub fn for_read(tree: &'a TreeCtx, node: &'a Node, read: &ReadRecord) -> Self {
+        let read_pos = match tree.semantics {
+            TreeSemantics::StrongOrdering => Some(node.path.write_key(read.epoch)),
+            TreeSemantics::ParallelNesting => None,
+        };
+        SubValidation { tree, node, read_pos }
+    }
+}
+
+impl Visibility for SubValidation<'_> {
+    fn tentative(&self, entry: &TentativeEntry) -> Option<Source> {
+        if entry.tree != self.tree.tree_id {
+            return None;
+        }
+        if Arc::ptr_eq(&entry.orec, &self.node.orec) {
+            return None; // the validating node's own (program-order later) write
+        }
+        if let Some(read_pos) = &self.read_pos {
+            if entry.key >= *read_pos {
+                return None; // serialized after the read
+            }
+        }
+        let (owner, _ver, status) = orec_snapshot(&entry.orec);
+        if status == OrecStatus::Aborted {
+            return None;
+        }
+        if owner == self.node.id || self.node.anc_ver.contains_key(&owner) {
+            Some(Source::Tentative)
+        } else {
+            None
+        }
+    }
+
+    fn local(&self, id: CellId) -> Option<(Val, WriteToken)> {
+        self.tree.root_ws_get(id)
+    }
+
+    fn snapshot(&self) -> Version {
+        self.tree.start_version
     }
 }
 
 /// Transactional read by a sub-transaction (Alg 2). Returns the value and
 /// the read-set record.
-pub fn sub_read(tree: &TreeCtx, node: &Node, cell: &Arc<VBoxCell>) -> (Val, ReadEntry) {
+pub fn sub_read(tree: &TreeCtx, node: &Node, cell: &Arc<VBoxCell>) -> (Val, ReadRecord) {
     let epoch = node.fork_count.load(std::sync::atomic::Ordering::Relaxed);
-    // 1. Tentative versions of this tree, most recent serialization first.
-    {
-        let list = cell.tentative_lock();
-        for entry in list.iter() {
-            if entry.tree != tree.tree_id {
-                continue;
-            }
-            if let Some(kind) = visible_at_read(node, entry) {
-                return (
-                    entry.value.clone(),
-                    ReadEntry { cell: Arc::clone(cell), token: entry.token, kind, epoch },
-                );
-            }
-        }
-    }
-    // 2. The top-level transaction's private write-set (Alg 2 lines 21–22).
-    if let Some((val, token)) = tree.root_ws_get(cell.id()) {
-        return (val, ReadEntry { cell: Arc::clone(cell), token, kind: ReadKind::RootWs, epoch });
-    }
-    // 3. Permanent versions at the tree snapshot.
-    let (val, token) = cell.read_at(tree.start_version);
-    (val, ReadEntry { cell: Arc::clone(cell), token, kind: ReadKind::Permanent, epoch })
+    let r = resolve_read(&SubRead::new(tree, node), cell);
+    (r.value, ReadRecord { cell: Arc::clone(cell), token: r.token, source: r.source, epoch })
 }
 
 /// Transactional write by a sub-transaction (Alg 1). On success the new
@@ -170,87 +217,28 @@ pub fn sub_write(
     let token = new_write_token();
     tentative_insert(
         &mut list,
-        TentativeEntry {
-            key,
-            token,
-            value,
-            orec: Arc::clone(&node.orec),
-            tree: tree.tree_id,
-        },
+        TentativeEntry { key, token, value, orec: Arc::clone(&node.orec), tree: tree.tree_id },
     );
     drop(list);
     tree.touch(cell);
     Ok(token)
 }
 
-/// Validation-time visibility: every predecessor of the validating node has
-/// committed and propagated, so a predecessor write is recognized by its
-/// owner being the node itself or any ancestor; `anc_ver` *values* are
-/// deliberately ignored — that is exactly how a missed write is caught.
-fn visible_at_validation(
-    node: &Node,
-    entry: &TentativeEntry,
-    read_pos: Option<&OrderKey>,
-) -> bool {
-    if Arc::ptr_eq(&entry.orec, &node.orec) {
-        return false; // the validating node's own (program-order later) write
-    }
-    if let Some(read_pos) = read_pos {
-        if entry.key >= *read_pos {
-            return false; // serialized after the read (the reader's own later
-                          // writes or its children's, all within its subtree)
-        }
-    }
-    let (owner, _ver, status) = orec_snapshot(&entry.orec);
-    if status == OrecStatus::Aborted {
-        return false;
-    }
-    owner == node.id || node.anc_ver.contains_key(&owner)
-}
-
-/// Re-resolves one read at validation time and checks it returns the same
-/// version.
-fn still_valid(tree: &TreeCtx, node: &Node, read: &ReadEntry) -> bool {
-    if read.kind == ReadKind::OwnWrite {
-        return true;
-    }
-    // Strong ordering re-resolves *at the read's serialization position*;
-    // unordered nesting serializes at commit time, so every committed
-    // predecessor write counts regardless of position.
-    let read_pos = match tree.semantics {
-        TreeSemantics::StrongOrdering => Some(node.path.write_key(read.epoch)),
-        TreeSemantics::ParallelNesting => None,
-    };
-    {
-        let list = read.cell.tentative_lock();
-        for entry in list.iter() {
-            if entry.tree != tree.tree_id {
-                continue;
-            }
-            if visible_at_validation(node, entry, read_pos.as_ref()) {
-                return entry.token == read.token;
-            }
-        }
-    }
-    if let Some((_, token)) = tree.root_ws_get(read.cell.id()) {
-        return token == read.token;
-    }
-    let (_, token) = read.cell.read_at(tree.start_version);
-    token == read.token
-}
-
-/// Validates a sub-transaction's read-set (Alg 4 line 3). `true` = commit
-/// may proceed; `false` = the sub-transaction missed a preceding write and
-/// must re-execute.
-pub fn validate_reads(tree: &TreeCtx, node: &Node, reads: &[ReadEntry]) -> bool {
-    reads.iter().all(|r| still_valid(tree, node, r))
+/// Validates a sub-transaction's read-set (Alg 4 line 3) through the
+/// engine's single validation loop. `true` = commit may proceed; `false` =
+/// the sub-transaction missed a preceding write and must re-execute.
+pub fn validate_reads<'a, I>(tree: &TreeCtx, node: &Node, reads: I) -> bool
+where
+    I: IntoIterator<Item = &'a ReadRecord>,
+{
+    rtf_txengine::validate_reads(reads, |r| SubValidation::for_read(tree, node, r))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::node::NodeKind;
-    use rtf_mvstm::{downcast, erase, VBox};
+    use rtf_txengine::{downcast, erase, VBox};
 
     fn tree() -> Arc<TreeCtx> {
         TreeCtx::new(0, false)
@@ -263,7 +251,7 @@ mod tests {
         let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
         let (v, entry) = sub_read(&t, &f, b.cell());
         assert_eq!(*downcast::<u32>(v), 5);
-        assert_eq!(entry.kind, ReadKind::Permanent);
+        assert_eq!(entry.source, Source::Permanent);
     }
 
     #[test]
@@ -274,7 +262,7 @@ mod tests {
         let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
         let (v, entry) = sub_read(&t, &f, b.cell());
         assert_eq!(*downcast::<u32>(v), 6);
-        assert_eq!(entry.kind, ReadKind::RootWs);
+        assert_eq!(entry.source, Source::Local);
     }
 
     #[test]
@@ -285,7 +273,7 @@ mod tests {
         sub_write(&t, &f, b.cell(), erase(7u32)).unwrap();
         let (v, entry) = sub_read(&t, &f, b.cell());
         assert_eq!(*downcast::<u32>(v), 7);
-        assert_eq!(entry.kind, ReadKind::OwnWrite);
+        assert_eq!(entry.source, Source::OwnWrite);
         // Overwrite in place: list keeps a single entry.
         sub_write(&t, &f, b.cell(), erase(8u32)).unwrap();
         assert_eq!(b.cell().tentative_lock().len(), 1);
@@ -303,7 +291,7 @@ mod tests {
         sub_write(&t, &f, b.cell(), erase(9u32)).unwrap();
         let (v, entry) = sub_read(&t, &c, b.cell());
         assert_eq!(*downcast::<u32>(v), 0, "uncommitted future write must be invisible");
-        assert_eq!(entry.kind, ReadKind::Permanent);
+        assert_eq!(entry.source, Source::Permanent);
 
         // The future commits and propagates to the root (ver = 1).
         f.orec.propagate_to(t.root.id, 1);
@@ -317,7 +305,7 @@ mod tests {
         let c2 = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
         let (v, entry) = sub_read(&t, &c2, b.cell());
         assert_eq!(*downcast::<u32>(v), 9);
-        assert_eq!(entry.kind, ReadKind::Tentative);
+        assert_eq!(entry.source, Source::Tentative);
     }
 
     #[test]
@@ -347,7 +335,7 @@ mod tests {
         let f2 = Node::new_child(&t2.root, NodeKind::Future { fork_idx: 0 });
         let (v, entry) = sub_read(&t2, &f2, b.cell());
         assert_eq!(*downcast::<u32>(v), 0);
-        assert_eq!(entry.kind, ReadKind::Permanent);
+        assert_eq!(entry.source, Source::Permanent);
     }
 
     #[test]
@@ -388,7 +376,7 @@ mod tests {
         // But a read at epoch 1 (after the join) must see the child's value.
         let (v, entry) = sub_read(&t, &c, b.cell());
         assert_eq!(*downcast::<u32>(v), 5);
-        assert_eq!(entry.kind, ReadKind::Tentative);
+        assert_eq!(entry.source, Source::Tentative);
         assert!(validate_reads(&t, &c, &[entry]));
     }
 
@@ -399,7 +387,7 @@ mod tests {
         let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
         sub_write(&t, &f, b.cell(), erase(1u32)).unwrap();
         let (_, read) = sub_read(&t, &f, b.cell());
-        assert_eq!(read.kind, ReadKind::OwnWrite);
+        assert_eq!(read.source, Source::OwnWrite);
         // Overwriting one's own value must not invalidate the earlier read.
         sub_write(&t, &f, b.cell(), erase(2u32)).unwrap();
         assert!(validate_reads(&t, &f, &[read]));
@@ -464,6 +452,124 @@ mod tests {
         let f2 = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
         let (v, entry) = sub_read(&t, &f2, b.cell());
         assert_eq!(*downcast::<u32>(v), 0);
-        assert_eq!(entry.kind, ReadKind::Permanent);
+        assert_eq!(entry.source, Source::Permanent);
+    }
+
+    /// Fig 4 visibility, table-driven: each case builds one tentative entry
+    /// and asserts what `SubRead::tentative` — the pure policy function —
+    /// answers for a given reader. Covers every row of the paper's table
+    /// plus the negative cases.
+    #[test]
+    fn fig4_visibility_table() {
+        use rtf_txbase::new_tree_id;
+
+        let t = tree();
+        let reader = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+
+        // A tentative entry owned by `orec`, tagged for tree `tree_id`.
+        let entry = |orec: &Arc<Orec>, tree_id| TentativeEntry {
+            key: OrderKey::root().write_key(0),
+            token: new_write_token(),
+            value: erase(0u32),
+            orec: Arc::clone(orec),
+            tree: tree_id,
+        };
+
+        let policy = SubRead::new(&t, &reader);
+
+        // 1. Own write: same orec as the reader.
+        assert_eq!(policy.tentative(&entry(&reader.orec, t.tree_id)), Some(Source::OwnWrite));
+
+        // 2. Adopted child write: owner == reader id, but a different orec
+        //    (a committed child's orec propagated to the reader).
+        let child = Node::new_child(&reader, NodeKind::Future { fork_idx: 0 });
+        child.orec.propagate_to(reader.id, 1);
+        assert_eq!(policy.tentative(&entry(&child.orec, t.tree_id)), Some(Source::Tentative));
+
+        // 3. Live ancestor write, made before the reader was spawned:
+        //    owner = root, tx_tree_ver = 0, and ancVer[root] >= 0 always.
+        assert_eq!(policy.tentative(&entry(&t.root.orec, t.tree_id)), Some(Source::Tentative));
+
+        // 4. Propagated commit the reader witnessed: owner = root with
+        //    tx_tree_ver v, reader spawned after nClock reached v.
+        t.root.bump_nclock(); // nClock: 1
+        let late_reader = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        let sibling = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        sibling.orec.propagate_to(t.root.id, 1);
+        let late_policy = SubRead::new(&t, &late_reader);
+        assert_eq!(
+            late_policy.tentative(&entry(&sibling.orec, t.tree_id)),
+            Some(Source::Tentative),
+            "ancVer[root] = 1 >= v = 1: propagated commit is visible"
+        );
+
+        // 5. Negative: propagated commit the reader did NOT witness
+        //    (ancVer[root] = 0 < v = 1).
+        let sibling2 = Node::new_child(&t.root, NodeKind::Future { fork_idx: 1 });
+        sibling2.orec.propagate_to(t.root.id, 2);
+        assert_eq!(
+            policy.tentative(&entry(&sibling2.orec, t.tree_id)),
+            None,
+            "reader spawned before the commit: invisible"
+        );
+
+        // 6. Negative: non-ancestor owner (a live sibling).
+        let live_sibling = Node::new_child(&t.root, NodeKind::Future { fork_idx: 2 });
+        assert_eq!(policy.tentative(&entry(&live_sibling.orec, t.tree_id)), None);
+
+        // 7. Negative: aborted entries are never visible, whoever owns them.
+        let aborted = Node::new_child(&t.root, NodeKind::Future { fork_idx: 3 });
+        aborted.orec.propagate_to(t.root.id, 1);
+        aborted.orec.mark_aborted();
+        assert_eq!(policy.tentative(&entry(&aborted.orec, t.tree_id)), None);
+
+        // 8. Negative: another tree's entries are filtered before any
+        //    ownership reasoning.
+        assert_eq!(policy.tentative(&entry(&reader.orec, new_tree_id())), None);
+    }
+
+    /// The validation policy as a pure function: own writes and entries at
+    /// or after the read position are skipped; committed-predecessor writes
+    /// (owner = reader or ancestor) count regardless of `ancVer` values.
+    #[test]
+    fn fig4_validation_table() {
+        let t = tree();
+        let reader = Node::new_child(&t.root, NodeKind::Continuation { fork_idx: 0 });
+        let read = ReadRecord {
+            cell: Arc::clone(VBox::new(0u32).cell()),
+            token: new_write_token(),
+            source: Source::Permanent,
+            epoch: 0,
+        };
+        let policy = SubValidation::for_read(&t, &reader, &read);
+        let read_pos = reader.path.write_key(0);
+
+        let entry = |orec: &Arc<Orec>, key: OrderKey| TentativeEntry {
+            key,
+            token: new_write_token(),
+            value: erase(0u32),
+            orec: Arc::clone(orec),
+            tree: t.tree_id,
+        };
+        // The future sibling precedes the continuation in serialization
+        // order; once committed (owner moved to an ancestor of the reader)
+        // its write must be seen by validation even though the reader's
+        // ancVer never witnessed it.
+        let f = Node::new_child(&t.root, NodeKind::Future { fork_idx: 0 });
+        let f_key = f.path.write_key(0);
+        assert!(f_key < read_pos, "future writes precede the continuation");
+        assert_eq!(policy.tentative(&entry(&f.orec, f_key.clone())), None, "live: not yet visible");
+        f.orec.propagate_to(t.root.id, 1);
+        assert_eq!(
+            policy.tentative(&entry(&f.orec, f_key)),
+            Some(Source::Tentative),
+            "committed predecessor counts even with ancVer[root] = 0"
+        );
+        // The reader's own write is never a validation witness.
+        assert_eq!(policy.tentative(&entry(&reader.orec, read_pos)), None);
+        // A write serialized at or after the read position is skipped.
+        let later = Node::new_child(&reader, NodeKind::Future { fork_idx: 0 });
+        later.orec.propagate_to(reader.id, 1);
+        assert_eq!(policy.tentative(&entry(&later.orec, reader.path.write_key(1))), None);
     }
 }

@@ -14,13 +14,10 @@ use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rtf_mvstm::{CellId, Val, VBoxCell};
-use rtf_txbase::{new_tree_id, new_write_token, FxHashMap, FxHashSet, TreeId, Version, WriteToken};
+use rtf_txbase::{new_tree_id, FxHashSet, TreeId, Version, WriteToken};
+use rtf_txengine::{CellId, VBoxCell, Val, WriteEntry, WriteSet};
 
 use crate::node::Node;
-
-/// The top-level private write-set (`rootWriteSet` in the paper).
-type RootWriteSet = FxHashMap<CellId, (Arc<VBoxCell>, Val, WriteToken)>;
 
 /// Intra-transaction serialization discipline for a tree's
 /// sub-transactions.
@@ -71,9 +68,11 @@ pub struct TreeCtx {
     pub start_version: Version,
     /// The root node of this attempt.
     pub root: Arc<Node>,
-    /// The top-level private write-set: writes the root performed before its
-    /// first submit (and all writes in sequential-fallback mode).
-    root_ws: RwLock<RootWriteSet>,
+    /// The top-level private write-set (`rootWriteSet` in the paper):
+    /// writes the root performed before its first submit (and all writes in
+    /// sequential-fallback mode). An engine [`WriteSet`] — overwrites keep
+    /// the write's token, so a slot has one identity for the whole attempt.
+    root_ws: RwLock<WriteSet>,
     /// Boxes carrying tentative entries of this tree.
     touched: Mutex<TouchedSet>,
     /// Count of committed read-write sub-transactions (§IV-E: backs the
@@ -113,7 +112,7 @@ impl TreeCtx {
             tree_id: new_tree_id(),
             start_version,
             root: Node::new_root(),
-            root_ws: RwLock::new(FxHashMap::default()),
+            root_ws: RwLock::new(WriteSet::new()),
             touched: Mutex::new(TouchedSet::default()),
             rw_commit_clock: AtomicU64::new(0),
             fallback,
@@ -135,18 +134,12 @@ impl TreeCtx {
 
     /// Value previously written by the top-level context, if any.
     pub fn root_ws_get(&self, id: CellId) -> Option<(Val, WriteToken)> {
-        self.root_ws.read().get(&id).map(|(_, v, t)| (v.clone(), *t))
+        self.root_ws.read().get(id)
     }
 
     /// Buffers a top-level private write.
     pub fn root_ws_put(&self, cell: &Arc<VBoxCell>, value: Val) {
-        let mut ws = self.root_ws.write();
-        match ws.get_mut(&cell.id()) {
-            Some((_, slot, _)) => *slot = value,
-            None => {
-                ws.insert(cell.id(), (Arc::clone(cell), value, new_write_token()));
-            }
-        }
+        self.root_ws.write().put(cell, value);
     }
 
     /// Whether the top-level write-set is empty (read-only fast path).
@@ -155,8 +148,8 @@ impl TreeCtx {
     }
 
     /// Drains the top-level write-set for commit.
-    pub fn root_ws_drain(&self) -> Vec<(Arc<VBoxCell>, Val, WriteToken)> {
-        self.root_ws.write().drain().map(|(_, v)| v).collect()
+    pub fn root_ws_drain(&self) -> Vec<WriteEntry> {
+        self.root_ws.write().drain().collect()
     }
 
     // ---- tentative bookkeeping ----------------------------------------
@@ -265,7 +258,7 @@ impl std::fmt::Debug for TreeCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtf_mvstm::{erase, VBox};
+    use rtf_txengine::{downcast, erase, VBox};
 
     #[test]
     fn root_ws_roundtrip_and_drain() {
@@ -274,11 +267,11 @@ mod tests {
         assert!(tree.root_ws_get(b.id()).is_none());
         tree.root_ws_put(b.cell(), erase(2u32));
         let (v, t1) = tree.root_ws_get(b.id()).unwrap();
-        assert_eq!(*rtf_mvstm::downcast::<u32>(v), 2);
+        assert_eq!(*downcast::<u32>(v), 2);
         // Overwrite keeps the token (same logical write slot).
         tree.root_ws_put(b.cell(), erase(3u32));
         let (v, t2) = tree.root_ws_get(b.id()).unwrap();
-        assert_eq!(*rtf_mvstm::downcast::<u32>(v), 3);
+        assert_eq!(*downcast::<u32>(v), 3);
         assert_eq!(t1, t2);
         let drained = tree.root_ws_drain();
         assert_eq!(drained.len(), 1);
@@ -325,8 +318,8 @@ mod tests {
 
     #[test]
     fn scrub_removes_only_own_entries() {
-        use rtf_mvstm::{tentative_insert, TentativeEntry};
-        use rtf_txbase::{new_node_id, new_write_token, Orec, OrderKey};
+        use rtf_txbase::{new_node_id, new_write_token, OrderKey, Orec};
+        use rtf_txengine::{tentative_insert, TentativeEntry};
 
         let tree = TreeCtx::new(0, false);
         let other_tree = new_tree_id();

@@ -32,15 +32,14 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rtf_mvstm::{downcast, erase, TxData, Val, VBox, VBoxCell};
 use rtf_taskpool::{OrderTag, Pool};
-use rtf_txbase::TmStats;
+use rtf_txengine::{
+    downcast, erase, tx_trace, Event, EventSink, ReadLog, Source, TxData, VBox, VBoxCell, Val,
+};
 
 use crate::future::TxFuture;
-#[allow(unused_imports)]
-use crate::trace::rtf_trace;
 use crate::node::{Node, NodeKind};
-use crate::rw::{sub_read, sub_write, validate_reads, ReadEntry, ReadKind};
+use crate::rw::{sub_read, sub_write, validate_reads};
 use crate::tree::{PoisonKind, TreeCtx};
 
 /// Unwind payload used for tree teardown; never escapes the crate.
@@ -75,7 +74,7 @@ pub(crate) struct CancelSignal;
 /// beneath it).
 pub(crate) struct Frame {
     pub node: Arc<Node>,
-    reads: Vec<ReadEntry>,
+    reads: ReadLog,
     written: Vec<Arc<VBoxCell>>,
     wrote: bool,
     /// Tree-wide read-write sub-commit count at frame creation (§IV-E).
@@ -86,7 +85,7 @@ impl Frame {
     fn new(node: Arc<Node>, tree: &TreeCtx) -> Frame {
         Frame {
             node,
-            reads: Vec::new(),
+            reads: ReadLog::new(),
             written: Vec::new(),
             wrote: false,
             ro_snapshot: tree.rw_commit_clock.load(Ordering::Acquire),
@@ -97,7 +96,9 @@ impl Frame {
 /// Runtime facilities a `Tx` needs (provided by `crate::Rtf`).
 pub(crate) struct TxEnv {
     pub pool: Pool,
-    pub stats: Arc<TmStats>,
+    /// Instrumentation sink (statistics, and tracing when `RTF_TRACE` is
+    /// set); every runtime event of the tree machinery reports here.
+    pub sink: Arc<dyn EventSink>,
     /// §IV-E read-only validation skip enabled (ablation A2 turns it off).
     pub ro_opt: bool,
 }
@@ -250,7 +251,7 @@ impl Tx {
         F: Fn(&mut Tx) -> A + Send + 'static,
     {
         self.check_poison();
-        self.env.stats.futures_submitted();
+        self.env.sink.event(Event::FutureSubmitted);
         if self.tree.fallback {
             // Sequential fallback: run inline at the submission point —
             // literally the sequential execution the semantics are defined
@@ -265,7 +266,13 @@ impl Tx {
         parent.fork_count.store(fork_idx + 1, Ordering::Relaxed);
         // The cursor descends into the continuation.
         let cnode = Node::new_child(&parent, NodeKind::Continuation { fork_idx });
-        rtf_trace!("submit: parent {:?} fork {} cont {:?}", parent.id, fork_idx, cnode.id);
+        tx_trace!(
+            self.env.sink,
+            "submit: parent {:?} fork {} cont {:?}",
+            parent.id,
+            fork_idx,
+            cnode.id
+        );
         let frame = Frame::new(cnode, &self.tree);
         self.frames.push(frame);
         handle
@@ -286,7 +293,7 @@ impl Tx {
         C: Fn(&mut Tx, &TxFuture<A>) -> B,
     {
         self.check_poison();
-        self.env.stats.futures_submitted();
+        self.env.sink.event(Event::FutureSubmitted);
         if self.tree.fallback {
             let v = body(self);
             let handle = TxFuture::ready(Arc::new(v));
@@ -309,7 +316,7 @@ impl Tx {
                 Ok(()) => return out,
                 Err(SubConflict) => {
                     self.abort_frames_down_to(depth);
-                    self.env.stats.sub_validation_aborts();
+                    self.env.sink.event(Event::SubValidationAbort);
                 }
             }
         }
@@ -377,7 +384,7 @@ impl Tx {
     /// queued futures, so bounded pools cannot deadlock.
     pub fn eval<A: TxData>(&mut self, fut: &TxFuture<A>) -> Arc<A> {
         self.check_poison();
-        rtf_trace!("eval begin (node {:?})", self.current().node.id);
+        tx_trace!(self.env.sink, "eval begin (node {:?})", self.current().node.id);
         let pool = self.env.pool.clone();
         let tree = Arc::clone(&self.tree);
         // Helping is fenced at the current node's serialization position:
@@ -490,11 +497,10 @@ impl Tx {
             frame
                 .reads
                 .iter()
-                .filter(|r| r.kind == ReadKind::Permanent)
+                .filter(|r| r.source == Source::Permanent)
                 .map(|r| (Arc::clone(&r.cell), r.token)),
         );
     }
-
 }
 
 /// The pool-level serialization tag of position `key` within `tree` (the
@@ -540,9 +546,14 @@ fn commit_frame(
     if let Some((target, threshold)) = node.wait_turn_target().filter(|_| wait_turn) {
         if blocking {
             let pool = env.pool.clone();
-            rtf_trace!(
+            tx_trace!(
+                env.sink,
                 "waitTurn {:?} {:?} -> target {:?} nclock {} >= {}",
-                node.id, node.kind, target.id, target.nclock(), threshold
+                node.id,
+                node.kind,
+                target.id,
+                target.nclock(),
+                threshold
             );
             let t0 = std::time::Instant::now();
             // Fence helping at the committing node's position, for the same
@@ -554,15 +565,19 @@ fn commit_frame(
                 || pool.help_one(Some(&bound)),
                 || tree.is_poisoned(),
             );
-            env.stats.add_wait_turn_ns(t0.elapsed().as_nanos() as u64);
+            env.sink.event(Event::WaitTurnNs(t0.elapsed().as_nanos() as u64));
             if !ok {
                 std::panic::panic_any(PoisonSignal);
             }
-            rtf_trace!("waitTurn {:?} done (ok)", node.id);
+            tx_trace!(env.sink, "waitTurn {:?} done (ok)", node.id);
         } else if target.nclock() < threshold {
-            rtf_trace!(
+            tx_trace!(
+                env.sink,
                 "waitTurn {:?} not ready (target {:?} {} < {}), requeue",
-                node.id, target.id, target.nclock(), threshold
+                node.id,
+                target.id,
+                target.nclock(),
+                threshold
             );
             return Err(CommitBlock::WouldBlock);
         }
@@ -579,20 +594,26 @@ fn commit_frame(
     let can_skip = env.ro_opt
         && !wrote_any
         && tree.rw_commit_clock.load(Ordering::Acquire) == frame.ro_snapshot;
-    rtf_trace!(
+    tx_trace!(
+        env.sink,
         "commit {:?} {:?}: wrote_any={} skip={} reads={} rw_clock={} ro_snap={}",
-        node.id, node.kind, wrote_any, can_skip, frame.reads.len(),
-        tree.rw_commit_clock.load(Ordering::Acquire), frame.ro_snapshot
+        node.id,
+        node.kind,
+        wrote_any,
+        can_skip,
+        frame.reads.len(),
+        tree.rw_commit_clock.load(Ordering::Acquire),
+        frame.ro_snapshot
     );
     if can_skip {
-        env.stats.ro_validation_skips();
+        env.sink.event(Event::RoValidationSkip);
     } else {
         if !wrote_any {
-            env.stats.ro_validation_taken();
+            env.sink.event(Event::RoValidationTaken);
         }
         let tv = std::time::Instant::now();
-        let valid = validate_reads(tree, node, &frame.reads);
-        env.stats.add_validation_ns(tv.elapsed().as_nanos() as u64);
+        let valid = validate_reads(tree, node, frame.reads.iter());
+        env.sink.event(Event::ValidationNs(tv.elapsed().as_nanos() as u64));
         if !valid {
             // Put the inbox back: the caller aborts the whole subtree and
             // needs the adopted orecs to mark them aborted.
@@ -620,7 +641,7 @@ fn commit_frame(
             frame
                 .reads
                 .iter()
-                .filter(|r| r.kind == ReadKind::Permanent)
+                .filter(|r| r.source == Source::Permanent)
                 .map(|r| (Arc::clone(&r.cell), r.token)),
         );
         pin.written_cells.extend(inbox.written_cells);
@@ -635,7 +656,7 @@ fn commit_frame(
         tree.rw_commit_clock.fetch_add(1, Ordering::AcqRel);
     }
     parent.bump_nclock();
-    env.stats.sub_commits();
+    env.sink.event(Event::SubCommit);
     Ok(())
 }
 
@@ -677,10 +698,14 @@ where
         }
         if stage.pending.is_none() {
             // Execute (or re-execute) the body in a fresh node attempt.
-            let node = Node::new_child(&stage.parent, NodeKind::Future { fork_idx: stage.fork_idx });
-            rtf_trace!(
+            let node =
+                Node::new_child(&stage.parent, NodeKind::Future { fork_idx: stage.fork_idx });
+            tx_trace!(
+                stage.env.sink,
                 "task run future {:?} parent {:?} fork {}",
-                node.id, stage.parent.id, stage.fork_idx
+                node.id,
+                stage.parent.id,
+                stage.fork_idx
             );
             let mut tx = Tx::new_for_node(
                 Arc::clone(&stage.env),
@@ -708,7 +733,7 @@ where
         }));
         match attempt {
             Ok(Ok(())) => {
-                rtf_trace!("task complete");
+                tx_trace!(stage.env.sink, "task complete");
                 let (_, value) = stage.pending.take().expect("pending");
                 stage.handle.complete(Arc::new(value));
                 break;
@@ -717,7 +742,7 @@ where
                 // Partial rollback: abort this subtree, re-execute the body.
                 let (mut tx, _) = stage.pending.take().expect("pending");
                 tx.abort_frames_down_to(0);
-                stage.env.stats.sub_validation_aborts();
+                stage.env.sink.event(Event::SubValidationAbort);
                 stage.requeues = 0;
                 continue;
             }
@@ -733,8 +758,7 @@ where
                     _ => 500,
                 };
                 let pool = stage.env.pool.clone();
-                let tag =
-                    order_tag(&stage.tree, &stage.parent.path.child_future(stage.fork_idx));
+                let tag = order_tag(&stage.tree, &stage.parent.path.child_future(stage.fork_idx));
                 pool.spawn_ordered(
                     tag,
                     Box::new(move || {

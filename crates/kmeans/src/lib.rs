@@ -104,9 +104,8 @@ impl KMeans {
         assert!(k > 0 && points.len() >= k, "need at least k points");
         let dims = points.dims;
         let centroids: Vec<f32> = (0..k).flat_map(|i| points.point(i).to_vec()).collect();
-        let accs: Vec<VBox<ClusterAcc>> = (0..k)
-            .map(|_| VBox::new(ClusterAcc { sums: vec![0.0; dims], count: 0 }))
-            .collect();
+        let accs: Vec<VBox<ClusterAcc>> =
+            (0..k).map(|_| VBox::new(ClusterAcc { sums: vec![0.0; dims], count: 0 })).collect();
         KMeans { points, k, centroids: VBox::new(centroids), accs: accs.into() }
     }
 

@@ -23,12 +23,11 @@
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 
-use rtf_txbase::{ActiveTxnRegistry, FxHashMap, GlobalClock, TmStats, Version, WriteToken};
+use rtf_txbase::{ActiveTxnRegistry, GlobalClock, Version};
+use rtf_txengine::{validate_reads, Event, EventSink, ReadSet, WriteEntry};
 
-use crate::value::Val;
-use crate::vbox::{CellId, VBoxCell};
+use crate::txn::TopVisibility;
 
 /// How top-level commits serialize their write-back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -44,19 +43,12 @@ pub enum CommitStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conflict;
 
-/// One write to install at commit.
-pub struct CommitWrite {
-    /// Target box.
-    pub cell: Arc<VBoxCell>,
-    /// New value.
-    pub value: Val,
-    /// Identity of the write (allocated at write time).
-    pub token: WriteToken,
-}
+/// One write to install at commit (the engine's buffered-write entry).
+pub use rtf_txengine::WriteEntry as CommitWrite;
 
 struct Record {
     version: AtomicU64,
-    writes: Box<[CommitWrite]>,
+    writes: Box<[WriteEntry]>,
     done: AtomicBool,
     prev: Atomic<Record>,
 }
@@ -67,9 +59,6 @@ pub struct CommitChain {
     mutex: Mutex<()>,
     strategy: CommitStrategy,
 }
-
-/// A read-set observation: box + the token of the version that was read.
-pub type ReadObservation = (Arc<VBoxCell>, WriteToken);
 
 impl CommitChain {
     /// Creates the chain with a pre-written sentinel at version 0.
@@ -90,41 +79,41 @@ impl CommitChain {
 
     /// Validates and commits a read-write top-level transaction.
     ///
-    /// `reads` maps each box read to the token observed; `writes` is the
-    /// private write-set to install. Returns the commit version on success.
+    /// `reads` records the write token observed for each box read; `writes`
+    /// is the private write-set to install. Returns the commit version on
+    /// success. Instrumentation (helped write-backs, GC trims) is reported
+    /// to `sink`.
+    ///
+    /// No snapshot version is needed: validation compares write tokens, and
+    /// "the token I read is still the newest" is exactly "nothing newer than
+    /// my snapshot committed" (tokens are unique per write).
     pub fn try_commit(
         &self,
-        start: Version,
-        reads: &FxHashMap<CellId, ReadObservation>,
-        writes: Vec<CommitWrite>,
+        reads: &ReadSet,
+        writes: Vec<WriteEntry>,
         clock: &GlobalClock,
         registry: &ActiveTxnRegistry,
-        stats: &TmStats,
+        sink: &dyn EventSink,
     ) -> Result<Version, Conflict> {
         debug_assert!(!writes.is_empty(), "read-only transactions skip the commit chain");
         match self.strategy {
-            CommitStrategy::GlobalMutex => {
-                self.commit_mutex(start, reads, writes, clock, registry)
-            }
+            CommitStrategy::GlobalMutex => self.commit_mutex(reads, writes, clock, registry),
             CommitStrategy::LockFreeHelping => {
-                self.commit_lockfree(start, reads, writes, clock, registry, stats)
+                self.commit_lockfree(reads, writes, clock, registry, sink)
             }
         }
     }
 
     fn commit_mutex(
         &self,
-        start: Version,
-        reads: &FxHashMap<CellId, ReadObservation>,
-        writes: Vec<CommitWrite>,
+        reads: &ReadSet,
+        writes: Vec<WriteEntry>,
         clock: &GlobalClock,
         registry: &ActiveTxnRegistry,
     ) -> Result<Version, Conflict> {
         let _g = self.mutex.lock();
-        for (cell, _) in reads.values() {
-            if cell.latest_version() > start {
-                return Err(Conflict);
-            }
+        if !validate_reads(reads.iter(), |_| TopVisibility::latest()) {
+            return Err(Conflict);
         }
         let version = clock.now() + 1;
         let watermark = registry.min_active(clock.now());
@@ -137,12 +126,11 @@ impl CommitChain {
 
     fn commit_lockfree(
         &self,
-        start: Version,
-        reads: &FxHashMap<CellId, ReadObservation>,
-        writes: Vec<CommitWrite>,
+        reads: &ReadSet,
+        writes: Vec<WriteEntry>,
         clock: &GlobalClock,
         registry: &ActiveTxnRegistry,
-        stats: &TmStats,
+        sink: &dyn EventSink,
     ) -> Result<Version, Conflict> {
         let guard = epoch::pin();
         let mut newrec = Owned::new(Record {
@@ -156,7 +144,7 @@ impl CommitChain {
             // Full (re-)validation per attempt: enqueued-but-unwritten
             // records first, then the permanent state. See module docs for
             // why this two-part check cannot miss a conflicting commit.
-            if !self.validate_against(tail, start, reads, &guard) {
+            if !self.validate_against(tail, reads, &guard) {
                 // `newrec` (and the write values it owns) drop here.
                 return Err(Conflict);
             }
@@ -175,19 +163,13 @@ impl CommitChain {
             }
         };
         let my_version = unsafe { me.deref() }.version.load(Ordering::Relaxed);
-        self.write_back_through(me, clock, registry, stats, &guard);
+        self.write_back_through(me, clock, registry, sink, &guard);
         unsafe { self.cleanup(me, &guard) };
         Ok(my_version)
     }
 
     /// Chain + permanent validation. `tail` is the current chain tail.
-    fn validate_against(
-        &self,
-        tail: Shared<'_, Record>,
-        start: Version,
-        reads: &FxHashMap<CellId, ReadObservation>,
-        guard: &Guard,
-    ) -> bool {
+    fn validate_against(&self, tail: Shared<'_, Record>, reads: &ReadSet, guard: &Guard) -> bool {
         // Part 1: enqueued records that are not yet written back. Their
         // writes are invisible in the permanent lists but will commit with a
         // version greater than `start`, so overlap with the read-set is a
@@ -198,21 +180,16 @@ impl CommitChain {
                 break;
             }
             for w in rec.writes.iter() {
-                if reads.contains_key(&w.cell.id()) {
+                if reads.contains(w.cell.id()) {
                     return false;
                 }
             }
             cur = rec.prev.load(Ordering::Acquire, guard);
         }
-        // Part 2: committed state. Any box we read that has a committed
-        // version newer than our snapshot is a conflict (JVSTM read-set
-        // validation).
-        for (cell, _) in reads.values() {
-            if cell.latest_version() > start {
-                return false;
-            }
-        }
-        true
+        // Part 2: committed state, via the engine's single validation loop —
+        // a read stays valid iff re-resolving against the latest committed
+        // state observes the same write token (JVSTM read-set validation).
+        validate_reads(reads.iter(), |_| TopVisibility::latest())
     }
 
     /// Writes back every unwritten record up to and including `me`, oldest
@@ -222,7 +199,7 @@ impl CommitChain {
         me: Shared<'_, Record>,
         clock: &GlobalClock,
         registry: &ActiveTxnRegistry,
-        stats: &TmStats,
+        sink: &dyn EventSink,
         guard: &Guard,
     ) {
         // Collect the unwritten suffix (me .. first done record].
@@ -249,10 +226,10 @@ impl CommitChain {
             let first = !rec.done.swap(true, Ordering::AcqRel);
             clock.publish(version);
             if first && shared != me {
-                stats.helped_writebacks();
+                sink.event(Event::HelpedWriteback);
             }
-            for _ in 0..gced {
-                stats.versions_gced();
+            if gced > 0 {
+                sink.event(Event::VersionsGced(gced as u64));
             }
         }
     }
@@ -318,36 +295,33 @@ impl Drop for CommitChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::{downcast, erase};
-    use crate::vbox::VBox;
     use rtf_txbase::new_write_token;
+    use rtf_txengine::{downcast, erase, NullSink, ReadRecord, Source, VBox};
+    use std::sync::Arc;
 
-    fn read_obs(b: &VBox<u64>, start: Version) -> (CellId, ReadObservation) {
+    fn read_obs(b: &VBox<u64>, start: Version) -> ReadRecord {
         let (_, token) = b.cell().read_at(start);
-        (b.id(), (Arc::clone(b.cell()), token))
+        ReadRecord { cell: Arc::clone(b.cell()), token, source: Source::Permanent, epoch: 0 }
     }
 
     fn write_of(b: &VBox<u64>, v: u64) -> CommitWrite {
         CommitWrite { cell: Arc::clone(b.cell()), value: erase(v), token: new_write_token() }
     }
 
-    fn harness() -> (CommitChain, GlobalClock, ActiveTxnRegistry, TmStats) {
+    fn harness() -> (CommitChain, GlobalClock, ActiveTxnRegistry) {
         (
             CommitChain::new(CommitStrategy::LockFreeHelping),
             GlobalClock::new(),
             ActiveTxnRegistry::new(),
-            TmStats::default(),
         )
     }
 
     #[test]
     fn single_commit_advances_clock_and_writes_back() {
-        let (chain, clock, reg, stats) = harness();
+        let (chain, clock, reg) = harness();
         let b = VBox::new(0u64);
-        let reads = FxHashMap::default();
-        let v = chain
-            .try_commit(0, &reads, vec![write_of(&b, 9)], &clock, &reg, &stats)
-            .unwrap();
+        let reads = ReadSet::new();
+        let v = chain.try_commit(&reads, vec![write_of(&b, 9)], &clock, &reg, &NullSink).unwrap();
         assert_eq!(v, 1);
         assert_eq!(clock.now(), 1);
         assert_eq!(*downcast::<u64>(b.cell().read_at(1).0), 9);
@@ -356,18 +330,15 @@ mod tests {
 
     #[test]
     fn stale_read_conflicts() {
-        let (chain, clock, reg, stats) = harness();
+        let (chain, clock, reg) = harness();
         let b = VBox::new(0u64);
         // T1 starts at snapshot 0 and reads b.
-        let (id, obs) = read_obs(&b, 0);
-        let mut reads = FxHashMap::default();
-        reads.insert(id, obs);
+        let mut reads = ReadSet::new();
+        reads.record(read_obs(&b, 0));
         // T2 commits a write to b.
-        chain
-            .try_commit(0, &FxHashMap::default(), vec![write_of(&b, 5)], &clock, &reg, &stats)
-            .unwrap();
+        chain.try_commit(&ReadSet::new(), vec![write_of(&b, 5)], &clock, &reg, &NullSink).unwrap();
         // T1 now fails validation.
-        let r = chain.try_commit(0, &reads, vec![write_of(&b, 7)], &clock, &reg, &stats);
+        let r = chain.try_commit(&reads, vec![write_of(&b, 7)], &clock, &reg, &NullSink);
         assert_eq!(r, Err(Conflict));
         assert_eq!(clock.now(), 1);
         assert_eq!(*downcast::<u64>(b.cell().read_at(1).0), 5);
@@ -375,15 +346,11 @@ mod tests {
 
     #[test]
     fn disjoint_writes_all_commit() {
-        let (chain, clock, reg, stats) = harness();
+        let (chain, clock, reg) = harness();
         let a = VBox::new(0u64);
         let b = VBox::new(0u64);
-        chain
-            .try_commit(0, &FxHashMap::default(), vec![write_of(&a, 1)], &clock, &reg, &stats)
-            .unwrap();
-        chain
-            .try_commit(1, &FxHashMap::default(), vec![write_of(&b, 2)], &clock, &reg, &stats)
-            .unwrap();
+        chain.try_commit(&ReadSet::new(), vec![write_of(&a, 1)], &clock, &reg, &NullSink).unwrap();
+        chain.try_commit(&ReadSet::new(), vec![write_of(&b, 2)], &clock, &reg, &NullSink).unwrap();
         assert_eq!(clock.now(), 2);
         assert_eq!(*downcast::<u64>(a.cell().read_at(2).0), 1);
         assert_eq!(*downcast::<u64>(b.cell().read_at(2).0), 2);
@@ -394,17 +361,16 @@ mod tests {
     #[test]
     fn mutex_strategy_equivalent() {
         let chain = CommitChain::new(CommitStrategy::GlobalMutex);
-        let (clock, reg, stats) = (GlobalClock::new(), ActiveTxnRegistry::new(), TmStats::default());
+        let (clock, reg) = (GlobalClock::new(), ActiveTxnRegistry::new());
         let b = VBox::new(0u64);
         let v = chain
-            .try_commit(0, &FxHashMap::default(), vec![write_of(&b, 3)], &clock, &reg, &stats)
+            .try_commit(&ReadSet::new(), vec![write_of(&b, 3)], &clock, &reg, &NullSink)
             .unwrap();
         assert_eq!(v, 1);
-        let (id, obs) = read_obs(&b, 0);
-        let mut reads = FxHashMap::default();
-        reads.insert(id, obs);
+        let mut reads = ReadSet::new();
+        reads.record(read_obs(&b, 0));
         assert_eq!(
-            chain.try_commit(0, &reads, vec![write_of(&b, 4)], &clock, &reg, &stats),
+            chain.try_commit(&reads, vec![write_of(&b, 4)], &clock, &reg, &NullSink),
             Err(Conflict)
         );
     }
@@ -416,7 +382,6 @@ mod tests {
         let chain = Arc::new(CommitChain::new(CommitStrategy::LockFreeHelping));
         let clock = Arc::new(GlobalClock::new());
         let reg = Arc::new(ActiveTxnRegistry::new());
-        let stats = Arc::new(TmStats::default());
         let b = VBox::new(0u64);
 
         let threads = 4;
@@ -424,11 +389,10 @@ mod tests {
         let total_committed = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let (chain, clock, reg, stats, b, total) = (
+                let (chain, clock, reg, b, total) = (
                     Arc::clone(&chain),
                     Arc::clone(&clock),
                     Arc::clone(&reg),
-                    Arc::clone(&stats),
                     b.clone(),
                     Arc::clone(&total_committed),
                 );
@@ -438,14 +402,19 @@ mod tests {
                         let start = clock.now();
                         let (val, token) = b.cell().read_at(start);
                         let cur = *downcast::<u64>(val);
-                        let mut reads = FxHashMap::default();
-                        reads.insert(b.id(), (Arc::clone(b.cell()), token));
+                        let mut reads = ReadSet::new();
+                        reads.record(ReadRecord {
+                            cell: Arc::clone(b.cell()),
+                            token,
+                            source: Source::Permanent,
+                            epoch: 0,
+                        });
                         let w = CommitWrite {
                             cell: Arc::clone(b.cell()),
                             value: erase(cur + 1),
                             token: new_write_token(),
                         };
-                        if chain.try_commit(start, &reads, vec![w], &clock, &reg, &stats).is_ok() {
+                        if chain.try_commit(&reads, vec![w], &clock, &reg, &NullSink).is_ok() {
                             committed += 1;
                             total.fetch_add(1, Ordering::Relaxed);
                         }
@@ -464,11 +433,11 @@ mod tests {
 
     #[test]
     fn chain_does_not_grow_unboundedly() {
-        let (chain, clock, reg, stats) = harness();
+        let (chain, clock, reg) = harness();
         let b = VBox::new(0u64);
         for i in 0..1000u64 {
             chain
-                .try_commit(i, &FxHashMap::default(), vec![write_of(&b, i)], &clock, &reg, &stats)
+                .try_commit(&ReadSet::new(), vec![write_of(&b, i)], &clock, &reg, &NullSink)
                 .unwrap();
         }
         // Walk the chain: it must be short (cleanup keeps only a small tail).

@@ -12,6 +12,12 @@
 //!   non-blocking global-counter increment + write-back;
 //! * a read-only fast path and permanent-version garbage collection.
 //!
+//! Since the engine extraction, the storage layer ([`VBox`], [`VBoxCell`]),
+//! the typed access sets and the read/validate pipeline live in the shared
+//! `rtf-txengine` crate (re-exported here); this crate contributes the
+//! top-level *visibility policy* ([`txn::TopVisibility`]) and the *commit
+//! protocol* (the helping commit chain).
+//!
 //! Used standalone it is the *baseline* TM of the paper's evaluation
 //! (configurations without futures); the `rtf` crate layers transaction
 //! trees, tentative versions and the strong-ordering commit protocol on
@@ -34,17 +40,18 @@
 
 pub mod commit;
 pub mod txn;
-pub mod value;
-pub mod vbox;
 
 use std::sync::Arc;
 
 use rtf_txbase::{ActiveTxnRegistry, GlobalClock, StatSnapshot, TmStats, Version};
+use rtf_txengine::{EventSink, RetryDriver, StatsSink};
 
 pub use commit::{CommitStrategy, CommitWrite, Conflict};
-pub use txn::{retry_backoff, ReadSet, TopTxn, WriteSet};
-pub use value::{downcast, erase, TxData, Val};
-pub use vbox::{tentative_insert, CellId, PermVersion, TentativeEntry, VBox, VBoxCell};
+pub use rtf_txengine::{
+    downcast, erase, retry_backoff, tentative_insert, CellId, PermVersion, ReadSet, TentativeEntry,
+    TxData, VBox, VBoxCell, Val, WriteSet,
+};
+pub use txn::{TopTxn, TopVisibility};
 
 use commit::CommitChain;
 
@@ -61,6 +68,7 @@ pub struct MvStm {
     registry: ActiveTxnRegistry,
     chain: CommitChain,
     stats: Arc<TmStats>,
+    sink: Arc<dyn EventSink>,
 }
 
 impl MvStm {
@@ -71,11 +79,13 @@ impl MvStm {
 
     /// TM with an explicit commit strategy (ablation A1 uses `GlobalMutex`).
     pub fn with_strategy(strategy: CommitStrategy) -> Self {
+        let stats = Arc::new(TmStats::default());
         MvStm {
             clock: GlobalClock::new(),
             registry: ActiveTxnRegistry::new(),
             chain: CommitChain::new(strategy),
-            stats: Arc::new(TmStats::default()),
+            sink: Arc::new(StatsSink::new(Arc::clone(&stats))),
+            stats,
         }
     }
 
@@ -96,15 +106,14 @@ impl MvStm {
     /// `body` may run several times; side effects outside the TM must be
     /// idempotent or deferred.
     pub fn atomic<R>(&self, body: impl Fn(&mut TopTxn<'_>) -> R) -> R {
-        let mut attempt = 0u32;
+        let mut retry = RetryDriver::new();
         loop {
             let mut tx = self.begin();
             let out = body(&mut tx);
             if tx.try_commit().is_ok() {
                 return out;
             }
-            txn::retry_backoff(attempt);
-            attempt = attempt.saturating_add(1);
+            retry.backoff();
         }
     }
 
@@ -134,6 +143,12 @@ impl MvStm {
     #[inline]
     pub fn chain(&self) -> &CommitChain {
         &self.chain
+    }
+
+    /// The instrumentation sink (a [`StatsSink`] over [`MvStm::stats`]).
+    #[inline]
+    pub fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
     }
 
     /// Event counters.
@@ -215,7 +230,8 @@ mod tests {
         let b = VBox::new(0u64);
         let stop = std::sync::Arc::new(AtomicBool::new(false));
         let writer = {
-            let (tm, b, stop) = (std::sync::Arc::clone(&tm), b.clone(), std::sync::Arc::clone(&stop));
+            let (tm, b, stop) =
+                (std::sync::Arc::clone(&tm), b.clone(), std::sync::Arc::clone(&stop));
             std::thread::spawn(move || {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {

@@ -9,27 +9,69 @@
 //! multi-versioning guarantees their snapshot is consistent, if possibly
 //! stale).
 //!
+//! Both reads and commit-time validation run through the shared engine
+//! pipeline (`rtf-txengine`); this module contributes only the top-level
+//! [`Visibility`] policy — [`TopVisibility`]: tentative entries are never
+//! visible, the local buffer is the private write-set, and the permanent
+//! lookup is bounded by the snapshot (or unbounded, for validation).
+//!
 //! This module is both the *baseline TM* used by the evaluation (the
 //! "no futures" configurations of Figs 5 and 6) and the foundation the
 //! `rtf` core crate builds transaction trees upon.
 
 use std::sync::Arc;
 
-use rtf_txbase::{
-    clock::Registration, new_write_token, FxHashMap, TmStats, Version, WriteToken,
+use rtf_txbase::{clock::Registration, TmStats, Version, WriteToken};
+use rtf_txengine::{
+    downcast, erase, resolve_read, CellId, Event, ReadRecord, ReadSet, Source, TentativeEntry,
+    TxData, VBox, VBoxCell, Val, Visibility, WriteSet,
 };
 
-use crate::commit::{CommitWrite, Conflict, ReadObservation};
-use crate::value::{downcast, erase, TxData, Val};
-use crate::vbox::{CellId, VBox, VBoxCell};
+use crate::commit::Conflict;
 use crate::MvStm;
 
-/// Read-set: one observation per box (the first read wins; later reads of
-/// the same box return the same snapshot so the token cannot change).
-pub type ReadSet = FxHashMap<CellId, ReadObservation>;
+/// The top-level visibility policy: no tentative entry is ever visible
+/// (top-level transactions read only committed state plus their own
+/// write-set), the local buffer is the private write-set, and the permanent
+/// lookup is bounded by `snapshot`.
+pub struct TopVisibility<'a> {
+    snapshot: Version,
+    writes: Option<&'a WriteSet>,
+}
 
-/// Private write-set of a top-level transaction.
-pub type WriteSet = FxHashMap<CellId, (Arc<VBoxCell>, Val, WriteToken)>;
+impl<'a> TopVisibility<'a> {
+    /// Policy for in-transaction reads at `snapshot`, consulting `writes`.
+    pub fn reads(snapshot: Version, writes: &'a WriteSet) -> Self {
+        TopVisibility { snapshot, writes: Some(writes) }
+    }
+
+    /// Policy for commit-time validation: re-resolving a read against the
+    /// *latest* committed state. A read stays valid iff it would observe
+    /// the same write token again, which holds exactly when no version
+    /// newer than the reader's snapshot committed to that cell — the JVSTM
+    /// validation rule, expressed through the engine's token comparison.
+    pub fn latest() -> Self {
+        TopVisibility { snapshot: Version::MAX, writes: None }
+    }
+}
+
+impl Visibility for TopVisibility<'_> {
+    fn tentative(&self, _entry: &TentativeEntry) -> Option<Source> {
+        None
+    }
+
+    fn local(&self, id: CellId) -> Option<(Val, WriteToken)> {
+        self.writes.and_then(|w| w.get(id))
+    }
+
+    fn snapshot(&self) -> Version {
+        self.snapshot
+    }
+
+    fn scans_tentative(&self) -> bool {
+        false
+    }
+}
 
 /// A running top-level transaction.
 ///
@@ -55,14 +97,7 @@ impl<'tm> TopTxn<'tm> {
         // is retained.
         let reg = tm.registry().register(tm.clock().now());
         let start = tm.clock().now();
-        TopTxn {
-            tm,
-            start,
-            _reg: reg,
-            reads: ReadSet::default(),
-            writes: WriteSet::default(),
-            ro_mode,
-        }
+        TopTxn { tm, start, _reg: reg, reads: ReadSet::new(), writes: WriteSet::new(), ro_mode }
     }
 
     /// The snapshot version this transaction reads at.
@@ -88,61 +123,49 @@ impl<'tm> TopTxn<'tm> {
 
     /// Untyped read (used by the core crate and data structures).
     pub fn read_cell(&mut self, cell: &Arc<VBoxCell>) -> Val {
-        let id = cell.id();
-        if let Some((_, val, _)) = self.writes.get(&id) {
-            return val.clone();
+        let r = resolve_read(&TopVisibility::reads(self.start, &self.writes), cell);
+        // Reads served from the write-set carry no validation obligation;
+        // everything else is a permanent-snapshot observation to validate.
+        if r.source == Source::Permanent && !self.ro_mode {
+            self.reads.record(ReadRecord {
+                cell: Arc::clone(cell),
+                token: r.token,
+                source: r.source,
+                epoch: 0,
+            });
         }
-        let (val, token) = cell.read_at(self.start);
-        if !self.ro_mode {
-            self.reads.entry(id).or_insert_with(|| (Arc::clone(cell), token));
-        }
-        val
+        r.value
     }
 
     /// Untyped write.
     pub fn write_cell(&mut self, cell: &Arc<VBoxCell>, value: Val) {
-        assert!(
-            !self.ro_mode,
-            "write inside a transaction declared read-only (atomic_ro)"
-        );
-        let id = cell.id();
-        match self.writes.get_mut(&id) {
-            Some((_, slot, _)) => *slot = value,
-            None => {
-                self.writes.insert(id, (Arc::clone(cell), value, new_write_token()));
-            }
-        }
+        assert!(!self.ro_mode, "write inside a transaction declared read-only (atomic_ro)");
+        self.writes.put(cell, value);
     }
 
     /// Attempts to commit. On success returns the commit version (`None`
     /// for the read-only fast path, which consumes no version number).
     pub fn try_commit(self) -> Result<Option<Version>, Conflict> {
-        let stats = self.tm.stats();
+        let sink = self.tm.sink();
         if self.writes.is_empty() {
             // Read-only fast path: the snapshot was consistent by
             // construction; commit without validation (§IV-E).
-            stats.top_ro_commits();
+            sink.event(Event::TopRoCommit);
             return Ok(None);
         }
-        let writes: Vec<CommitWrite> = self
-            .writes
-            .into_values()
-            .map(|(cell, value, token)| CommitWrite { cell, value, token })
-            .collect();
         match self.tm.chain().try_commit(
-            self.start,
             &self.reads,
-            writes,
+            self.writes.into_writes(),
             self.tm.clock(),
             self.tm.registry(),
-            stats,
+            sink.as_ref(),
         ) {
             Ok(v) => {
-                stats.top_commits();
+                sink.event(Event::TopCommit);
                 Ok(Some(v))
             }
             Err(c) => {
-                stats.top_validation_aborts();
+                sink.event(Event::TopValidationAbort);
                 Err(c)
             }
         }
@@ -157,26 +180,6 @@ impl<'tm> TopTxn<'tm> {
     /// Statistics of the owning TM.
     pub fn stats(&self) -> &Arc<TmStats> {
         self.tm.stats_arc()
-    }
-}
-
-/// Exponential backoff between transaction retries: spin, then yield, then
-/// sleep with a linearly growing cap. Keeps retry storms off the commit
-/// chain under heavy conflict (paper's high-contention workloads re-execute
-/// transactions tens of times).
-pub fn retry_backoff(attempt: u32) {
-    match attempt {
-        0 => {}
-        1..=3 => {
-            for _ in 0..(1 << attempt) {
-                std::hint::spin_loop();
-            }
-        }
-        4..=6 => std::thread::yield_now(),
-        n => {
-            let micros = ((n - 6) as u64 * 50).min(2_000);
-            std::thread::sleep(std::time::Duration::from_micros(micros));
-        }
     }
 }
 
@@ -312,5 +315,22 @@ mod tests {
         assert_eq!(seen, 0);
         t1.try_commit().unwrap();
         assert_eq!(*b.read_committed(), 99);
+    }
+
+    #[test]
+    fn write_set_reads_are_not_validated() {
+        // A transaction that only re-reads its own write survives a
+        // concurrent commit to the same box (the read never touched the
+        // permanent state).
+        let tm = MvStm::new();
+        let b = VBox::new(0u64);
+        let mut t1 = tm.begin();
+        t1.write(&b, 1);
+        assert_eq!(*t1.read(&b), 1);
+        tm.atomic(|tx| {
+            let _ = *tx.read(&b);
+        });
+        assert!(t1.try_commit().is_ok(), "blind write must win");
+        assert_eq!(*b.read_committed(), 1);
     }
 }

@@ -34,6 +34,7 @@
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use rtf_txengine::{Event, EventSink, NullSink};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -79,12 +80,9 @@ thread_local! {
 /// `tag`. Untagged tasks and tasks from unfenced realms are always allowed.
 fn fences_allow(tag: &Option<OrderTag>) -> bool {
     let Some(tag) = tag else { return true };
-    FENCES.with(|f| {
-        f.borrow()
-            .iter()
-            .rev()
-            .find(|fence| fence.realm == tag.realm)
-            .is_none_or(|fence| tag.pos < fence.pos)
+    FENCES.with(|f| match f.borrow().iter().rev().find(|fence| fence.realm == tag.realm) {
+        Some(fence) => tag.pos < fence.pos,
+        None => true,
     })
 }
 
@@ -124,6 +122,7 @@ struct Shared {
     sleepers: AtomicUsize,
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    sink: Arc<dyn EventSink>,
 }
 
 /// Work pool handle. Cloning is cheap; the pool shuts down when the last
@@ -143,6 +142,12 @@ impl Pool {
     /// Builds a pool with `workers` background threads (0 is allowed: all
     /// tasks then run via [`Pool::help_one`] on helping threads).
     pub fn start(workers: usize) -> PoolRunner {
+        Self::start_with_sink(workers, Arc::new(NullSink))
+    }
+
+    /// Like [`Pool::start`], but reporting helping/fence activity through
+    /// `sink` ([`Event::PoolTaskHelped`], [`Event::PoolFenceDeferrals`]).
+    pub fn start_with_sink(workers: usize, sink: Arc<dyn EventSink>) -> PoolRunner {
         let worker_deques: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
         let stealers = worker_deques.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
@@ -153,6 +158,7 @@ impl Pool {
             sleepers: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            sink,
         });
         let pool = Pool { shared: Arc::clone(&shared) };
         let handles = worker_deques
@@ -221,6 +227,9 @@ impl Pool {
                 None => break,
             }
         }
+        if !deferred.is_empty() {
+            shared.sink.event(Event::PoolFenceDeferrals(deferred.len() as u64));
+        }
         for job in deferred {
             shared.injector.push(job);
         }
@@ -228,6 +237,7 @@ impl Pool {
             Some(job) => {
                 shared.pending.fetch_sub(1, Ordering::Release);
                 (job.run)();
+                shared.sink.event(Event::PoolTaskHelped);
                 true
             }
             None => false,

@@ -95,10 +95,7 @@ impl TpccDb {
             customers: THashMap::with_buckets(n_cust as usize),
             stock: THashMap::with_buckets((scale.warehouses * scale.items) as usize),
             items: (0..scale.items)
-                .map(|i| Item {
-                    price: rng.gen_range(100..10000),
-                    name: format!("item-{i}"),
-                })
+                .map(|i| Item { price: rng.gen_range(100..10000), name: format!("item-{i}") })
                 .collect::<Vec<_>>()
                 .into(),
             orders: TBTreeMap::new(),
@@ -129,9 +126,8 @@ impl TpccDb {
                     );
                 });
                 // Customers in batches.
-                let discounts: Vec<i64> = (0..scale.customers_per_district)
-                    .map(|_| rng.gen_range(0..=5000))
-                    .collect();
+                let discounts: Vec<i64> =
+                    (0..scale.customers_per_district).map(|_| rng.gen_range(0..=5000)).collect();
                 let db2 = db.clone();
                 tm.atomic(move |tx| {
                     for (c, disc) in discounts.iter().enumerate() {
@@ -149,8 +145,7 @@ impl TpccDb {
                             },
                         );
                         let nk = name_key(w, d, c % 1000);
-                        let mut ids =
-                            db2.customers_by_name.get(tx, &nk).unwrap_or_default();
+                        let mut ids = db2.customers_by_name.get(tx, &nk).unwrap_or_default();
                         ids.push(c);
                         db2.customers_by_name.insert(tx, nk, ids);
                     }
@@ -210,8 +205,8 @@ impl TpccDb {
     pub fn check_order_id_consistency(&self, tx: &mut Tx) -> bool {
         for w in 0..self.scale.warehouses {
             for d in 0..DISTRICTS_PER_WAREHOUSE {
-                let next = self.districts.get(tx, &district_key(w, d)).expect("district").next_o_id
-                    as u64;
+                let next =
+                    self.districts.get(tx, &district_key(w, d)).expect("district").next_o_id as u64;
                 let max_order = self
                     .orders
                     .range(tx, &order_key(w, d, 0), &order_key(w, d, u32::MAX as u64))

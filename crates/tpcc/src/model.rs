@@ -133,7 +133,12 @@ pub fn last_name(num: u64) -> String {
     const SYL: [&str; 10] =
         ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
     let n = num % 1000;
-    format!("{}{}{}", SYL[(n / 100) as usize], SYL[((n / 10) % 10) as usize], SYL[(n % 10) as usize])
+    format!(
+        "{}{}{}",
+        SYL[(n / 100) as usize],
+        SYL[((n / 10) % 10) as usize],
+        SYL[(n % 10) as usize]
+    )
 }
 
 #[cfg(test)]

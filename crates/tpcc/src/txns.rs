@@ -62,76 +62,73 @@ impl TpccExecutor {
         let db = self.db.clone();
         let futures = self.futures;
         let lines = lines.to_vec();
-        self.tm.try_atomic(move |tx| {
-            let warehouse = db.warehouses.get(tx, &w).expect("warehouse exists");
-            let dk = district_key(w, d);
-            let mut district = db.districts.get(tx, &dk).expect("district exists");
-            let o_id = district.next_o_id as u64;
-            district.next_o_id += 1;
-            db.districts.insert(tx, dk, district.clone());
-            let customer = db.customers.get(tx, &customer_key(w, d, c)).expect("customer");
+        self.tm
+            .try_atomic(move |tx| {
+                let warehouse = db.warehouses.get(tx, &w).expect("warehouse exists");
+                let dk = district_key(w, d);
+                let mut district = db.districts.get(tx, &dk).expect("district exists");
+                let o_id = district.next_o_id as u64;
+                district.next_o_id += 1;
+                db.districts.insert(tx, dk, district.clone());
+                let customer = db.customers.get(tx, &customer_key(w, d, c)).expect("customer");
 
-            // ---- the long per-line cycle --------------------------------
-            let line_results: Vec<PricedLine> = if futures == 0
-                || lines.len() < futures + 1
-            {
-                lines.iter().map(|l| process_line(tx, &db, w, l)).collect()
-            } else {
-                let chunk = lines.len().div_ceil(futures + 1);
-                let mut handles: Vec<TxFuture<Vec<PricedLine>>> = Vec::new();
-                for part in lines[chunk..].chunks(chunk) {
-                    let db = db.clone();
-                    let part = part.to_vec();
-                    handles.push(
-                        tx.submit(move |tx| {
+                // ---- the long per-line cycle --------------------------------
+                let line_results: Vec<PricedLine> = if futures == 0 || lines.len() < futures + 1 {
+                    lines.iter().map(|l| process_line(tx, &db, w, l)).collect()
+                } else {
+                    let chunk = lines.len().div_ceil(futures + 1);
+                    let mut handles: Vec<TxFuture<Vec<PricedLine>>> = Vec::new();
+                    for part in lines[chunk..].chunks(chunk) {
+                        let db = db.clone();
+                        let part = part.to_vec();
+                        handles.push(tx.submit(move |tx| {
                             part.iter().map(|l| process_line(tx, &db, w, l)).collect()
-                        }),
+                        }));
+                    }
+                    let mut all: Vec<PricedLine> =
+                        lines[..chunk].iter().map(|l| process_line(tx, &db, w, l)).collect();
+                    for h in &handles {
+                        all.extend(tx.eval(h).iter().cloned());
+                    }
+                    all
+                };
+
+                // ---- order construction (continuation) ---------------------
+                let mut total = 0i64;
+                for (ol, (i_id, amount, quantity, supply_w)) in line_results.iter().enumerate() {
+                    total += amount;
+                    db.order_lines.insert(
+                        tx,
+                        order_line_key(w, d, o_id, ol as u64),
+                        OrderLine {
+                            i_id: *i_id,
+                            supply_w: *supply_w,
+                            quantity: *quantity,
+                            amount: *amount,
+                            delivery_d: None,
+                        },
                     );
                 }
-                let mut all: Vec<PricedLine> =
-                    lines[..chunk].iter().map(|l| process_line(tx, &db, w, l)).collect();
-                for h in &handles {
-                    all.extend(tx.eval(h).iter().cloned());
-                }
-                all
-            };
-
-            // ---- order construction (continuation) ---------------------
-            let mut total = 0i64;
-            for (ol, (i_id, amount, quantity, supply_w)) in line_results.iter().enumerate() {
-                total += amount;
-                db.order_lines.insert(
+                let ok = order_key(w, d, o_id);
+                db.orders.insert(
                     tx,
-                    order_line_key(w, d, o_id, ol as u64),
-                    OrderLine {
-                        i_id: *i_id,
-                        supply_w: *supply_w,
-                        quantity: *quantity,
-                        amount: *amount,
-                        delivery_d: None,
+                    ok,
+                    Order {
+                        c_id: c,
+                        entry_d: o_id, // logical timestamp
+                        carrier_id: None,
+                        ol_cnt: line_results.len() as u8,
                     },
                 );
-            }
-            let ok = order_key(w, d, o_id);
-            db.orders.insert(
-                tx,
-                ok,
-                Order {
-                    c_id: c,
-                    entry_d: o_id, // logical timestamp
-                    carrier_id: None,
-                    ol_cnt: line_results.len() as u8,
-                },
-            );
-            db.new_orders.insert(tx, ok, ());
-            db.last_order_of.insert(tx, customer_key(w, d, c), o_id);
+                db.new_orders.insert(tx, ok, ());
+                db.last_order_of.insert(tx, customer_key(w, d, c), o_id);
 
-            // total * (1 - c_discount) * (1 + w_tax + d_tax), basis points.
-            total * (10_000 - customer.discount_bp) / 10_000
-                * (10_000 + warehouse.tax_bp + district.tax_bp)
-                / 10_000
-        })
-        .unwrap_or(-1)
+                // total * (1 - c_discount) * (1 + w_tax + d_tax), basis points.
+                total * (10_000 - customer.discount_bp) / 10_000
+                    * (10_000 + warehouse.tax_bp + district.tax_bp)
+                    / 10_000
+            })
+            .unwrap_or(-1)
     }
 
     /// **Payment** (spec 2.5): add `amount` to warehouse and district YTD,
@@ -230,11 +227,14 @@ impl TpccExecutor {
                     let db = db.clone();
                     let hi = (start + per).min(DISTRICTS_PER_WAREHOUSE);
                     handles.push(tx.submit(move |tx| {
-                        (start..hi).map(|d| deliver_district(tx, &db, w, d, carrier) as u64).sum::<u64>()
+                        (start..hi)
+                            .map(|d| deliver_district(tx, &db, w, d, carrier) as u64)
+                            .sum::<u64>()
                     }));
                 }
-                let mut total: u64 =
-                    (0..per.min(DISTRICTS_PER_WAREHOUSE)).map(|d| deliver_district(tx, &db, w, d, carrier) as u64).sum();
+                let mut total: u64 = (0..per.min(DISTRICTS_PER_WAREHOUSE))
+                    .map(|d| deliver_district(tx, &db, w, d, carrier) as u64)
+                    .sum();
                 for h in &handles {
                     total += *tx.eval(h);
                 }
@@ -395,8 +395,11 @@ fn low_stock_items(
     if lo_order >= hi_order {
         return Vec::new();
     }
-    let lines =
-        db.order_lines.range(tx, &order_line_key(w, d, lo_order, 0), &order_line_key(w, d, hi_order, 0));
+    let lines = db.order_lines.range(
+        tx,
+        &order_line_key(w, d, lo_order, 0),
+        &order_line_key(w, d, hi_order, 0),
+    );
     let mut items: Vec<u64> = lines.iter().map(|(_, l)| l.i_id).collect();
     items.sort_unstable();
     items.dedup();
@@ -413,12 +416,19 @@ mod tests {
     use rtf::Rtf;
 
     fn small_db(tm: &Rtf) -> TpccDb {
-        TpccDb::load(tm, TpccScale { warehouses: 1, customers_per_district: 20, items: 128, seed: 7 })
+        TpccDb::load(
+            tm,
+            TpccScale { warehouses: 1, customers_per_district: 20, items: 128, seed: 7 },
+        )
     }
 
     fn lines(n: u64) -> Vec<OrderLineInput> {
         (0..n)
-            .map(|i| OrderLineInput { i_id: (i * 17) % 128, supply_w: 0, quantity: 1 + (i % 5) as u32 })
+            .map(|i| OrderLineInput {
+                i_id: (i * 17) % 128,
+                supply_w: 0,
+                quantity: 1 + (i % 5) as u32,
+            })
             .collect()
     }
 

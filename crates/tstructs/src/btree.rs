@@ -327,7 +327,10 @@ impl<K: TKey, V: TVal> TBTreeMap<K, V> {
             (BNode::Leaf(le), BNode::Leaf(re)) => {
                 le.extend(re);
             }
-            (BNode::Internal { seps: ls, children: lc }, BNode::Internal { seps: rs, children: rc }) => {
+            (
+                BNode::Internal { seps: ls, children: lc },
+                BNode::Internal { seps: rs, children: rc },
+            ) => {
                 ls.push(sep);
                 ls.extend(rs);
                 lc.extend(rc);
@@ -534,8 +537,7 @@ mod tests {
             }
             for (lo, hi) in [(0u64, 1000u64), (100, 200), (999, 1000), (500, 500), (0, 1)] {
                 let got = m.range(tx, &lo, &hi);
-                let want: Vec<(u64, u64)> =
-                    model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
                 assert_eq!(got, want, "range {lo}..{hi}");
             }
         });
@@ -590,7 +592,9 @@ mod tests {
         for seed in 0..64u64 {
             let mut rng = StdRng::seed_from_u64(0xB7EE_0000 + seed);
             let ops: Vec<(u8, u16, u64)> = (0..rng.gen_range(1..400usize))
-                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u16..256), rng.gen_range(0u64..1000)))
+                .map(|_| {
+                    (rng.gen_range(0u8..3), rng.gen_range(0u16..256), rng.gen_range(0u64..1000))
+                })
                 .collect();
             let tm = Rtf::builder().workers(0).build();
             let m: TBTreeMap<u16, u64> = TBTreeMap::new();

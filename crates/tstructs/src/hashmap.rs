@@ -181,7 +181,9 @@ mod tests {
         for seed in 0..48u64 {
             let mut rng = StdRng::seed_from_u64(0x4A5D_0000 + seed);
             let ops: Vec<(u8, u16, u64)> = (0..rng.gen_range(1..200usize))
-                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u16..128), rng.gen_range(0u64..100)))
+                .map(|_| {
+                    (rng.gen_range(0u8..3), rng.gen_range(0u16..128), rng.gen_range(0u64..100))
+                })
                 .collect();
             let tm = Rtf::builder().workers(0).build();
             let m: THashMap<u16, u64> = THashMap::with_buckets(16);

@@ -132,15 +132,7 @@ mod tests {
         // Writes by each node before any nested fork:
         let w = |k: &OrderKey| k.write_key(0);
 
-        let mut order = vec![
-            w(&tc6),
-            w(&tf5),
-            w(&tc4),
-            w(&tc3),
-            w(&tf2),
-            w(&tf1),
-            w(&t0),
-        ];
+        let mut order = vec![w(&tc6), w(&tf5), w(&tc4), w(&tc3), w(&tf2), w(&tf1), w(&t0)];
         order.sort();
         let expect = vec![w(&t0), w(&tf1), w(&tf2), w(&tc3), w(&tc4), w(&tf5), w(&tc6)];
         assert_eq!(order, expect);
@@ -195,6 +187,103 @@ mod tests {
         assert!(!f.is_ancestor_of(&f.clone()));
         assert!(!x.child_cont(0).is_ancestor_of(&fc));
         assert_eq!(fc.depth(), 2);
+    }
+
+    /// Table-driven check of the prefix-first lexicographic rule: for each
+    /// pair of raw component sequences, the expected `Ordering` is exactly
+    /// what slice comparison mandates — a strict prefix sorts *before* any
+    /// extension (the ancestor serializes first), and the first differing
+    /// component decides otherwise.
+    #[test]
+    fn prefix_first_lexicographic_table() {
+        fn key(parts: &[u32]) -> OrderKey {
+            let mut k = OrderKey::root();
+            // Reconstruct through the public API: each component `c` is
+            // 3i (write), 3i+1 (future), or 3i+2 (continuation).
+            for &c in parts {
+                k = match c % 3 {
+                    1 => k.child_future(c / 3),
+                    2 => k.child_cont(c / 3),
+                    _ => unreachable!("interior components are child edges"),
+                };
+            }
+            k
+        }
+        let cases: &[(&[u32], &[u32], Ordering)] = &[
+            (&[], &[], Ordering::Equal),
+            (&[], &[1], Ordering::Less),  // root before its future child
+            (&[], &[2], Ordering::Less),  // root before its continuation
+            (&[1], &[2], Ordering::Less), // future before continuation
+            (&[1], &[1, 1], Ordering::Less), // prefix-first: ancestor first
+            (&[1, 2], &[1, 1], Ordering::Greater), // first differing component wins
+            (&[2], &[1, 2, 2], Ordering::Greater), // whole subtrees ordered by the fork edge
+            (&[1, 1], &[1, 1], Ordering::Equal),
+            (&[4], &[2], Ordering::Greater), // second fork's future after first continuation
+            (&[1, 5], &[1, 4], Ordering::Greater),
+        ];
+        for (a, b, want) in cases {
+            let (ka, kb) = (key(a), key(b));
+            assert_eq!(ka.cmp(&kb), *want, "cmp({ka:?}, {kb:?})");
+            assert_eq!(kb.cmp(&ka), want.reverse(), "reverse cmp({kb:?}, {ka:?})");
+            assert_eq!(ka.components(), *a);
+        }
+    }
+
+    /// Table-driven check of the epoch-suffix scheme: the `i`-th fork of a
+    /// node appends `3i+1` (future) / `3i+2` (continuation), and a write
+    /// after `i` joined forks appends `3i` — so writes, the fork's subtree,
+    /// and the next epoch's writes tile the order without gaps or overlap.
+    #[test]
+    fn epoch_suffix_scheme_table() {
+        let node = OrderKey::root().child_future(0); // arbitrary interior node
+        let cases: &[(u32, u32, u32, u32)] = &[
+            // (epoch i, write suffix, future suffix, continuation suffix)
+            (0, 0, 1, 2),
+            (1, 3, 4, 5),
+            (2, 6, 7, 8),
+            (7, 21, 22, 23),
+        ];
+        for &(i, w, f, c) in cases {
+            assert_eq!(node.write_key(i).components().last(), Some(&w));
+            assert_eq!(node.child_future(i).components().last(), Some(&f));
+            assert_eq!(node.child_cont(i).components().last(), Some(&c));
+            // Within one epoch: write < future subtree < continuation subtree.
+            assert!(node.write_key(i) < node.child_future(i));
+            assert!(node.child_future(i) < node.child_cont(i));
+            // Across epochs: everything in epoch i precedes the next write.
+            assert!(node.child_cont(i) < node.write_key(i + 1));
+        }
+        // Depth and ancestry are unaffected by the epoch arithmetic.
+        assert_eq!(node.write_key(7).depth(), node.depth() + 1);
+        assert!(node.is_ancestor_of(&node.child_future(7)));
+    }
+
+    /// `follows()` edge cases as a table: equal keys, ancestor/descendant
+    /// pairs in both directions, siblings, and cross-subtree pairs.
+    #[test]
+    fn follows_edge_case_table() {
+        let root = OrderKey::root();
+        let f = root.child_future(0);
+        let c = root.child_cont(0);
+        let fw = f.write_key(0);
+        let deep = c.child_future(0).child_cont(2).write_key(1);
+        let cases: &[(&OrderKey, &OrderKey, bool, &str)] = &[
+            (&root, &root, false, "a key never follows itself"),
+            (&f, &root, true, "child follows ancestor"),
+            (&root, &f, false, "ancestor never follows descendant"),
+            (&c, &f, true, "continuation follows future sibling"),
+            (&f, &c, false, "future does not follow its continuation"),
+            (&fw, &f, true, "a node's write follows the node key itself"),
+            (&deep, &fw, true, "right subtree follows all of left subtree"),
+            (&fw, &deep, false, "and not vice versa"),
+        ];
+        for (a, b, want, why) in cases {
+            assert_eq!(follows(a, b), *want, "follows({a:?}, {b:?}): {why}");
+            // follows is a strict order: irreflexive and asymmetric.
+            if **a != **b {
+                assert_ne!(follows(a, b), follows(b, a), "asymmetry for {a:?}, {b:?}");
+            }
+        }
     }
 
     #[test]

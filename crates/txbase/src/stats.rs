@@ -46,6 +46,18 @@ macro_rules! counters {
                 self.validation_ns.fetch_add(ns, Ordering::Relaxed);
             }
 
+            /// Adds a batch of GC-trimmed versions.
+            #[inline]
+            pub fn add_versions_gced(&self, n: u64) {
+                self.versions_gced.fetch_add(n, Ordering::Relaxed);
+            }
+
+            /// Adds a batch of fence-deferred helping attempts.
+            #[inline]
+            pub fn add_pool_fence_deferrals(&self, n: u64) {
+                self.pool_fence_deferrals.fetch_add(n, Ordering::Relaxed);
+            }
+
             /// Copies all counters.
             pub fn snapshot(&self) -> StatSnapshot {
                 StatSnapshot {
@@ -100,6 +112,11 @@ counters! {
     wait_turn_ns,
     /// Nanoseconds spent in sub-transaction read-set validation.
     validation_ns,
+    /// Queued pool tasks run inline by a blocked or idle helping thread.
+    pool_helped_tasks,
+    /// Queued pool tasks a helping attempt had to defer because the
+    /// helper's fence stack forbade them (order-bounded helping).
+    pool_fence_deferrals,
 }
 
 impl StatSnapshot {

@@ -8,8 +8,8 @@
 //!
 //! The structural operations on both lists live here; the *policies*
 //! (snapshot selection for top-level reads, visibility and ownership rules
-//! for sub-transactions) live in `rtf-mvstm::txn` and in the `rtf` core
-//! crate respectively.
+//! for sub-transactions) are supplied by the client crates through the
+//! [`crate::Visibility`] trait and consumed by [`crate::resolve_read`].
 //!
 //! Lock substitution (DESIGN.md D2): the paper manipulates the tentative
 //! list with CAS; we guard it with a short `parking_lot::Mutex` critical
@@ -21,7 +21,7 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use rtf_txbase::{new_write_token, Orec, OrderKey, TreeId, Version, WriteToken};
+use rtf_txbase::{new_write_token, OrderKey, Orec, TreeId, Version, WriteToken};
 
 use crate::value::{downcast, erase, TxData, Val};
 

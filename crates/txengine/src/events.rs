@@ -1,0 +1,238 @@
+//! Engine instrumentation: a single [`EventSink`] seam instead of scattered
+//! counter bumps and ad-hoc tracing.
+//!
+//! Every noteworthy runtime event — commits, aborts, helping, GC, time spent
+//! waiting — is reported as an [`Event`] to a sink threaded through the
+//! engine and its client crates. The default production wiring is a
+//! [`StatsSink`] over the shared [`TmStats`] counters; the `RTF_TRACE`
+//! diagnostic stream is just another sink ([`TraceSink`]), composed in via
+//! [`TeeSink`] when enabled. Tests and benchmarks can substitute their own
+//! sinks without touching the hot paths.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rtf_txbase::TmStats;
+
+/// One observable runtime event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A top-level read-write transaction committed.
+    TopCommit,
+    /// A top-level read-only transaction committed (validation skipped).
+    TopRoCommit,
+    /// A top-level transaction failed commit-time validation.
+    TopValidationAbort,
+    /// A whole tree aborted on an inter-tree tentative-list conflict
+    /// (`ownedByAnotherTree`).
+    InterTreeAbort,
+    /// A top-level re-execution ran in sequential fallback mode.
+    FallbackRun,
+    /// A sub-transaction (future or continuation) committed.
+    SubCommit,
+    /// A sub-transaction failed validation and re-executed (partial
+    /// rollback).
+    SubValidationAbort,
+    /// An implicit continuation failed validation and restarted the whole
+    /// top-level transaction (FCC substitution, DESIGN.md D1).
+    ContinuationRestart,
+    /// A transactional future was submitted.
+    FutureSubmitted,
+    /// A read-only sub-transaction skipped validation (§IV-E).
+    RoValidationSkip,
+    /// A read-only sub-transaction could not skip validation.
+    RoValidationTaken,
+    /// A commit record was written back by a helping thread.
+    HelpedWriteback,
+    /// Permanent versions trimmed by the version GC.
+    VersionsGced(u64),
+    /// Nanoseconds spent blocked in `waitTurn`.
+    WaitTurnNs(u64),
+    /// Nanoseconds spent in sub-transaction read-set validation.
+    ValidationNs(u64),
+    /// A blocked or idle thread ran a queued pool task inline.
+    PoolTaskHelped,
+    /// A helping attempt had to defer queued tasks its fence stack forbids.
+    PoolFenceDeferrals(u64),
+}
+
+/// Receiver of engine instrumentation. The default implementations make a
+/// no-op sink, so policies and tests implement only what they observe.
+pub trait EventSink: Send + Sync {
+    /// Reports one event.
+    fn event(&self, _event: Event) {}
+
+    /// Whether [`EventSink::trace`] wants input — callers skip formatting
+    /// entirely when this is `false` (the hot-path guard the old
+    /// `rtf_trace!` macro provided).
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Receives one pre-formatted diagnostic line.
+    fn trace(&self, _msg: fmt::Arguments<'_>) {}
+}
+
+/// Discards everything (the default sink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {}
+
+/// Maps events onto the shared [`TmStats`] counters.
+pub struct StatsSink {
+    stats: Arc<TmStats>,
+}
+
+impl StatsSink {
+    /// A sink bumping `stats`.
+    pub fn new(stats: Arc<TmStats>) -> StatsSink {
+        StatsSink { stats }
+    }
+}
+
+impl EventSink for StatsSink {
+    fn event(&self, event: Event) {
+        let s = &self.stats;
+        match event {
+            Event::TopCommit => s.top_commits(),
+            Event::TopRoCommit => s.top_ro_commits(),
+            Event::TopValidationAbort => s.top_validation_aborts(),
+            Event::InterTreeAbort => s.inter_tree_aborts(),
+            Event::FallbackRun => s.fallback_runs(),
+            Event::SubCommit => s.sub_commits(),
+            Event::SubValidationAbort => s.sub_validation_aborts(),
+            Event::ContinuationRestart => s.continuation_restarts(),
+            Event::FutureSubmitted => s.futures_submitted(),
+            Event::RoValidationSkip => s.ro_validation_skips(),
+            Event::RoValidationTaken => s.ro_validation_taken(),
+            Event::HelpedWriteback => s.helped_writebacks(),
+            Event::VersionsGced(n) => s.add_versions_gced(n),
+            Event::WaitTurnNs(ns) => s.add_wait_turn_ns(ns),
+            Event::ValidationNs(ns) => s.add_validation_ns(ns),
+            Event::PoolTaskHelped => s.pool_helped_tasks(),
+            Event::PoolFenceDeferrals(n) => s.add_pool_fence_deferrals(n),
+        }
+    }
+}
+
+/// Prints diagnostic lines to stderr, gated on the `RTF_TRACE` environment
+/// variable (any value other than `0` enables it). Events are ignored —
+/// tracing call sites describe themselves.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceSink;
+
+impl TraceSink {
+    /// Whether `RTF_TRACE` requests tracing (computed once per process).
+    pub fn env_enabled() -> bool {
+        static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *ENABLED.get_or_init(|| std::env::var("RTF_TRACE").is_ok_and(|v| v != "0"))
+    }
+}
+
+impl EventSink for TraceSink {
+    fn trace_enabled(&self) -> bool {
+        TraceSink::env_enabled()
+    }
+
+    fn trace(&self, msg: fmt::Arguments<'_>) {
+        eprintln!("[rtf {:?}] {}", std::thread::current().id(), msg);
+    }
+}
+
+/// Fans out to several sinks (e.g. stats + trace).
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// A sink forwarding to every sink in `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn event(&self, event: Event) {
+        for s in &self.sinks {
+            s.event(event);
+        }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.trace_enabled())
+    }
+
+    fn trace(&self, msg: fmt::Arguments<'_>) {
+        for s in &self.sinks {
+            if s.trace_enabled() {
+                s.trace(msg);
+            }
+        }
+    }
+}
+
+/// Emits a diagnostic line through a sink, formatting the message only when
+/// the sink asks for traces (the successor of the old `rtf_trace!` macro,
+/// whose `RTF_TRACE` behaviour now lives in [`TraceSink`]).
+#[macro_export]
+macro_rules! tx_trace {
+    ($sink:expr, $($arg:tt)*) => {{
+        // Method-call syntax so `$sink` may be a sink, a reference, or an
+        // `Arc<dyn EventSink>` alike.
+        if $sink.trace_enabled() {
+            $sink.trace(format_args!($($arg)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn stats_sink_maps_events_to_counters() {
+        let stats = Arc::new(TmStats::default());
+        let sink = StatsSink::new(Arc::clone(&stats));
+        sink.event(Event::TopCommit);
+        sink.event(Event::TopCommit);
+        sink.event(Event::SubValidationAbort);
+        sink.event(Event::VersionsGced(7));
+        sink.event(Event::WaitTurnNs(120));
+        sink.event(Event::PoolTaskHelped);
+        sink.event(Event::PoolFenceDeferrals(3));
+        let snap = stats.snapshot();
+        assert_eq!(snap.top_commits, 2);
+        assert_eq!(snap.sub_validation_aborts, 1);
+        assert_eq!(snap.versions_gced, 7);
+        assert_eq!(snap.wait_turn_ns, 120);
+        assert_eq!(snap.pool_helped_tasks, 1);
+        assert_eq!(snap.pool_fence_deferrals, 3);
+    }
+
+    #[test]
+    fn null_sink_ignores_everything() {
+        let sink: Arc<dyn EventSink> = Arc::new(NullSink);
+        sink.event(Event::TopCommit);
+        assert!(!sink.trace_enabled());
+        tx_trace!(sink, "never formatted {}", 1);
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        struct Counting(AtomicU64);
+        impl EventSink for Counting {
+            fn event(&self, _e: Event) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let a = Arc::new(Counting(AtomicU64::new(0)));
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        let tee = TeeSink::new(vec![a.clone() as Arc<dyn EventSink>, b.clone()]);
+        tee.event(Event::SubCommit);
+        tee.event(Event::SubCommit);
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! The unified transactional access engine of the `rtf` stack.
+//!
+//! Both transaction shapes in this workspace — flat top-level transactions
+//! (the `rtf-mvstm` substrate) and the sub-transaction trees of
+//! transactional futures (the `rtf` core) — run the same generic pipeline:
+//!
+//! * versioned storage — [`VBox`]/[`VBoxCell`] with a permanent version list
+//!   and a tentative list ([`cell`]);
+//! * typed access sets — [`ReadSet`]/[`ReadLog`]/[`WriteSet`] ([`readset`]);
+//! * one read-resolution walk and one validation loop, parameterized by a
+//!   [`Visibility`] policy ([`access`]);
+//! * retry pacing for optimistic re-execution ([`retry`]);
+//! * instrumentation through an [`EventSink`] ([`events`]).
+//!
+//! The client crates contribute only their *policies* (which tentative
+//! entries a reader may observe, which snapshot bounds permanent reads) and
+//! their *commit protocols* (the helping commit chain for top-level
+//! transactions; Alg 4 propagation for sub-transactions). Everything the
+//! two paths share lives here, exactly once.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod access;
+pub mod cell;
+pub mod events;
+pub mod readset;
+pub mod retry;
+pub mod value;
+
+pub use access::{resolve_read, validate_reads, Resolution, Visibility};
+pub use cell::{tentative_insert, CellId, PermVersion, TentativeEntry, VBox, VBoxCell};
+pub use events::{Event, EventSink, NullSink, StatsSink, TeeSink, TraceSink};
+pub use readset::{ReadLog, ReadRecord, ReadSet, Source, WriteEntry, WriteSet};
+pub use retry::{retry_backoff, ExpBackoff, RetryDriver, RetryPolicy};
+pub use value::{downcast, erase, TxData, Val};

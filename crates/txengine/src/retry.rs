@@ -1,0 +1,121 @@
+//! Retry pacing shared by every optimistic re-execution driver.
+//!
+//! Top-level transactions (`MvStm::atomic`, `Rtf::atomic`) and the partial
+//! re-execution of aborted sub-transactions all follow the same loop shape:
+//! run, fail, back off, run again. The [`RetryPolicy`] trait isolates the
+//! pacing decision; [`ExpBackoff`] is the production ladder (brief spin,
+//! then yields, then escalating sleeps) tuned for commit-time conflicts that
+//! resolve within microseconds but must not melt the scheduler when they
+//! don't.
+
+use std::time::Duration;
+
+/// Decides how long attempt number `attempt` (1-based: the first *retry* is
+/// attempt 1) should pause before re-executing.
+pub trait RetryPolicy {
+    /// Blocks the calling thread appropriately for `attempt`.
+    fn pause(&self, attempt: u32);
+}
+
+/// The production backoff ladder: spin briefly, then yield, then sleep in
+/// escalating (capped) slices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpBackoff;
+
+impl RetryPolicy for ExpBackoff {
+    fn pause(&self, attempt: u32) {
+        match attempt {
+            0 => {}
+            1..=3 => {
+                for _ in 0..(1u32 << attempt) {
+                    std::hint::spin_loop();
+                }
+            }
+            4..=6 => std::thread::yield_now(),
+            n => {
+                let us = ((n - 6) as u64 * 50).min(2_000);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+    }
+}
+
+/// Backs off for retry attempt `attempt` using the production ladder —
+/// compatibility shim for callers that manage their own attempt counter.
+#[inline]
+pub fn retry_backoff(attempt: u32) {
+    ExpBackoff.pause(attempt);
+}
+
+/// Counts attempts and applies a [`RetryPolicy`] between them: the single
+/// retry-with-backoff driver for both the top-level `atomic` loop and the
+/// tree re-execution driver.
+#[derive(Debug, Default)]
+pub struct RetryDriver<P: RetryPolicy = ExpBackoff> {
+    attempt: u32,
+    policy: P,
+}
+
+impl RetryDriver<ExpBackoff> {
+    /// A driver with the production backoff ladder.
+    pub fn new() -> RetryDriver<ExpBackoff> {
+        RetryDriver::with_policy(ExpBackoff)
+    }
+}
+
+impl<P: RetryPolicy> RetryDriver<P> {
+    /// A driver pacing retries with `policy`.
+    pub fn with_policy(policy: P) -> RetryDriver<P> {
+        RetryDriver { attempt: 0, policy }
+    }
+
+    /// Number of failed attempts so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Registers a failed attempt and pauses before the next one.
+    pub fn backoff(&mut self) {
+        self.attempt += 1;
+        self.policy.pause(self.attempt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn driver_counts_attempts() {
+        let mut d = RetryDriver::new();
+        assert_eq!(d.attempt(), 0);
+        d.backoff();
+        d.backoff();
+        assert_eq!(d.attempt(), 2);
+    }
+
+    #[test]
+    fn driver_consults_policy_with_one_based_attempts() {
+        struct Recording(AtomicU32);
+        impl RetryPolicy for &Recording {
+            fn pause(&self, attempt: u32) {
+                self.0.store(attempt, Ordering::Relaxed);
+            }
+        }
+        let rec = Recording(AtomicU32::new(0));
+        let mut d = RetryDriver::with_policy(&rec);
+        d.backoff();
+        assert_eq!(rec.0.load(Ordering::Relaxed), 1);
+        d.backoff();
+        assert_eq!(rec.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn backoff_levels_terminate() {
+        // Spin, yield and sleep levels all return promptly.
+        for attempt in 0..=8 {
+            retry_backoff(attempt);
+        }
+    }
+}

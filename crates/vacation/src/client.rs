@@ -175,7 +175,8 @@ impl Client {
             for seg in 1..segments {
                 let mgr = mgr.clone();
                 let (lo, hi) = (seg * seg_len, ((seg + 1) * seg_len).min(relations));
-                handles.push(tx.submit(move |tx| travel_scan(tx, &mgr, lo, hi, price_lo, price_hi)));
+                handles
+                    .push(tx.submit(move |tx| travel_scan(tx, &mgr, lo, hi, price_lo, price_hi)));
             }
             let mut acc = travel_scan(tx, &mgr, 0, seg_len.min(relations), price_lo, price_hi);
             for h in &handles {

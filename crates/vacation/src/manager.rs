@@ -16,11 +16,8 @@ pub enum ReservationKind {
 }
 
 /// All kinds, in a fixed order (iteration helper).
-pub const KINDS: [ReservationKind; 3] = [
-    ReservationKind::Car,
-    ReservationKind::Flight,
-    ReservationKind::Room,
-];
+pub const KINDS: [ReservationKind; 3] =
+    [ReservationKind::Car, ReservationKind::Flight, ReservationKind::Room];
 
 /// One relation row: a reservable resource.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,14 +91,7 @@ impl Manager {
     /// Adds `num` units of resource `id` at `price` (creating the row if
     /// absent) — STAMP `manager_add*`. `num == 0` with a new price updates
     /// the price only.
-    pub fn add_resource(
-        &self,
-        tx: &mut Tx,
-        kind: ReservationKind,
-        id: u64,
-        num: u32,
-        price: u32,
-    ) {
+    pub fn add_resource(&self, tx: &mut Tx, kind: ReservationKind, id: u64, num: u32, price: u32) {
         let t = self.table(kind);
         let row = match t.get(tx, &id) {
             Some(mut r) => {
@@ -116,13 +106,7 @@ impl Manager {
 
     /// Removes up to `num` *free* units of resource `id`; returns whether
     /// the row existed with enough free capacity (STAMP `manager_delete*`).
-    pub fn remove_resource(
-        &self,
-        tx: &mut Tx,
-        kind: ReservationKind,
-        id: u64,
-        num: u32,
-    ) -> bool {
+    pub fn remove_resource(&self, tx: &mut Tx, kind: ReservationKind, id: u64, num: u32) -> bool {
         let t = self.table(kind);
         match t.get(tx, &id) {
             Some(mut r) if r.free() >= num => {
@@ -176,13 +160,7 @@ impl Manager {
 
     /// Reserves one unit of resource `id` for `customer` (STAMP
     /// `manager_reserve*`). Returns whether the reservation succeeded.
-    pub fn reserve(
-        &self,
-        tx: &mut Tx,
-        customer: u64,
-        kind: ReservationKind,
-        id: u64,
-    ) -> bool {
+    pub fn reserve(&self, tx: &mut Tx, customer: u64, kind: ReservationKind, id: u64) -> bool {
         let Some(mut cust) = self.customers.get(tx, &customer) else { return false };
         let t = self.table(kind);
         let Some(mut row) = t.get(tx, &id) else { return false };
@@ -199,9 +177,7 @@ impl Manager {
 
     /// Total bill of a customer, if present (STAMP `manager_queryCustomerBill`).
     pub fn query_bill(&self, tx: &mut Tx, customer: u64) -> Option<u32> {
-        self.customers
-            .get(tx, &customer)
-            .map(|c| c.reservations.iter().map(|(_, _, p)| *p).sum())
+        self.customers.get(tx, &customer).map(|c| c.reservations.iter().map(|(_, _, p)| *p).sum())
     }
 
     /// All resources of `kind` with id in `[lo, hi)` whose price lies in
@@ -318,9 +294,8 @@ mod tests {
     #[test]
     fn price_range_scan() {
         let (tm, mgr) = setup();
-        let hits = tm.atomic(|tx| {
-            mgr.scan_price_range(tx, ReservationKind::Flight, 0, 20, 150, 200)
-        });
+        let hits =
+            tm.atomic(|tx| mgr.scan_price_range(tx, ReservationKind::Flight, 0, 20, 150, 200));
         // prices are 100 + id*10: ids 5..=10 fall in [150, 200].
         assert_eq!(hits.len(), 6);
         assert!(hits.iter().all(|(id, p)| *p == 100 + (*id as u32) * 10));

@@ -92,9 +92,7 @@ impl VacationConfig {
                 if dice < self.user_pct {
                     let customer = rng.gen_range(0..num_customers);
                     let queries = (0..self.queries_per_tx)
-                        .map(|_| {
-                            (KINDS[rng.gen_range(0..3usize)], rng.gen_range(0..query_range))
-                        })
+                        .map(|_| (KINDS[rng.gen_range(0..3usize)], rng.gen_range(0..query_range)))
                         .collect();
                     VacationOp::MakeReservation { customer, queries }
                 } else if dice < self.user_pct + self.audit_pct {

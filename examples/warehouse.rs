@@ -37,9 +37,8 @@ fn main() {
     let elapsed = t0.elapsed();
 
     // TPC-C consistency conditions must hold afterwards.
-    let (ytd_ok, oid_ok) = tm.atomic(|tx| {
-        (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx))
-    });
+    let (ytd_ok, oid_ok) =
+        tm.atomic(|tx| (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx)));
     assert!(ytd_ok, "W_YTD == sum(D_YTD) must hold");
     assert!(oid_ok, "order ids must be dense per district");
 

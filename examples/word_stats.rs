@@ -58,8 +58,8 @@ fn main() {
                     for d in &docs3[s * per..(s + 1) * per] {
                         let text = tx.read(d);
                         words += text.split_whitespace().count();
-                        longest =
-                            longest.max(text.split_whitespace().map(|w| w.len()).max().unwrap_or(0));
+                        longest = longest
+                            .max(text.split_whitespace().map(|w| w.len()).max().unwrap_or(0));
                     }
                     (words, longest)
                 }));

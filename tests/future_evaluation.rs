@@ -120,11 +120,8 @@ fn many_evaluators_one_future() {
 fn futures_returning_futures() {
     let tm = Rtf::builder().workers(3).build();
     let out = tm.atomic(|tx| {
-        let outer: TxFuture<Vec<TxFuture<u64>>> = tx.submit(|tx| {
-            (0..4u64)
-                .map(|i| tx.submit(move |_tx| i * i))
-                .collect()
-        });
+        let outer: TxFuture<Vec<TxFuture<u64>>> =
+            tx.submit(|tx| (0..4u64).map(|i| tx.submit(move |_tx| i * i)).collect());
         let inner = tx.eval(&outer);
         inner.iter().map(|f| *tx.eval(f)).sum::<u64>()
     });

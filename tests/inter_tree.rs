@@ -56,10 +56,7 @@ fn conflicting_trees_converge_exactly() {
     assert_eq!(s.commits(), (threads * per) as u64);
     // With three trees fighting for one box, inter-tree conflicts are
     // essentially guaranteed at this scale.
-    assert!(
-        s.inter_tree_aborts > 0,
-        "expected some ownedByAnotherTree aborts: {s:?}"
-    );
+    assert!(s.inter_tree_aborts > 0, "expected some ownedByAnotherTree aborts: {s:?}");
     assert!(s.fallback_runs > 0, "fallback mode should have engaged: {s:?}");
 }
 

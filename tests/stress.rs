@@ -135,9 +135,11 @@ fn panics_under_concurrency_leave_clean_state() {
         }));
         if r.is_err() {
             // The aborted tree must leave no tentative residue.
-            assert!(b.cell().tentative_lock().iter().all(|e| {
-                e.orec.status() == rtf_txbase::OrecStatus::Aborted
-            }));
+            assert!(b
+                .cell()
+                .tentative_lock()
+                .iter()
+                .all(|e| { e.orec.status() == rtf_txbase::OrecStatus::Aborted }));
         }
     }
     // The box still works.

@@ -33,15 +33,11 @@ fn vacation_parallel_equals_sequential() {
             let fingerprint = tm.atomic(|tx| {
                 let mut acc = 0u64;
                 for kind in rtf_vacation::manager::KINDS {
-                    for (id, price) in
-                        w.manager.scan_price_range(tx, kind, 0, 256, 0, u32::MAX)
-                    {
+                    for (id, price) in w.manager.scan_price_range(tx, kind, 0, 256, 0, u32::MAX) {
                         acc = acc
                             .wrapping_mul(31)
                             .wrapping_add(id ^ (price as u64) << 8)
-                            .wrapping_add(
-                                w.manager.query_free(tx, kind, id).unwrap_or(0) as u64,
-                            );
+                            .wrapping_add(w.manager.query_free(tx, kind, id).unwrap_or(0) as u64);
                     }
                 }
                 for c in 0..256 {
@@ -79,9 +75,8 @@ fn tpcc_parallel_equals_sequential() {
             let w = cfg.build(&tm, 70);
             let ex = TpccExecutor::new(tm.clone(), w.db.clone(), futures);
             let per_op: Vec<i64> = w.ops.iter().map(|op| run_op(&ex, op)).collect();
-            let (ytd, oid) = tm.atomic(|tx| {
-                (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx))
-            });
+            let (ytd, oid) = tm
+                .atomic(|tx| (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx)));
             let audit = ex.warehouse_audit(0);
             (per_op, ytd, oid, audit)
         })
@@ -160,13 +155,12 @@ fn tpcc_concurrent_consistency() {
     let (ytd, oid, orders_created) = tm.atomic(|tx| {
         let mut created = 0u32;
         for d in 0..rtf_tpcc::model::DISTRICTS_PER_WAREHOUSE {
-            created += w
-                .db
-                .districts
-                .get(tx, &rtf_tpcc::model::district_key(0, d))
-                .expect("district")
-                .next_o_id
-                - 1;
+            created +=
+                w.db.districts
+                    .get(tx, &rtf_tpcc::model::district_key(0, d))
+                    .expect("district")
+                    .next_o_id
+                    - 1;
         }
         (w.db.check_ytd_consistency(tx), w.db.check_order_id_consistency(tx), created)
     });

@@ -73,9 +73,7 @@ struct ThreadReg {
 impl ThreadReg {
     fn claim() -> ThreadReg {
         let slot = loop {
-            if let Some(i) =
-                FREE_SLOTS.lock().unwrap_or_else(PoisonError::into_inner).pop()
-            {
+            if let Some(i) = FREE_SLOTS.lock().unwrap_or_else(PoisonError::into_inner).pop() {
                 break i;
             }
             let hw = HIGH_WATER.load(Ordering::SeqCst);
@@ -183,10 +181,7 @@ impl Guard {
             return;
         }
         let era = ERA.load(Ordering::SeqCst);
-        LIMBO
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push((era, Garbage::new(ptr.ptr)));
+        LIMBO.lock().unwrap_or_else(PoisonError::into_inner).push((era, Garbage::new(ptr.ptr)));
         ERA.fetch_add(1, Ordering::SeqCst);
     }
 }

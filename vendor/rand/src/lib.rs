@@ -147,9 +147,8 @@ mod tests {
             assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
         }
         let mut c = StdRng::seed_from_u64(43);
-        let same: usize = (0..100)
-            .filter(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000))
-            .count();
+        let same: usize =
+            (0..100).filter(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000)).count();
         assert!(same < 50, "different seeds produced near-identical streams");
     }
 
