@@ -1,0 +1,56 @@
+//! O1 — overhead guard for the observability layer: the hot commit path
+//! (read-modify-write transaction, and a fork/join transaction) measured
+//! against three instrumentation levels:
+//!
+//! * `baseline` — the default TM: stats counters only, `spans_enabled()`
+//!   is false so no clocks are read and no spans are built;
+//! * `txobs_histograms` — a [`TxObs`] attached with span capture off:
+//!   adds histogram recording and conflict attribution;
+//! * `txobs_full` — span capture on: every lifecycle phase reads the
+//!   monotonic clock twice and pushes a record into a per-thread ring.
+//!
+//! DESIGN.md §3.11 quotes the measured deltas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtf::{ObsConfig, Rtf, TxObs, VBox};
+
+fn tm_for(level: &str) -> Rtf {
+    let b = Rtf::builder().workers(2);
+    match level {
+        "baseline" => b.build(),
+        "txobs_histograms" => {
+            b.observer(TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() })).build()
+        }
+        "txobs_full" => {
+            b.observer(TxObs::new(ObsConfig { spans: true, ..ObsConfig::default() })).build()
+        }
+        other => unreachable!("unknown level {other}"),
+    }
+}
+
+fn bench_commit_overhead(c: &mut Criterion) {
+    for level in ["baseline", "txobs_histograms", "txobs_full"] {
+        let tm = tm_for(level);
+        let vb = VBox::new(0u64);
+        c.bench_function(&format!("obs_overhead/rmw_commit/{level}"), |b| {
+            b.iter(|| {
+                tm.atomic(|tx| {
+                    let v = *tx.read(&vb);
+                    tx.write(&vb, v.wrapping_add(1));
+                })
+            })
+        });
+        let fb = VBox::new(7u64);
+        c.bench_function(&format!("obs_overhead/fork_join/{level}"), |b| {
+            b.iter(|| {
+                tm.atomic(|tx| {
+                    let fb2 = fb.clone();
+                    tx.fork(move |tx| *tx.read(&fb2), |tx, f| *tx.eval(f))
+                })
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_commit_overhead);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! A1 — lock-free helping commit vs a global commit mutex;
 //! A2 — the §IV-E read-only future validation skip.
 
-use rtf::{CommitStrategy, Rtf, TreeSemantics};
+use rtf::{CommitStrategy, TreeSemantics};
 use rtf_benchkit::measure::fmt_f64;
 use rtf_benchkit::{run_clients, SyntheticArray, SyntheticConfig, Table};
 use rtf_tstructs::TArray;
@@ -20,7 +20,7 @@ pub fn ablation_commit(args: &Args) -> Table {
     );
     for clients in clients_set {
         let thr = |strategy: CommitStrategy| {
-            let tm = Rtf::builder().workers(0).commit_strategy(strategy).build();
+            let tm = args.tm().workers(0).commit_strategy(strategy).build();
             // Mostly disjoint counters with a pinch of sharing.
             let counters: TArray<u64> = TArray::new(clients * 4, |_| 0);
             run_clients(clients, ops, |c, i| {
@@ -53,7 +53,7 @@ pub fn ablation_roflag(args: &Args) -> Table {
         &["ro_opt", "throughput (txs/s)", "ro skips", "ro validations"],
     );
     for ro_opt in [true, false] {
-        let tm = Rtf::builder().workers(clients * futures).read_only_optimization(ro_opt).build();
+        let tm = args.tm().workers(clients * futures).read_only_optimization(ro_opt).build();
         let data: TArray<u64> = TArray::new(1 << 12, |i| i as u64);
         let before = tm.stats();
         let m = run_clients(clients, ops, |c, i| {
@@ -117,11 +117,8 @@ pub fn ablation_ordering(args: &Args) -> Table {
         ("strong ordering", TreeSemantics::StrongOrdering),
         ("parallel nesting", TreeSemantics::ParallelNesting),
     ] {
-        let tm = Rtf::builder()
-            .workers(clients * futures)
-            .semantics(semantics)
-            .fallback_threshold(2)
-            .build();
+        let tm =
+            args.tm().workers(clients * futures).semantics(semantics).fallback_threshold(2).build();
         let data = SyntheticArray::new(cfg);
         let before = tm.stats();
         let m = run_clients(clients, ops, |c, i| {

@@ -2,9 +2,11 @@
 //! coarse global commit mutex.
 
 use rtf_bench::ablation;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "ablation_commit");
     ablation::ablation_commit(&args).emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
 }

@@ -3,9 +3,11 @@
 //! behaviour on the contended synthetic workload.
 
 use rtf_bench::ablation;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "ablation_ordering");
     ablation::ablation_ordering(&args).emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
 }

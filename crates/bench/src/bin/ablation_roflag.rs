@@ -1,9 +1,11 @@
 //! Ablation A2: the §IV-E read-only future validation skip, on vs off.
 
 use rtf_bench::ablation;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "ablation_roflag");
     ablation::ablation_roflag(&args).emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
 }

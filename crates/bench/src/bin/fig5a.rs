@@ -3,12 +3,14 @@
 //! transaction length × CPU `iter`, against a no-future baseline.
 
 use rtf_bench::fig5;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "fig5a");
     eprintln!("fig5a: read-only synthetic (this may take a while; use --quick for a fast pass)");
     for table in fig5::fig5a(&args) {
         table.emit(args.csv.as_deref());
     }
+    sidecar.write(args.csv.as_deref());
 }

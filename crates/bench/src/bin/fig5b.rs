@@ -3,12 +3,14 @@
 //! baseline.
 
 use rtf_bench::fig5;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "fig5b");
     let budget = args.thread_budget();
     eprintln!("fig5b: contended synthetic, thread budget {budget} (use --threads to change)");
     let cells = fig5::contended_sweep(&args);
     fig5::fig5b_table(&cells, budget).emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
 }

@@ -3,14 +3,16 @@
 //! abort rates for the `i*j` thread allocations.
 
 use rtf_bench::fig5;
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "fig5c");
     let budget = args.thread_budget();
     eprintln!("fig5c: contended synthetic latency/aborts, thread budget {budget}");
     let cells = fig5::contended_sweep(&args);
     for t in fig5::fig5c_tables(&cells, budget) {
         t.emit(args.csv.as_deref());
     }
+    sidecar.write(args.csv.as_deref());
 }

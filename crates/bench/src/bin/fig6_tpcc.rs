@@ -2,13 +2,15 @@
 //! abort rate vs total threads, for 0/1/3/5/7 futures per transaction.
 
 use rtf_bench::fig6::{self, App};
-use rtf_bench::Args;
+use rtf_bench::{Args, MetricsSidecar};
 
 fn main() {
-    let args = Args::parse();
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "fig6_tpcc");
     eprintln!("fig6 (TPC-C): sweeping threads × future strategies");
     let cells = fig6::sweep(App::Tpcc, &args);
     for t in fig6::tables(App::Tpcc, &cells) {
         t.emit(args.csv.as_deref());
     }
+    sidecar.write(args.csv.as_deref());
 }

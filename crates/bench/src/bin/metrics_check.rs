@@ -1,0 +1,142 @@
+//! CI validator for the observability exports: parses an `RTF_METRICS`
+//! JSON snapshot (and, optionally, an `RTF_CHROME_TRACE` document) and
+//! asserts the fields a contended run must populate — non-zero commit and
+//! abort counters, ordered commit/waitTurn/validation percentiles, an
+//! abort-hotspot table, and future/continuation spans nested under their
+//! top-level transaction.
+//!
+//! Usage: `metrics_check <metrics.json> [chrome_trace.json]`
+//! Exits non-zero with a message naming the first failed assertion.
+
+use rtf_txobs::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn u64_at(doc: &Json, path: &[&str]) -> u64 {
+    doc.path(path)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("missing or non-integer field {}", path.join("."))))
+}
+
+fn check_hist(doc: &Json, name: &str, require_nonempty: bool) {
+    let count = u64_at(doc, &["histograms_ns", name, "count"]);
+    if require_nonempty && count == 0 {
+        fail(&format!("histogram {name} recorded no samples"));
+    }
+    let p50 = u64_at(doc, &["histograms_ns", name, "p50_ns"]);
+    let p95 = u64_at(doc, &["histograms_ns", name, "p95_ns"]);
+    let p99 = u64_at(doc, &["histograms_ns", name, "p99_ns"]);
+    let max = u64_at(doc, &["histograms_ns", name, "max_ns"]);
+    if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+        fail(&format!("histogram {name} percentiles disordered: {p50}/{p95}/{p99}/{max}"));
+    }
+    if count > 0 && max == 0 {
+        fail(&format!("histogram {name} has {count} samples but max 0ns"));
+    }
+}
+
+fn check_metrics(doc: &Json) {
+    if doc.path(&["schema"]).and_then(Json::as_str) != Some("rtf-metrics-v1") {
+        fail("schema is not rtf-metrics-v1");
+    }
+    let commits = u64_at(doc, &["derived", "commits"]);
+    if commits == 0 {
+        fail("derived.commits is zero — the smoke run committed nothing");
+    }
+    let aborts = u64_at(doc, &["derived", "top_aborts"])
+        + u64_at(doc, &["counters", "sub_validation_aborts"]);
+    if aborts == 0 {
+        fail("no aborts recorded — the smoke run was not contended");
+    }
+    check_hist(doc, "commit", true);
+    check_hist(doc, "wait_turn", false);
+    check_hist(doc, "validation", false);
+    check_hist(doc, "future_lifetime", false);
+    let hotspots = doc
+        .path(&["abort_hotspots"])
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("abort_hotspots missing"));
+    if hotspots.is_empty() {
+        fail("aborts recorded but abort_hotspots is empty");
+    }
+    for h in hotspots {
+        if h.get("total").and_then(Json::as_u64).unwrap_or(0) == 0 {
+            fail("hotspot row with zero conflicts");
+        }
+    }
+    println!(
+        "metrics ok: {commits} commits, {aborts} aborts, {} hotspot rows, commit p99 {}ns",
+        hotspots.len(),
+        u64_at(doc, &["histograms_ns", "commit", "p99_ns"]),
+    );
+}
+
+fn check_trace(doc: &Json) {
+    let events = doc
+        .path(&["traceEvents"])
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("traceEvents missing from chrome trace"));
+    if events.is_empty() {
+        fail("chrome trace has no events");
+    }
+    let named = |name: &str| {
+        events.iter().filter(|e| e.get("name").and_then(Json::as_str) == Some(name)).count()
+    };
+    if named("top_level") == 0 {
+        fail("chrome trace has no top_level spans");
+    }
+    if named("future") == 0 && named("continuation") == 0 {
+        fail("chrome trace has no future/continuation spans");
+    }
+    // Every async lifecycle event must carry the tree id Perfetto nests by,
+    // and begin/end phases must balance per id.
+    let mut balance: std::collections::BTreeMap<String, i64> = Default::default();
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("b") | Some("e") => {
+                let id = e
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail("async event without a tree id"));
+                *balance.entry(id.to_string()).or_insert(0) +=
+                    if e.get("ph").and_then(Json::as_str) == Some("b") { 1 } else { -1 };
+            }
+            Some("X") => {
+                if e.get("dur").is_none() {
+                    fail("complete event without dur");
+                }
+            }
+            _ => fail("event with unexpected phase"),
+        }
+    }
+    if let Some((id, n)) = balance.iter().find(|(_, n)| **n != 0) {
+        fail(&format!("unbalanced async span nesting for {id}: {n}"));
+    }
+    println!(
+        "trace ok: {} events, {} top-level spans, {} future spans",
+        events.len(),
+        named("top_level"),
+        named("future")
+    );
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let metrics = argv.next().unwrap_or_else(|| {
+        eprintln!("usage: metrics_check <metrics.json> [chrome_trace.json]");
+        std::process::exit(2);
+    });
+    check_metrics(&load(&metrics));
+    if let Some(trace) = argv.next() {
+        check_trace(&load(&trace));
+    }
+}

@@ -1,6 +1,9 @@
 //! Minimal hand-rolled CLI for the harness binaries (no extra deps).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+
+use rtf::{RtfBuilder, TxObs};
 
 /// Common harness flags.
 #[derive(Clone, Debug, Default)]
@@ -15,6 +18,9 @@ pub struct Args {
     pub csv: Option<PathBuf>,
     /// Synthetic array size override.
     pub array_size: Option<usize>,
+    /// Observer attached to every TM the harness builds (set by the
+    /// binaries via [`crate::sidecar::MetricsSidecar`], not a CLI flag).
+    pub obs: Option<Arc<TxObs>>,
 }
 
 impl Args {
@@ -51,6 +57,17 @@ impl Args {
             }
         }
         args
+    }
+
+    /// A TM builder with the harness observer (if any) pre-attached; every
+    /// sweep builds its TMs through this so one sidecar aggregates the
+    /// whole figure.
+    pub fn tm(&self) -> RtfBuilder {
+        let b = rtf::Rtf::builder();
+        match &self.obs {
+            Some(obs) => b.observer(Arc::clone(obs)),
+            None => b,
+        }
     }
 
     /// Total thread budget: explicit, else scaled to the machine (the

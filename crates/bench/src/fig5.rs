@@ -2,7 +2,6 @@
 //! Fig 5b (contended throughput of `i*j` allocations), Fig 5c (latency and
 //! abort behaviour of the same runs).
 
-use rtf::Rtf;
 use rtf_benchkit::measure::fmt_f64;
 use rtf_benchkit::{run_clients, SyntheticArray, SyntheticConfig, Table};
 use rtf_plainfut::PlainExecutor;
@@ -54,7 +53,7 @@ pub fn fig5a(args: &Args) -> Vec<Table> {
     };
     // One array for the whole grid: the workload never writes.
     let data = SyntheticArray::new(SyntheticConfig { tx_len: 1, ..cfg });
-    let tm = Rtf::builder().workers(grid.clients * grid.futures).build();
+    let tm = args.tm().workers(grid.clients * grid.futures).build();
     let plain = PlainExecutor::new(grid.clients * grid.futures);
 
     let header: Vec<String> = std::iter::once("tx_len".to_string())
@@ -193,7 +192,7 @@ pub fn contended_sweep(args: &Args) -> Vec<ContendedCell> {
             // Fresh TM and data per cell: contended runs mutate hot spots.
             let data = SyntheticArray::new(cfg);
             let workers = budget.saturating_sub(alloc.clients).max(1);
-            let tm = Rtf::builder().workers(workers).build();
+            let tm = args.tm().workers(workers).build();
             let ops = args.ops.unwrap_or_else(|| (20_000 / prefix.max(10)).clamp(5, 200));
             let before = tm.stats();
             let m = run_clients(alloc.clients, ops, |c, i| {

@@ -3,7 +3,6 @@
 //! thread-allocation strategies with 0 / 1 / 3 / 5 / 7 transactional
 //! futures per top-level transaction.
 
-use rtf::Rtf;
 use rtf_benchkit::measure::fmt_f64;
 use rtf_benchkit::{run_clients, Table};
 use rtf_tpcc::workload::run_op;
@@ -78,7 +77,7 @@ fn run_one(
     workers: usize,
     futures: usize,
 ) -> Fig6Cell {
-    let tm = Rtf::builder().workers(workers.max(1)).build();
+    let tm = args.tm().workers(workers.max(1)).build();
     let before = tm.stats();
     let m = match app {
         App::Vacation => {

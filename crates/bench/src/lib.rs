@@ -15,6 +15,11 @@
 //! Run e.g. `cargo run --release -p rtf-bench --bin fig5b -- --quick`.
 //! Common flags: `--quick` (CI-sized), `--threads N` (total thread budget),
 //! `--ops N` (per-client operations), `--csv DIR`, `--array-size N`.
+//!
+//! With `--csv DIR`, every figure binary also writes a
+//! `<figure>.metrics.json` sidecar (histograms, abort hotspots, raw
+//! counters — see [`sidecar`]), and `metrics_check` validates such a
+//! sidecar (plus an optional Chrome trace) in CI.
 
 #![warn(missing_docs)]
 
@@ -22,5 +27,7 @@ pub mod ablation;
 pub mod cli;
 pub mod fig5;
 pub mod fig6;
+pub mod sidecar;
 
 pub use cli::Args;
+pub use sidecar::MetricsSidecar;

@@ -1,0 +1,57 @@
+//! Metrics sidecars: every figure binary attaches one [`TxObs`] to all the
+//! TMs its sweep builds and, when `--csv DIR` is given, writes
+//! `<DIR>/<figure>.metrics.json` next to the figure's CSVs — the raw
+//! material (histograms, abort hotspots, counters) behind each table.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use rtf::{ObsConfig, TxObs};
+
+use crate::cli::Args;
+
+/// One observer shared by every TM a figure binary builds.
+pub struct MetricsSidecar {
+    obs: Arc<TxObs>,
+    figure: String,
+}
+
+impl MetricsSidecar {
+    /// Creates the sidecar observer and attaches it to `args` so every
+    /// `args.tm()` builder feeds it. Spans stay off: the sidecar wants
+    /// aggregates, and the sweeps build hundreds of short-lived TMs.
+    pub fn install(args: &mut Args, figure: &str) -> MetricsSidecar {
+        let obs = TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() });
+        args.obs = Some(Arc::clone(&obs));
+        MetricsSidecar { obs, figure: figure.to_string() }
+    }
+
+    /// The shared observer.
+    pub fn obs(&self) -> &Arc<TxObs> {
+        &self.obs
+    }
+
+    /// Writes `<csv_dir>/<figure>.metrics.json` (when a CSV directory was
+    /// requested) and prints a one-line summary either way.
+    pub fn write(&self, csv_dir: Option<&Path>) {
+        let snap = self.obs.metrics();
+        let c = &snap.counters;
+        eprintln!(
+            "{}: {} commits, {} top-level aborts (rate {:.3}), commit p50/p99 {}/{} ns",
+            self.figure,
+            c.commits(),
+            c.top_aborts(),
+            c.top_abort_rate(),
+            snap.commit.p50,
+            snap.commit.p99,
+        );
+        let Some(dir) = csv_dir else { return };
+        let path = dir.join(format!("{}.metrics.json", self.figure));
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, snap.to_json().pretty()));
+        match write {
+            Ok(()) => println!("(metrics sidecar written to {})\n", path.display()),
+            Err(e) => eprintln!("metrics sidecar {} not written: {e}", path.display()),
+        }
+    }
+}

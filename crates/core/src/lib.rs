@@ -93,11 +93,18 @@ pub use rtf_mvstm::CommitStrategy;
 pub use rtf_txbase::StatSnapshot;
 pub use rtf_txengine::{TxData, VBox};
 
+// Observability layer (attach via [`RtfBuilder::observer`] or the
+// `RTF_METRICS` / `RTF_METRICS_TEXT` / `RTF_CHROME_TRACE` env vars).
+pub use rtf_txobs::{ExportPaths, MetricsSnapshot, ObsConfig, TxObs};
+
 // Internal APIs for sibling crates (data structures, benches) and tests.
 #[doc(hidden)]
 pub mod internals {
     pub use crate::node::{Node, NodeKind};
-    pub use crate::rw::{sub_read, sub_write, validate_reads, SubRead, SubValidation};
+    pub use crate::rw::{
+        sub_read, sub_write, validate_reads, validate_reads_detailed, InterTreeConflict, SubRead,
+        SubValidation,
+    };
     pub use crate::tree::TreeCtx;
     pub use rtf_txengine::{ReadRecord, Source};
 }

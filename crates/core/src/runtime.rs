@@ -26,9 +26,10 @@ use rtf_mvstm::{CommitStrategy, MvStm, TxData};
 use rtf_taskpool::{Pool, PoolRunner};
 use rtf_txbase::{OrecStatus, StatSnapshot, TmStats};
 use rtf_txengine::{
-    Event, EventSink, ReadRecord, ReadSet, RetryDriver, Source, StatsSink, TeeSink, TraceSink,
-    WriteEntry, WriteSet,
+    obs_now_ns, Event, EventSink, ReadRecord, ReadSet, RetryDriver, Source, SpanKind, SpanRec,
+    TraceSink, WriteEntry, WriteSet,
 };
+use rtf_txobs::TxObs;
 
 use crate::future::TxFuture;
 use crate::tree::{PoisonKind, TreeCtx, TreeSemantics};
@@ -55,6 +56,10 @@ pub struct RtfConfig {
     /// Intra-transaction serialization discipline (ablation A4 compares
     /// the paper's strong ordering with unordered parallel nesting).
     pub semantics: TreeSemantics,
+    /// Explicit observability layer attached to this runtime's event
+    /// stream. Independent of the env-driven observer (`RTF_METRICS` /
+    /// `RTF_CHROME_TRACE`), which attaches automatically.
+    pub observer: Option<Arc<TxObs>>,
 }
 
 impl Default for RtfConfig {
@@ -65,6 +70,7 @@ impl Default for RtfConfig {
             commit_strategy: CommitStrategy::LockFreeHelping,
             fallback_threshold: 1,
             semantics: TreeSemantics::StrongOrdering,
+            observer: None,
         }
     }
 }
@@ -107,6 +113,15 @@ impl RtfBuilder {
         self
     }
 
+    /// Attaches an observability layer ([`TxObs`]): latency histograms,
+    /// abort attribution and — when its config enables spans — the
+    /// transaction-tree trace. The observer also aggregates across every
+    /// runtime it is attached to.
+    pub fn observer(mut self, obs: Arc<TxObs>) -> Self {
+        self.config.observer = Some(obs);
+        self
+    }
+
     /// Builds the runtime (spawns the worker pool).
     pub fn build(self) -> Rtf {
         Rtf::with_config(self.config)
@@ -142,7 +157,22 @@ struct RtfInner {
     mvstm: MvStm,
     env: Arc<TxEnv>,
     config: RtfConfig,
+    /// Observers attached to this runtime (explicit and/or env-driven);
+    /// exports run when the runtime is dropped.
+    observers: Vec<Arc<TxObs>>,
     _pool_runner: PoolRunner,
+}
+
+impl Drop for RtfInner {
+    fn drop(&mut self) {
+        // Export whatever the environment (or an explicit `ExportPaths`)
+        // asked for. The env-driven observer is a process-wide singleton,
+        // so each runtime teardown overwrites the files with the cumulative
+        // totals — the last drop wins with the complete picture.
+        for obs in &self.observers {
+            obs.export_or_warn();
+        }
+    }
 }
 
 impl Rtf {
@@ -159,19 +189,32 @@ impl Rtf {
     /// Runtime with an explicit configuration.
     pub fn with_config(config: RtfConfig) -> Rtf {
         install_quiet_poison_hook();
-        let mvstm = MvStm::with_strategy(config.commit_strategy);
         // One sink for the whole runtime: statistics always, plus the
-        // stderr trace stream when `RTF_TRACE` requests it.
-        let stats_sink: Arc<dyn EventSink> =
-            Arc::new(StatsSink::new(Arc::clone(mvstm.stats_arc())));
-        let sink: Arc<dyn EventSink> = if TraceSink::env_enabled() {
-            Arc::new(TeeSink::new(vec![stats_sink, Arc::new(TraceSink)]))
-        } else {
-            stats_sink
-        };
+        // stderr trace stream when `RTF_TRACE` requests it, plus any
+        // observability layer (explicit via the builder, or env-driven via
+        // `RTF_METRICS` / `RTF_METRICS_TEXT` / `RTF_CHROME_TRACE`).
+        let mut extras: Vec<Arc<dyn EventSink>> = Vec::new();
+        let mut observers: Vec<Arc<TxObs>> = Vec::new();
+        if TraceSink::env_enabled() {
+            extras.push(Arc::new(TraceSink::from_env()));
+        }
+        if let Some(obs) = TxObs::global_from_env() {
+            observers.push(obs);
+        }
+        if let Some(obs) = &config.observer {
+            // Explicit observer; don't double-attach if it IS the global.
+            if !observers.iter().any(|o| Arc::ptr_eq(o, obs)) {
+                observers.push(Arc::clone(obs));
+            }
+        }
+        extras.extend(observers.iter().map(TxObs::sink));
+        let mvstm = MvStm::with_strategy_and_extras(config.commit_strategy, extras);
+        let sink = Arc::clone(mvstm.sink());
         let pool_runner = Pool::start_with_sink(config.workers, Arc::clone(&sink));
         let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt });
-        Rtf { inner: Arc::new(RtfInner { mvstm, env, config, _pool_runner: pool_runner }) }
+        Rtf {
+            inner: Arc::new(RtfInner { mvstm, env, config, observers, _pool_runner: pool_runner }),
+        }
     }
 
     /// Runs `body` as a top-level transaction, retrying until it commits.
@@ -237,6 +280,22 @@ impl Rtf {
             let _reg = inner.mvstm.registry().register(inner.mvstm.clock().now());
             let start = inner.mvstm.clock().now();
             let tree = TreeCtx::with_semantics(start, fallback, inner.config.semantics);
+            // One TopLevel span per attempt: aborted attempts close with
+            // ok=false, so the trace shows the retry structure.
+            let span_start = if sink.spans_enabled() { Some(obs_now_ns()) } else { None };
+            let top_span = |ok: bool| {
+                if let Some(start_ns) = span_start {
+                    sink.span(SpanRec {
+                        kind: SpanKind::TopLevel,
+                        tree: tree.tree_id.0,
+                        node: tree.root.id.raw(),
+                        parent: 0,
+                        start_ns,
+                        end_ns: obs_now_ns(),
+                        ok,
+                    });
+                }
+            };
             let mut tx = Tx::new_for_root(Arc::clone(&inner.env), Arc::clone(&tree), ro_mode);
 
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -259,17 +318,21 @@ impl Rtf {
                         tree.wait_quiescent(|| pool.help_one(None));
                     }
                     if self.root_commit(&tree) {
+                        top_span(true);
                         return Ok(r);
                     }
                     // Top-level validation conflict (counted inside).
+                    top_span(false);
                 }
                 Ok(Err(_sub_conflict)) => {
                     // An implicit continuation missed a write: without FCC
                     // the whole top-level transaction restarts (D1).
                     self.teardown(&tree);
                     sink.event(Event::ContinuationRestart);
+                    top_span(false);
                 }
                 Err(payload) => {
+                    top_span(false);
                     if payload.is::<CancelSignal>() {
                         // Deliberate rollback: tear the tree down, discard
                         // everything, and report the cancellation.
@@ -323,6 +386,20 @@ impl Rtf {
     fn root_commit(&self, tree: &TreeCtx) -> bool {
         let inner = &self.inner;
         let sink = &inner.env.sink;
+        let t0 = obs_now_ns();
+        let commit_span = |ok: bool| {
+            if sink.spans_enabled() {
+                sink.span(SpanRec {
+                    kind: SpanKind::TopCommit,
+                    tree: tree.tree_id.0,
+                    node: tree.root.id.raw(),
+                    parent: tree.root.id.raw(),
+                    start_ns: t0,
+                    end_ns: obs_now_ns(),
+                    ok,
+                });
+            }
+        };
 
         // Consolidated write-set: the root's private writes, overridden by
         // the head (latest in serialization order) of each touched
@@ -355,6 +432,7 @@ impl Rtf {
             // Read-only fast path (§IV-E).
             sink.event(Event::TopRoCommit);
             tree.scrub_tentative();
+            commit_span(true);
             return true;
         }
 
@@ -381,10 +459,12 @@ impl Rtf {
             .is_ok();
         tree.scrub_tentative();
         if committed {
+            sink.event(Event::TopCommitNs(obs_now_ns().saturating_sub(t0)));
             sink.event(Event::TopCommit);
         } else {
             sink.event(Event::TopValidationAbort);
         }
+        commit_span(committed);
         committed
     }
 

@@ -38,18 +38,25 @@
 
 use std::sync::Arc;
 
-use rtf_txbase::{new_write_token, NodeId, OrderKey, Orec, OrecStatus, Version, WriteToken};
+use rtf_txbase::{
+    new_write_token, NodeId, OrderKey, Orec, OrecStatus, TreeId, Version, WriteToken,
+};
 use rtf_txengine::{
-    resolve_read, tentative_insert, CellId, ReadRecord, Source, TentativeEntry, VBoxCell, Val,
-    Visibility,
+    resolve_read, tentative_insert, CellId, ConflictSite, ReadRecord, Source, TentativeEntry,
+    VBoxCell, Val, Visibility,
 };
 
 use crate::node::Node;
 use crate::tree::{TreeCtx, TreeSemantics};
 
 /// Error: the tentative list is owned by another active transaction tree.
+/// Carries the owning tree for abort attribution (hotspot reports name the
+/// last tree that displaced a writer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InterTreeConflict;
+pub struct InterTreeConflict {
+    /// The tree holding live tentative entries on the contested box.
+    pub writer_tree: TreeId,
+}
 
 /// Consistent snapshot of an orec's `(owner, tx_tree_ver, status)`.
 ///
@@ -203,16 +210,16 @@ pub fn sub_write(
     let mut list = cell.tentative_lock();
     // Inter-tree check (Alg 1 lines 10–23): live entries of another tree
     // mean that tree holds the write lock on this box.
-    let mut foreign_live = false;
+    let mut foreign_live: Option<TreeId> = None;
     list.retain(|e| {
         let aborted = e.orec.status() == OrecStatus::Aborted;
         if e.tree != tree.tree_id && !aborted {
-            foreign_live = true;
+            foreign_live = Some(e.tree);
         }
         !aborted // scrub aborted leftovers of any tree in passing
     });
-    if foreign_live {
-        return Err(InterTreeConflict);
+    if let Some(writer_tree) = foreign_live {
+        return Err(InterTreeConflict { writer_tree });
     }
     let token = new_write_token();
     tentative_insert(
@@ -232,6 +239,20 @@ where
     I: IntoIterator<Item = &'a ReadRecord>,
 {
     rtf_txengine::validate_reads(reads, |r| SubValidation::for_read(tree, node, r))
+}
+
+/// [`validate_reads`], attributing a failure: the [`ConflictSite`] names
+/// the first stale cell and the tree owning the displacing write (the own
+/// tree, for intra-tree missed writes; another, under unordered nesting).
+pub fn validate_reads_detailed<'a, I>(
+    tree: &TreeCtx,
+    node: &Node,
+    reads: I,
+) -> Result<(), ConflictSite>
+where
+    I: IntoIterator<Item = &'a ReadRecord>,
+{
+    rtf_txengine::validate_reads_detailed(reads, |r| SubValidation::for_read(tree, node, r))
 }
 
 #[cfg(test)]
@@ -316,7 +337,11 @@ mod tests {
         let f1 = Node::new_child(&t1.root, NodeKind::Future { fork_idx: 0 });
         let f2 = Node::new_child(&t2.root, NodeKind::Future { fork_idx: 0 });
         sub_write(&t1, &f1, b.cell(), erase(1u32)).unwrap();
-        assert_eq!(sub_write(&t2, &f2, b.cell(), erase(2u32)), Err(InterTreeConflict));
+        assert_eq!(
+            sub_write(&t2, &f2, b.cell(), erase(2u32)),
+            Err(InterTreeConflict { writer_tree: t1.tree_id }),
+            "the conflict names the owning tree"
+        );
         // After t1 aborts, t2 may proceed (aborted entries are scrubbed).
         f1.orec.mark_aborted();
         sub_write(&t2, &f2, b.cell(), erase(2u32)).unwrap();

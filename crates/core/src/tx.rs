@@ -34,12 +34,13 @@ use std::sync::Arc;
 
 use rtf_taskpool::{OrderTag, Pool};
 use rtf_txengine::{
-    downcast, erase, tx_trace, Event, EventSink, ReadLog, Source, TxData, VBox, VBoxCell, Val,
+    downcast, erase, obs_now_ns, tx_trace, ConflictKind, Event, EventSink, ReadLog, Source,
+    SpanKind, SpanRec, TxData, VBox, VBoxCell, Val,
 };
 
 use crate::future::TxFuture;
 use crate::node::{Node, NodeKind};
-use crate::rw::{sub_read, sub_write, validate_reads};
+use crate::rw::{sub_read, sub_write, validate_reads_detailed};
 use crate::tree::{PoisonKind, TreeCtx};
 
 /// Unwind payload used for tree teardown; never escapes the crate.
@@ -79,16 +80,19 @@ pub(crate) struct Frame {
     wrote: bool,
     /// Tree-wide read-write sub-commit count at frame creation (§IV-E).
     ro_snapshot: u64,
+    /// Span start timestamp; `0` when span recording is off.
+    born_ns: u64,
 }
 
 impl Frame {
-    fn new(node: Arc<Node>, tree: &TreeCtx) -> Frame {
+    fn new(node: Arc<Node>, tree: &TreeCtx, env: &TxEnv) -> Frame {
         Frame {
             node,
             reads: ReadLog::new(),
             written: Vec::new(),
             wrote: false,
             ro_snapshot: tree.rw_commit_clock.load(Ordering::Acquire),
+            born_ns: if env.sink.spans_enabled() { obs_now_ns() } else { 0 },
         }
     }
 }
@@ -118,12 +122,12 @@ pub struct Tx {
 impl Tx {
     pub(crate) fn new_for_root(env: Arc<TxEnv>, tree: Arc<TreeCtx>, ro_mode: bool) -> Tx {
         let root = Arc::clone(&tree.root);
-        let frame = Frame::new(root, &tree);
+        let frame = Frame::new(root, &tree, &env);
         Tx { env, tree, frames: vec![frame], ro_mode }
     }
 
     fn new_for_node(env: Arc<TxEnv>, tree: Arc<TreeCtx>, node: Arc<Node>, ro_mode: bool) -> Tx {
-        let frame = Frame::new(node, &tree);
+        let frame = Frame::new(node, &tree, &env);
         Tx { env, tree, frames: vec![frame], ro_mode }
     }
 
@@ -223,9 +227,14 @@ impl Tx {
                 frame.written.push(Arc::clone(cell));
                 frame.wrote = true;
             }
-            Err(_) => {
+            Err(c) => {
                 // ownedByAnotherTree: tear the whole tree down; the atomic
                 // runner re-executes (eventually in fallback mode).
+                self.env.sink.event(Event::Conflict {
+                    kind: ConflictKind::InterTree,
+                    cell: cell.id(),
+                    writer_tree: c.writer_tree,
+                });
                 self.tree.poison(PoisonKind::InterTree);
                 std::panic::panic_any(PoisonSignal);
             }
@@ -256,7 +265,9 @@ impl Tx {
             // Sequential fallback: run inline at the submission point —
             // literally the sequential execution the semantics are defined
             // against.
+            let t0 = obs_now_ns();
             let v = body(self);
+            self.env.sink.event(Event::FutureLifetimeNs(obs_now_ns().saturating_sub(t0)));
             return TxFuture::ready(Arc::new(v));
         }
         let parent = Arc::clone(&self.current().node);
@@ -273,7 +284,7 @@ impl Tx {
             fork_idx,
             cnode.id
         );
-        let frame = Frame::new(cnode, &self.tree);
+        let frame = Frame::new(cnode, &self.tree, &self.env);
         self.frames.push(frame);
         handle
     }
@@ -295,7 +306,9 @@ impl Tx {
         self.check_poison();
         self.env.sink.event(Event::FutureSubmitted);
         if self.tree.fallback {
+            let t0 = obs_now_ns();
             let v = body(self);
+            self.env.sink.event(Event::FutureLifetimeNs(obs_now_ns().saturating_sub(t0)));
             let handle = TxFuture::ready(Arc::new(v));
             return cont(self, &handle);
         }
@@ -310,7 +323,8 @@ impl Tx {
         loop {
             self.check_poison();
             let cnode = Node::new_child(&parent, NodeKind::Continuation { fork_idx });
-            self.frames.push(Frame::new(cnode, &self.tree));
+            let frame = Frame::new(cnode, &self.tree, &self.env);
+            self.frames.push(frame);
             let out = cont(self, &handle);
             match self.commit_frames_down_to(depth) {
                 Ok(()) => return out,
@@ -435,6 +449,7 @@ impl Tx {
             ro_mode: self.ro_mode,
             pending: None,
             requeues: 0,
+            submitted_ns: obs_now_ns(),
         };
         stage.tree.task_started();
         let tag = order_tag(&self.tree, &parent.path.child_future(fork_idx));
@@ -538,6 +553,22 @@ fn commit_frame(
 ) -> Result<(), CommitBlock> {
     let node = &frame.node;
     let parent = Arc::clone(node.parent.as_ref().expect("sub-transactions have a parent"));
+    let spans = env.sink.spans_enabled();
+    // Phase spans share the node/parent coordinates of the frame span so
+    // the exporters can nest them under the right tree position.
+    let phase_span = |kind: SpanKind, start_ns: u64, end_ns: u64, ok: bool| {
+        if spans {
+            env.sink.span(SpanRec {
+                kind,
+                tree: tree.tree_id.0,
+                node: node.id.raw(),
+                parent: parent.id.raw(),
+                start_ns,
+                end_ns,
+                ok,
+            });
+        }
+    };
 
     // waitTurn: everything serialized before this subtree must have
     // committed. Unordered parallel nesting (ablation A4) has no such
@@ -555,7 +586,7 @@ fn commit_frame(
                 target.nclock(),
                 threshold
             );
-            let t0 = std::time::Instant::now();
+            let t0 = obs_now_ns();
             // Fence helping at the committing node's position, for the same
             // reason as in `Tx::eval`: everything this wait depends on is
             // serialized strictly before `node`.
@@ -565,7 +596,9 @@ fn commit_frame(
                 || pool.help_one(Some(&bound)),
                 || tree.is_poisoned(),
             );
-            env.sink.event(Event::WaitTurnNs(t0.elapsed().as_nanos() as u64));
+            let t1 = obs_now_ns();
+            env.sink.event(Event::WaitTurnNs(t1.saturating_sub(t0)));
+            phase_span(SpanKind::WaitTurn, t0, t1, ok);
             if !ok {
                 std::panic::panic_any(PoisonSignal);
             }
@@ -611,10 +644,17 @@ fn commit_frame(
         if !wrote_any {
             env.sink.event(Event::RoValidationTaken);
         }
-        let tv = std::time::Instant::now();
-        let valid = validate_reads(tree, node, frame.reads.iter());
-        env.sink.event(Event::ValidationNs(tv.elapsed().as_nanos() as u64));
-        if !valid {
+        let tv = obs_now_ns();
+        let outcome = validate_reads_detailed(tree, node, frame.reads.iter());
+        let tv_end = obs_now_ns();
+        env.sink.event(Event::ValidationNs(tv_end.saturating_sub(tv)));
+        phase_span(SpanKind::Validation, tv, tv_end, outcome.is_ok());
+        if let Err(site) = outcome {
+            env.sink.event(Event::Conflict {
+                kind: ConflictKind::SubValidation,
+                cell: site.cell,
+                writer_tree: site.writer_tree,
+            });
             // Put the inbox back: the caller aborts the whole subtree and
             // needs the adopted orecs to mark them aborted.
             *node.inbox.lock() = inbox;
@@ -657,6 +697,14 @@ fn commit_frame(
     }
     parent.bump_nclock();
     env.sink.event(Event::SubCommit);
+    if spans && frame.born_ns != 0 {
+        let kind = match node.kind {
+            NodeKind::Future { .. } => SpanKind::Future,
+            NodeKind::Continuation { .. } => SpanKind::Continuation,
+            NodeKind::Root => unreachable!("the root never passes commit_frame"),
+        };
+        phase_span(kind, frame.born_ns, obs_now_ns(), true);
+    }
     Ok(())
 }
 
@@ -680,6 +728,9 @@ struct FutureStage<A: TxData, F> {
     pending: Option<(Tx, A)>,
     /// Consecutive `WouldBlock` re-queues; damps the retry loop.
     requeues: u32,
+    /// Submission timestamp; resolution emits [`Event::FutureLifetimeNs`]
+    /// (submission-to-completion latency, including every re-execution).
+    submitted_ns: u64,
 }
 
 /// Pool task driving one transactional future position: executes the body,
@@ -735,6 +786,9 @@ where
             Ok(Ok(())) => {
                 tx_trace!(stage.env.sink, "task complete");
                 let (_, value) = stage.pending.take().expect("pending");
+                stage.env.sink.event(Event::FutureLifetimeNs(
+                    obs_now_ns().saturating_sub(stage.submitted_ns),
+                ));
                 stage.handle.complete(Arc::new(value));
                 break;
             }

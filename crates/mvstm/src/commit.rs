@@ -24,8 +24,10 @@ use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use rtf_txbase::{ActiveTxnRegistry, GlobalClock, Version};
-use rtf_txengine::{validate_reads, Event, EventSink, ReadSet, WriteEntry};
+use rtf_txbase::{ActiveTxnRegistry, GlobalClock, TreeId, Version};
+use rtf_txengine::{
+    validate_reads_detailed, ConflictKind, ConflictSite, Event, EventSink, ReadSet, WriteEntry,
+};
 
 use crate::txn::TopVisibility;
 
@@ -97,11 +99,20 @@ impl CommitChain {
     ) -> Result<Version, Conflict> {
         debug_assert!(!writes.is_empty(), "read-only transactions skip the commit chain");
         match self.strategy {
-            CommitStrategy::GlobalMutex => self.commit_mutex(reads, writes, clock, registry),
+            CommitStrategy::GlobalMutex => self.commit_mutex(reads, writes, clock, registry, sink),
             CommitStrategy::LockFreeHelping => {
                 self.commit_lockfree(reads, writes, clock, registry, sink)
             }
         }
+    }
+
+    /// Reports an attributed top-level validation failure to the sink.
+    fn report_conflict(sink: &dyn EventSink, site: ConflictSite) {
+        sink.event(Event::Conflict {
+            kind: ConflictKind::TopValidation,
+            cell: site.cell,
+            writer_tree: site.writer_tree,
+        });
     }
 
     fn commit_mutex(
@@ -110,9 +121,11 @@ impl CommitChain {
         writes: Vec<WriteEntry>,
         clock: &GlobalClock,
         registry: &ActiveTxnRegistry,
+        sink: &dyn EventSink,
     ) -> Result<Version, Conflict> {
         let _g = self.mutex.lock();
-        if !validate_reads(reads.iter(), |_| TopVisibility::latest()) {
+        if let Err(site) = validate_reads_detailed(reads.iter(), |_| TopVisibility::latest()) {
+            Self::report_conflict(sink, site);
             return Err(Conflict);
         }
         let version = clock.now() + 1;
@@ -144,7 +157,8 @@ impl CommitChain {
             // Full (re-)validation per attempt: enqueued-but-unwritten
             // records first, then the permanent state. See module docs for
             // why this two-part check cannot miss a conflicting commit.
-            if !self.validate_against(tail, reads, &guard) {
+            if let Err(site) = self.validate_against(tail, reads, &guard) {
+                Self::report_conflict(sink, site);
                 // `newrec` (and the write values it owns) drop here.
                 return Err(Conflict);
             }
@@ -168,8 +182,16 @@ impl CommitChain {
         Ok(my_version)
     }
 
-    /// Chain + permanent validation. `tail` is the current chain tail.
-    fn validate_against(&self, tail: Shared<'_, Record>, reads: &ReadSet, guard: &Guard) -> bool {
+    /// Chain + permanent validation. `tail` is the current chain tail. A
+    /// failure names the conflicted cell ([`ConflictSite`]); the displacing
+    /// write is a (pending or permanent) top-level commit either way, so no
+    /// writer tree is attributed.
+    fn validate_against(
+        &self,
+        tail: Shared<'_, Record>,
+        reads: &ReadSet,
+        guard: &Guard,
+    ) -> Result<(), ConflictSite> {
         // Part 1: enqueued records that are not yet written back. Their
         // writes are invisible in the permanent lists but will commit with a
         // version greater than `start`, so overlap with the read-set is a
@@ -181,7 +203,7 @@ impl CommitChain {
             }
             for w in rec.writes.iter() {
                 if reads.contains(w.cell.id()) {
-                    return false;
+                    return Err(ConflictSite { cell: w.cell.id(), writer_tree: TreeId::NONE });
                 }
             }
             cur = rec.prev.load(Ordering::Acquire, guard);
@@ -189,7 +211,7 @@ impl CommitChain {
         // Part 2: committed state, via the engine's single validation loop —
         // a read stays valid iff re-resolving against the latest committed
         // state observes the same write token (JVSTM read-set validation).
-        validate_reads(reads.iter(), |_| TopVisibility::latest())
+        validate_reads_detailed(reads.iter(), |_| TopVisibility::latest())
     }
 
     /// Writes back every unwritten record up to and including `me`, oldest
@@ -400,6 +422,10 @@ mod tests {
                     let mut committed = 0;
                     while committed < per {
                         let start = clock.now();
+                        // Register like the real begin path does: an
+                        // unregistered reader races concurrent write-back
+                        // trimming and can lose its snapshot version.
+                        let _reg = reg.register(start);
                         let (val, token) = b.cell().read_at(start);
                         let cur = *downcast::<u64>(val);
                         let mut reads = ReadSet::new();

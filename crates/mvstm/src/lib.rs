@@ -44,7 +44,7 @@ pub mod txn;
 use std::sync::Arc;
 
 use rtf_txbase::{ActiveTxnRegistry, GlobalClock, StatSnapshot, TmStats, Version};
-use rtf_txengine::{EventSink, RetryDriver, StatsSink};
+use rtf_txengine::{EventSink, RetryDriver, StatsSink, TeeSink};
 
 pub use commit::{CommitStrategy, CommitWrite, Conflict};
 pub use rtf_txengine::{
@@ -79,12 +79,31 @@ impl MvStm {
 
     /// TM with an explicit commit strategy (ablation A1 uses `GlobalMutex`).
     pub fn with_strategy(strategy: CommitStrategy) -> Self {
+        Self::with_strategy_and_extras(strategy, Vec::new())
+    }
+
+    /// TM with an explicit commit strategy plus extra instrumentation sinks
+    /// (observers, tracers) teed behind the built-in [`StatsSink`]. This is
+    /// how the core runtime attaches the observability layer: one sink
+    /// serves both the top-level and sub-transaction paths.
+    pub fn with_strategy_and_extras(
+        strategy: CommitStrategy,
+        extras: Vec<Arc<dyn EventSink>>,
+    ) -> Self {
         let stats = Arc::new(TmStats::default());
+        let stats_sink: Arc<dyn EventSink> = Arc::new(StatsSink::new(Arc::clone(&stats)));
+        let sink = if extras.is_empty() {
+            stats_sink
+        } else {
+            let mut sinks = vec![stats_sink];
+            sinks.extend(extras);
+            Arc::new(TeeSink::new(sinks))
+        };
         MvStm {
             clock: GlobalClock::new(),
             registry: ActiveTxnRegistry::new(),
             chain: CommitChain::new(strategy),
-            sink: Arc::new(StatsSink::new(Arc::clone(&stats))),
+            sink,
             stats,
         }
     }

@@ -153,6 +153,7 @@ impl<'tm> TopTxn<'tm> {
             sink.event(Event::TopRoCommit);
             return Ok(None);
         }
+        let begun = std::time::Instant::now();
         match self.tm.chain().try_commit(
             &self.reads,
             self.writes.into_writes(),
@@ -161,6 +162,7 @@ impl<'tm> TopTxn<'tm> {
             sink.as_ref(),
         ) {
             Ok(v) => {
+                sink.event(Event::TopCommitNs(begun.elapsed().as_nanos() as u64));
                 sink.event(Event::TopCommit);
                 Ok(Some(v))
             }

@@ -34,7 +34,7 @@
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
-use rtf_txengine::{Event, EventSink, NullSink};
+use rtf_txengine::{obs_now_ns, Event, EventSink, NullSink, SpanKind, SpanRec};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,6 +59,11 @@ impl OrderTag {
     /// Tags a position `pos` in `realm`'s serialization order.
     pub fn new(realm: u64, pos: &[u32]) -> Self {
         OrderTag { realm, pos: pos.into() }
+    }
+
+    /// The realm (transaction tree, in `rtf` terms) this tag orders within.
+    pub fn realm(&self) -> u64 {
+        self.realm
     }
 }
 
@@ -236,7 +241,20 @@ impl Pool {
         match chosen {
             Some(job) => {
                 shared.pending.fetch_sub(1, Ordering::Release);
+                let realm = job.tag.as_ref().map(|t| t.realm).unwrap_or(0);
+                let t0 = if shared.sink.spans_enabled() { obs_now_ns() } else { 0 };
                 (job.run)();
+                if t0 != 0 {
+                    shared.sink.span(SpanRec {
+                        kind: SpanKind::PoolHelp,
+                        tree: realm,
+                        node: 0,
+                        parent: 0,
+                        start_ns: t0,
+                        end_ns: obs_now_ns(),
+                        ok: true,
+                    });
+                }
                 shared.sink.event(Event::PoolTaskHelped);
                 true
             }

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use rtf_txbase::{Version, WriteToken};
+use rtf_txbase::{TreeId, Version, WriteToken};
 
 use crate::cell::{CellId, TentativeEntry, VBoxCell};
 use crate::readset::{ReadRecord, Source};
@@ -65,6 +65,10 @@ pub struct Resolution {
     pub token: WriteToken,
     /// Which layer served the read.
     pub source: Source,
+    /// Tree owning the observed write when it was served from a tentative
+    /// entry; [`TreeId::NONE`] for local and permanent sources (abort
+    /// attribution material — see [`ConflictSite`]).
+    pub writer_tree: TreeId,
 }
 
 /// Resolves one read of `cell` under `policy` — the only read-resolution
@@ -75,15 +79,32 @@ pub fn resolve_read<V: Visibility + ?Sized>(policy: &V, cell: &Arc<VBoxCell>) ->
         let list = cell.tentative_lock();
         for entry in list.iter() {
             if let Some(source) = policy.tentative(entry) {
-                return Resolution { value: entry.value.clone(), token: entry.token, source };
+                return Resolution {
+                    value: entry.value.clone(),
+                    token: entry.token,
+                    source,
+                    writer_tree: entry.tree,
+                };
             }
         }
     }
     if let Some((value, token)) = policy.local(cell.id()) {
-        return Resolution { value, token, source: Source::Local };
+        return Resolution { value, token, source: Source::Local, writer_tree: TreeId::NONE };
     }
     let (value, token) = cell.read_at(policy.snapshot());
-    Resolution { value, token, source: Source::Permanent }
+    Resolution { value, token, source: Source::Permanent, writer_tree: TreeId::NONE }
+}
+
+/// The cell a validation failed on, and (when the displacing write is still
+/// tentative) the tree that owns it. This is the abort-attribution record
+/// aggregated by the observability layer into conflict-hotspot reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictSite {
+    /// The cell whose recorded read no longer resolves to the same write.
+    pub cell: CellId,
+    /// Tree owning the displacing write, or [`TreeId::NONE`] when the
+    /// displacement is an already-permanent commit.
+    pub writer_tree: TreeId,
 }
 
 /// Validates a set of recorded reads — the only token-validation loop in the
@@ -92,15 +113,34 @@ pub fn resolve_read<V: Visibility + ?Sized>(policy: &V, cell: &Arc<VBoxCell>) ->
 ///
 /// Reads served from the reader's own write ([`Source::OwnWrite`]) are
 /// exempt: nobody else can displace them before the reader commits.
-pub fn validate_reads<'a, V, I, F>(reads: I, mut policy_for: F) -> bool
+pub fn validate_reads<'a, V, I, F>(reads: I, policy_for: F) -> bool
 where
     V: Visibility,
     I: IntoIterator<Item = &'a ReadRecord>,
     F: FnMut(&ReadRecord) -> V,
 {
-    reads.into_iter().all(|r| {
-        r.source == Source::OwnWrite || resolve_read(&policy_for(r), &r.cell).token == r.token
-    })
+    validate_reads_detailed(reads, policy_for).is_ok()
+}
+
+/// [`validate_reads`], attributing the failure: returns the first read that
+/// would resolve differently, as a [`ConflictSite`] naming the cell and —
+/// when the displacing write is tentative — the tree that owns it.
+pub fn validate_reads_detailed<'a, V, I, F>(reads: I, mut policy_for: F) -> Result<(), ConflictSite>
+where
+    V: Visibility,
+    I: IntoIterator<Item = &'a ReadRecord>,
+    F: FnMut(&ReadRecord) -> V,
+{
+    for r in reads {
+        if r.source == Source::OwnWrite {
+            continue;
+        }
+        let res = resolve_read(&policy_for(r), &r.cell);
+        if res.token != r.token {
+            return Err(ConflictSite { cell: r.cell.id(), writer_tree: res.writer_tree });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -221,5 +261,34 @@ mod tests {
         // Validation at the original snapshot still accepts the read (the
         // newer commit is outside the snapshot).
         assert!(validate_reads([&record(seen, Source::Permanent)], |_| fake(0)));
+    }
+
+    #[test]
+    fn detailed_validation_attributes_cell_and_writer_tree() {
+        let cell = VBoxCell::new(erase(0u32));
+        let seen = cell.latest_token();
+        let record =
+            |token, source| ReadRecord { cell: Arc::clone(&cell), token, source, epoch: 0 };
+        assert_eq!(
+            validate_reads_detailed([&record(seen, Source::Permanent)], |_| fake(Version::MAX)),
+            Ok(())
+        );
+        // Displaced by a visible tentative write: the conflict names the cell
+        // and the owning tree.
+        let tok = add_tentative(&cell, OrderKey::root().write_key(0), 1);
+        let site = validate_reads_detailed([&record(seen, Source::Permanent)], |_| Fake {
+            snapshot: Version::MAX,
+            scans: true,
+            local: None,
+            visible_tokens: vec![tok],
+        })
+        .unwrap_err();
+        assert_eq!(site.cell, cell.id());
+        assert_ne!(site.writer_tree, TreeId::NONE);
+        // Displaced by a permanent commit: no tentative owner to blame.
+        cell.apply_commit(3, erase(2u32), new_write_token(), 0);
+        let site =
+            validate_reads_detailed([&record(seen, Source::Permanent)], |_| fake(3)).unwrap_err();
+        assert_eq!(site, ConflictSite { cell: cell.id(), writer_tree: TreeId::NONE });
     }
 }

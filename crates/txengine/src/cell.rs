@@ -55,6 +55,21 @@ pub struct TentativeEntry {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellId(usize);
 
+impl CellId {
+    /// The raw identity value (stable for the box's lifetime within one
+    /// process — the observability layer exports it in hotspot reports).
+    pub fn raw(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from [`CellId::raw`] output (tests and tooling; a
+    /// fabricated id never matches a live box unless the raw value came
+    /// from one).
+    pub fn from_raw(raw: usize) -> CellId {
+        CellId(raw)
+    }
+}
+
 impl fmt::Debug for CellId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "cell@{:x}", self.0)

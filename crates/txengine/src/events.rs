@@ -8,11 +8,31 @@
 //! diagnostic stream is just another sink ([`TraceSink`]), composed in via
 //! [`TeeSink`] when enabled. Tests and benchmarks can substitute their own
 //! sinks without touching the hot paths.
+//!
+//! Beyond point events, sinks may opt into *spans* — closed intervals of a
+//! transaction's lifecycle ([`SpanRec`]) stamped against the process-wide
+//! monotonic clock ([`obs_now_ns`]). Span emission is double-gated: call
+//! sites check [`EventSink::spans_enabled`] before reading the clock, so the
+//! default ([`NullSink`]) path costs one virtual call returning a constant.
 
 use std::fmt;
 use std::sync::Arc;
 
-use rtf_txbase::TmStats;
+use rtf_txbase::{TmStats, TreeId};
+
+use crate::cell::CellId;
+
+/// Which abort path attributed a conflict (see [`Event::Conflict`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Top-level commit-time validation observed a displaced read.
+    TopValidation,
+    /// Sub-transaction (Alg 4) validation observed a displaced read.
+    SubValidation,
+    /// A write hit a live tentative entry owned by another tree
+    /// (`ownedByAnotherTree`).
+    InterTree,
+}
 
 /// One observable runtime event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,10 +70,131 @@ pub enum Event {
     WaitTurnNs(u64),
     /// Nanoseconds spent in sub-transaction read-set validation.
     ValidationNs(u64),
+    /// Nanoseconds a successful top-level commit spent in the commit chain
+    /// (validation + write-back, helping included).
+    TopCommitNs(u64),
+    /// Nanoseconds from a future's submission to its result becoming
+    /// available to the continuation.
+    FutureLifetimeNs(u64),
+    /// An abort attributed to a specific cell. `writer_tree` is the tree
+    /// owning the displacing/conflicting write, or [`TreeId::NONE`] when the
+    /// displacement came from an already-permanent commit.
+    Conflict {
+        /// Which abort path attributed the conflict.
+        kind: ConflictKind,
+        /// The cell the conflict was observed on.
+        cell: CellId,
+        /// Tree owning the conflicting write ([`TreeId::NONE`] when the
+        /// displacement was an already-permanent commit).
+        writer_tree: TreeId,
+    },
     /// A blocked or idle thread ran a queued pool task inline.
     PoolTaskHelped,
     /// A helping attempt had to defer queued tasks its fence stack forbids.
     PoolFenceDeferrals(u64),
+}
+
+/// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// One top-level execution attempt (begin to commit/abort).
+    TopLevel = 0,
+    /// A future body: node creation to sub-commit (waits included).
+    Future = 1,
+    /// A continuation segment: node creation to sub-commit.
+    Continuation = 2,
+    /// Time blocked in `waitTurn` (Alg 3) before a sub-commit.
+    WaitTurn = 3,
+    /// Sub-transaction read-set validation (Alg 4).
+    Validation = 4,
+    /// Top-level commit-chain traversal (validation + write-back).
+    TopCommit = 5,
+    /// A queued pool task run inline by a blocked/idle thread.
+    PoolHelp = 6,
+}
+
+impl SpanKind {
+    /// All kinds, in discriminant order (for table-driven exporters).
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::TopLevel,
+        SpanKind::Future,
+        SpanKind::Continuation,
+        SpanKind::WaitTurn,
+        SpanKind::Validation,
+        SpanKind::TopCommit,
+        SpanKind::PoolHelp,
+    ];
+
+    /// Stable display name (used by the trace exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::TopLevel => "top_level",
+            SpanKind::Future => "future",
+            SpanKind::Continuation => "continuation",
+            SpanKind::WaitTurn => "wait_turn",
+            SpanKind::Validation => "validation",
+            SpanKind::TopCommit => "top_commit",
+            SpanKind::PoolHelp => "pool_help",
+        }
+    }
+
+    /// Inverse of the `repr(u8)` discriminant, for ring-buffer decoding.
+    pub fn from_u8(v: u8) -> Option<SpanKind> {
+        SpanKind::ALL.get(v as usize).copied()
+    }
+}
+
+/// One closed lifecycle interval, reported after the fact (no begin/end
+/// pairing for sinks to reassemble). Timestamps are [`obs_now_ns`] values;
+/// the recording sink attaches the producing thread itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Which lifecycle phase this interval covers.
+    pub kind: SpanKind,
+    /// Raw id of the owning transaction tree (0 when not applicable).
+    pub tree: u64,
+    /// Raw id of the tree node the span belongs to (0 when not applicable).
+    pub node: u64,
+    /// Raw id of the node's parent (0 for roots / not applicable).
+    pub parent: u64,
+    /// Interval start, [`obs_now_ns`] clock.
+    pub start_ns: u64,
+    /// Interval end, [`obs_now_ns`] clock.
+    pub end_ns: u64,
+    /// Whether the phase succeeded (committed / validated).
+    pub ok: bool,
+}
+
+/// Nanoseconds since the process-wide observability epoch (first call). All
+/// span timestamps share this monotonic clock so cross-thread records line
+/// up in exported traces.
+pub fn obs_now_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A compact process-unique id for the calling thread, assigned on first
+/// use. Unlike `std::thread::ThreadId`'s unstable `Debug` output, these are
+/// small, dense, and stable for the thread's lifetime — suitable for trace
+/// labels and exported `tid` fields.
+pub fn stable_thread_id() -> u64 {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: Cell<u64> = const { Cell::new(0) };
+    }
+    ID.with(|slot| {
+        let mut id = slot.get();
+        if id == 0 {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(id);
+        }
+        id
+    })
 }
 
 /// Receiver of engine instrumentation. The default implementations make a
@@ -71,6 +212,16 @@ pub trait EventSink: Send + Sync {
 
     /// Receives one pre-formatted diagnostic line.
     fn trace(&self, _msg: fmt::Arguments<'_>) {}
+
+    /// Whether [`EventSink::span`] wants input — callers skip clock reads
+    /// and record assembly entirely when this is `false`, keeping the
+    /// default path free of `Instant` syscalls.
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    /// Receives one completed lifecycle span.
+    fn span(&self, _rec: SpanRec) {}
 }
 
 /// Discards everything (the default sink).
@@ -112,17 +263,34 @@ impl EventSink for StatsSink {
             Event::ValidationNs(ns) => s.add_validation_ns(ns),
             Event::PoolTaskHelped => s.pool_helped_tasks(),
             Event::PoolFenceDeferrals(n) => s.add_pool_fence_deferrals(n),
+            // Timing and attribution detail beyond the flat counters is the
+            // observability layer's business (see `rtf-txobs`).
+            Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}
         }
     }
 }
 
-/// Prints diagnostic lines to stderr, gated on the `RTF_TRACE` environment
-/// variable (any value other than `0` enables it). Events are ignored —
-/// tracing call sites describe themselves.
+/// Prints diagnostic lines to stderr. Whether the sink is live is decided at
+/// construction — [`TraceSink::from_env`] consults `RTF_TRACE` (any value
+/// other than `0` enables it), [`TraceSink::new`] takes the flag directly so
+/// tests can exercise tracing without mutating process env. Events are
+/// ignored — tracing call sites describe themselves.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct TraceSink;
+pub struct TraceSink {
+    enabled: bool,
+}
 
 impl TraceSink {
+    /// A sink with tracing explicitly switched on or off.
+    pub fn new(enabled: bool) -> TraceSink {
+        TraceSink { enabled }
+    }
+
+    /// A sink honouring the `RTF_TRACE` environment variable.
+    pub fn from_env() -> TraceSink {
+        TraceSink::new(TraceSink::env_enabled())
+    }
+
     /// Whether `RTF_TRACE` requests tracing (computed once per process).
     pub fn env_enabled() -> bool {
         static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
@@ -132,11 +300,11 @@ impl TraceSink {
 
 impl EventSink for TraceSink {
     fn trace_enabled(&self) -> bool {
-        TraceSink::env_enabled()
+        self.enabled
     }
 
     fn trace(&self, msg: fmt::Arguments<'_>) {
-        eprintln!("[rtf {:?}] {}", std::thread::current().id(), msg);
+        eprintln!("[rtf t{:02}] {}", stable_thread_id(), msg);
     }
 }
 
@@ -170,6 +338,18 @@ impl EventSink for TeeSink {
             }
         }
     }
+
+    fn spans_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.spans_enabled())
+    }
+
+    fn span(&self, rec: SpanRec) {
+        for s in &self.sinks {
+            if s.spans_enabled() {
+                s.span(rec);
+            }
+        }
+    }
 }
 
 /// Emits a diagnostic line through a sink, formatting the message only when
@@ -190,6 +370,7 @@ macro_rules! tx_trace {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn stats_sink_maps_events_to_counters() {
@@ -202,6 +383,9 @@ mod tests {
         sink.event(Event::WaitTurnNs(120));
         sink.event(Event::PoolTaskHelped);
         sink.event(Event::PoolFenceDeferrals(3));
+        // Detail-only events fall through without touching counters.
+        sink.event(Event::TopCommitNs(999));
+        sink.event(Event::FutureLifetimeNs(999));
         let snap = stats.snapshot();
         assert_eq!(snap.top_commits, 2);
         assert_eq!(snap.sub_validation_aborts, 1);
@@ -216,6 +400,7 @@ mod tests {
         let sink: Arc<dyn EventSink> = Arc::new(NullSink);
         sink.event(Event::TopCommit);
         assert!(!sink.trace_enabled());
+        assert!(!sink.spans_enabled());
         tx_trace!(sink, "never formatted {}", 1);
     }
 
@@ -234,5 +419,62 @@ mod tests {
         tee.event(Event::SubCommit);
         assert_eq!(a.0.load(Ordering::Relaxed), 2);
         assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tee_forwards_spans_only_to_interested_sinks() {
+        struct Spans(Mutex<Vec<SpanRec>>);
+        impl EventSink for Spans {
+            fn spans_enabled(&self) -> bool {
+                true
+            }
+            fn span(&self, rec: SpanRec) {
+                self.0.lock().unwrap().push(rec);
+            }
+        }
+        let spans = Arc::new(Spans(Mutex::new(Vec::new())));
+        let tee = TeeSink::new(vec![Arc::new(NullSink) as Arc<dyn EventSink>, spans.clone()]);
+        assert!(tee.spans_enabled());
+        let rec = SpanRec {
+            kind: SpanKind::WaitTurn,
+            tree: 1,
+            node: 2,
+            parent: 3,
+            start_ns: 10,
+            end_ns: 20,
+            ok: true,
+        };
+        tee.span(rec);
+        assert_eq!(*spans.0.lock().unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn trace_sink_flag_is_injectable() {
+        assert!(TraceSink::new(true).trace_enabled());
+        assert!(!TraceSink::new(false).trace_enabled());
+        assert!(!TraceSink::default().trace_enabled());
+    }
+
+    #[test]
+    fn span_kind_round_trips_through_u8() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(SpanKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn stable_thread_ids_are_distinct_and_stable() {
+        let here = stable_thread_id();
+        assert_eq!(here, stable_thread_id());
+        let there = std::thread::spawn(stable_thread_id).join().unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn obs_clock_is_monotonic() {
+        let a = obs_now_ns();
+        let b = obs_now_ns();
+        assert!(b >= a);
     }
 }

@@ -28,9 +28,14 @@ pub mod readset;
 pub mod retry;
 pub mod value;
 
-pub use access::{resolve_read, validate_reads, Resolution, Visibility};
+pub use access::{
+    resolve_read, validate_reads, validate_reads_detailed, ConflictSite, Resolution, Visibility,
+};
 pub use cell::{tentative_insert, CellId, PermVersion, TentativeEntry, VBox, VBoxCell};
-pub use events::{Event, EventSink, NullSink, StatsSink, TeeSink, TraceSink};
+pub use events::{
+    obs_now_ns, stable_thread_id, ConflictKind, Event, EventSink, NullSink, SpanKind, SpanRec,
+    StatsSink, TeeSink, TraceSink,
+};
 pub use readset::{ReadLog, ReadRecord, ReadSet, Source, WriteEntry, WriteSet};
 pub use retry::{retry_backoff, ExpBackoff, RetryDriver, RetryPolicy};
 pub use value::{downcast, erase, TxData, Val};

@@ -1,0 +1,145 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto).
+//!
+//! Transaction-*tree* lifecycle spans (top-level attempt, future body,
+//! continuation segment) become **async nestable** events (`"b"`/`"e"`)
+//! keyed by the tree id, so a future executing on a pool thread still nests
+//! under the top-level transaction that submitted it — a contended run
+//! renders as a flamegraph of futures overlapping their continuations.
+//! Thread-scoped phases (`waitTurn`, validation, the top commit chain, pool
+//! helping) become **complete** events (`"X"`) on the recording thread's
+//! track. Timestamps are microseconds (fractional) against the shared
+//! [`obs_now_ns`](rtf_txengine::obs_now_ns) epoch.
+
+use rtf_txengine::SpanKind;
+
+use crate::json::Json;
+use crate::obs::SpanObs;
+
+const PROCESS_ID: u64 = 1;
+
+fn micros(ns: u64) -> Json {
+    // Integral microsecond values stay exact integers, which keeps golden
+    // files readable; sub-microsecond precision falls back to fractions.
+    if ns % 1000 == 0 {
+        Json::U64(ns / 1000)
+    } else {
+        Json::F64(ns as f64 / 1000.0)
+    }
+}
+
+fn args(span: &SpanObs) -> Json {
+    Json::Obj(vec![
+        ("tree".into(), Json::U64(span.rec.tree)),
+        ("node".into(), Json::U64(span.rec.node)),
+        ("parent".into(), Json::U64(span.rec.parent)),
+        ("ok".into(), Json::Bool(span.rec.ok)),
+    ])
+}
+
+fn base_fields(span: &SpanObs, phase: &str, ts_ns: u64) -> Vec<(String, Json)> {
+    vec![
+        ("name".into(), Json::str(span.rec.kind.name())),
+        ("cat".into(), Json::str("rtf")),
+        ("ph".into(), Json::str(phase)),
+        ("ts".into(), micros(ts_ns)),
+        ("pid".into(), Json::U64(PROCESS_ID)),
+        ("tid".into(), Json::U64(span.thread)),
+    ]
+}
+
+/// Renders spans as a Chrome trace-event document
+/// (`{"traceEvents": [...]}`), loadable by Perfetto.
+pub fn chrome_trace(spans: &[SpanObs]) -> Json {
+    // (sort key ns, phase rank for stable zero-width ordering, event)
+    let mut events: Vec<(u64, u8, Json)> = Vec::with_capacity(spans.len() * 2);
+    for span in spans {
+        match span.rec.kind {
+            SpanKind::TopLevel | SpanKind::Future | SpanKind::Continuation => {
+                // Async nestable pair keyed by the tree: Perfetto nests the
+                // begin/end pairs sharing one id by their timestamps, which
+                // reconstructs the tree across threads.
+                let id = Json::str(format!("tree-{}", span.rec.tree));
+                let mut b = base_fields(span, "b", span.rec.start_ns);
+                b.push(("id".into(), id.clone()));
+                b.push(("args".into(), args(span)));
+                events.push((span.rec.start_ns, 1, Json::Obj(b)));
+                let mut e = base_fields(span, "e", span.rec.end_ns);
+                e.push(("id".into(), id));
+                events.push((span.rec.end_ns, 0, Json::Obj(e)));
+            }
+            SpanKind::WaitTurn
+            | SpanKind::Validation
+            | SpanKind::TopCommit
+            | SpanKind::PoolHelp => {
+                let mut x = base_fields(span, "X", span.rec.start_ns);
+                x.push(("dur".into(), micros(span.rec.end_ns.saturating_sub(span.rec.start_ns))));
+                x.push(("args".into(), args(span)));
+                events.push((span.rec.start_ns, 2, Json::Obj(x)));
+            }
+        }
+    }
+    // Ascending time; at equal timestamps close async spans before opening
+    // new ones so zero-width traces still nest.
+    events.sort_by_key(|e| (e.0, e.1));
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events.into_iter().map(|(_, _, e)| e).collect())),
+        ("displayTimeUnit".into(), Json::str("ns")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_txengine::SpanRec;
+
+    fn span(kind: SpanKind, tree: u64, node: u64, start_ns: u64, end_ns: u64) -> SpanObs {
+        SpanObs {
+            rec: SpanRec { kind, tree, node, parent: 0, start_ns, end_ns, ok: true },
+            thread: 1,
+        }
+    }
+
+    #[test]
+    fn lifecycle_spans_become_async_pairs_sharing_the_tree_id() {
+        let doc = chrome_trace(&[
+            span(SpanKind::TopLevel, 5, 10, 0, 9_000),
+            span(SpanKind::Future, 5, 11, 1_000, 4_000),
+        ]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phases, vec!["b", "b", "e", "e"]);
+        for e in events {
+            assert_eq!(e.get("id").unwrap().as_str(), Some("tree-5"));
+        }
+        // The future opens after its parent and closes before it: nested.
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("future"));
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some("future"));
+    }
+
+    #[test]
+    fn phase_spans_become_complete_events_with_duration() {
+        let doc = chrome_trace(&[span(SpanKind::WaitTurn, 5, 10, 2_000, 3_500)]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(e.get("ts").unwrap().as_u64(), Some(2));
+        assert_eq!(e.get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(e.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(e.path(&["args", "node"]).unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn output_parses_as_json_and_orders_by_time() {
+        let doc = chrome_trace(&[
+            span(SpanKind::Validation, 1, 2, 7_000, 8_000),
+            span(SpanKind::TopLevel, 1, 1, 0, 10_000),
+        ]);
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        let events = reparsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let ts: Vec<f64> = events.iter().map(|e| e.get("ts").unwrap().as_f64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,258 @@
+//! Log-bucketed latency histograms (HdrHistogram-lite).
+//!
+//! The flat `TmStats` accumulators record only a *sum* of nanoseconds, which
+//! cannot answer "what does the p99 `waitTurn` stall look like". [`LogHist`]
+//! keeps a fixed array of atomic buckets: values below 16 get exact unit
+//! buckets, and every power-of-two magnitude above that is split into 16
+//! linear sub-buckets (4 significant bits), bounding the relative
+//! quantization error at `1/16` ≈ 6%. Recording is one relaxed
+//! `fetch_add` per value plus sum/max maintenance — wait-free and safe to
+//! share across threads with no locking; percentiles are computed at
+//! snapshot time by walking the cumulative distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this get exact unit buckets.
+const LINEAR_MAX: u64 = 16;
+/// Linear sub-buckets per power-of-two magnitude (`2.pow(SUB_BITS)`).
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 unit buckets + 16 sub-buckets for each possible
+/// most-significant-bit position 4..=63.
+pub const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Index of the bucket covering `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = (v >> (msb - SUB_BITS)) & (SUB_COUNT as u64 - 1);
+        LINEAR_MAX as usize + (msb - SUB_BITS) as usize * SUB_COUNT + sub as usize
+    }
+}
+
+/// Smallest value belonging to bucket `i` (inverse of [`bucket_of`]).
+fn bucket_lower(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let msb = (i - LINEAR_MAX as usize) / SUB_COUNT + SUB_BITS as usize;
+        let sub = ((i - LINEAR_MAX as usize) % SUB_COUNT) as u64;
+        (1u64 << msb) + (sub << (msb - SUB_BITS as usize))
+    }
+}
+
+/// Midpoint representative of bucket `i`, reported by percentile queries.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lower(i);
+    let width = if i + 1 < NUM_BUCKETS { bucket_lower(i + 1) - lo } else { 1 };
+    lo + (width - 1) / 2
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (nanoseconds here,
+/// but the scale is the caller's business).
+pub struct LogHist {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHist {
+    fn default() -> LogHist {
+        LogHist::new()
+    }
+}
+
+impl LogHist {
+    /// An empty histogram.
+    pub fn new() -> LogHist {
+        LogHist {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy with percentiles resolved.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut nonzero = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                nonzero.push((bucket_lower(i), c));
+                count += c;
+            }
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let pct = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+            let mut cum = 0u64;
+            for &(lower, c) in &nonzero {
+                cum += c;
+                if cum >= target {
+                    return bucket_mid(bucket_of(lower)).min(max);
+                }
+            }
+            max
+        };
+        HistSnapshot {
+            count,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+            max,
+            buckets: nonzero,
+        }
+    }
+}
+
+/// A resolved copy of a [`LogHist`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean of all samples (exact — kept as a running sum).
+    pub mean: f64,
+    /// Median (bucket-midpoint estimate, ≤ ~6% relative error).
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Sparse `(bucket_lower_bound, count)` pairs for non-empty buckets, in
+    /// ascending value order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_32() {
+        // Units 0..16 and the first split magnitude 16..32 both have
+        // width-1 buckets, so small values are never distorted.
+        for v in 0..32u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_inverse() {
+        let probes: Vec<u64> = (0..64)
+            .flat_map(|m: u32| {
+                let base = 1u64.checked_shl(m).unwrap_or(0);
+                [base.saturating_sub(1), base, base.saturating_add(base / 3)]
+            })
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut last = 0;
+        for &v in &probes {
+            let b = bucket_of(v);
+            assert!(b < NUM_BUCKETS);
+            assert!(b >= last, "bucket index must not decrease: v={v} b={b} last={last}");
+            last = b;
+            let lo = bucket_lower(b);
+            assert!(lo <= v, "lower bound above value: v={v} lo={lo}");
+            assert_eq!(bucket_of(lo), b, "lower bound must map back to its bucket");
+            if b + 1 < NUM_BUCKETS {
+                assert!(v < bucket_lower(b + 1), "value must sit below the next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        for v in [100u64, 1_000, 12_345, 1 << 20, 987_654_321, u64::MAX / 7] {
+            let mid = bucket_mid(bucket_of(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 16.0, "relative error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_range() {
+        let h = LogHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        let within = |est: u64, exact: u64| {
+            (est as f64 - exact as f64).abs() / exact as f64 <= 1.0 / 16.0 + 1e-9
+        };
+        assert!(within(s.p50, 500), "p50 estimate {} too far from 500", s.p50);
+        assert!(within(s.p95, 950), "p95 estimate {} too far from 950", s.p95);
+        assert!(within(s.p99, 990), "p99 estimate {} too far from 990", s.p99);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact_for_small_values() {
+        let h = LogHist::new();
+        for _ in 0..10 {
+            h.record(17);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (17, 17, 17, 17));
+        assert_eq!(s.buckets, vec![(17, 10)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LogHist::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn percentile_never_exceeds_observed_max() {
+        let h = LogHist::new();
+        // A power of two sits at its bucket's lower bound, so the midpoint
+        // estimate overshoots the real sample; the snapshot clamps to the
+        // exact max.
+        h.record(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.p99, 1 << 20);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHist::new());
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in hs {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

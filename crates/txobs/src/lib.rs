@@ -1,0 +1,45 @@
+//! Observability for the `rtf` transactional-memory stack.
+//!
+//! The runtime reports everything it does through the [`EventSink`] seam of
+//! `rtf-txengine`; this crate is the sink that turns those reports into
+//! answers. One [`TxObs`] attached to a TM instance (or shared by many)
+//! aggregates:
+//!
+//! * **spans** — per-transaction lifecycle intervals (top-level attempts,
+//!   future/continuation bodies, `waitTurn`, validation, the commit chain,
+//!   pool helping) captured into bounded lock-free per-thread ring buffers
+//!   ([`ring`]) that shed load (with an explicit drop counter) instead of
+//!   ever blocking the hot path;
+//! * **latency histograms** — log-bucketed p50/p95/p99/max for commit,
+//!   `waitTurn`, validation and future submission-to-completion ([`hist`]),
+//!   replacing the lossy flat nanosecond accumulators;
+//! * **abort attribution** — per-cell conflict counts with the conflicting
+//!   writer tree, ranked into a hotspot report ([`conflicts`]);
+//! * **exports** — a dependency-free JSON snapshot ([`json`]), a
+//!   human-readable report ([`report`]), and a Chrome trace-event document
+//!   ([`chrome`]) that renders the transaction tree in Perfetto.
+//!
+//! Everything is opt-in: with no observer attached the runtime pays one
+//! virtual `spans_enabled()` call per potential span and nothing else.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chrome;
+pub mod conflicts;
+pub mod hist;
+pub mod json;
+pub mod obs;
+pub mod report;
+pub mod ring;
+
+pub use chrome::chrome_trace;
+pub use conflicts::{ConflictTable, Hotspot};
+pub use hist::{HistSnapshot, LogHist};
+pub use json::{Json, ParseError};
+pub use obs::{ExportPaths, MetricsSnapshot, ObsConfig, SpanObs, TxObs};
+pub use ring::SpanRing;
+
+// Re-exported so observer clients need not depend on the engine crate for
+// the sink vocabulary.
+pub use rtf_txengine::{obs_now_ns, stable_thread_id, Event, EventSink, SpanKind, SpanRec};
