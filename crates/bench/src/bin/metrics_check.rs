@@ -5,7 +5,16 @@
 //! abort-hotspot table, and future/continuation spans nested under their
 //! top-level transaction.
 //!
-//! Usage: `metrics_check <metrics.json> [chrome_trace.json]`
+//! Usage: `metrics_check [flags] <metrics.json> [chrome_trace.json]`
+//!
+//! Flags (each enables an extra assertion for runs that must exhibit it):
+//!
+//! * `--require-reads` — the wait-free read fast path fired
+//!   (`counters.read_fast > 0`) and slow-path walks did not dominate;
+//! * `--require-gc` — the version GC trimmed permanent versions under load
+//!   (`counters.versions_gced > 0`);
+//! * `--no-dropped-spans` — the span rings kept up (`spans.dropped == 0`).
+//!
 //! Exits non-zero with a message naming the first failed assertion.
 
 use rtf_txobs::Json;
@@ -38,7 +47,15 @@ fn check_hist(doc: &Json, name: &str, require_nonempty: bool) {
     }
 }
 
-fn check_metrics(doc: &Json) {
+/// Extra assertions requested on the command line.
+#[derive(Default)]
+struct Requirements {
+    reads: bool,
+    gc: bool,
+    no_dropped_spans: bool,
+}
+
+fn check_metrics(doc: &Json, req: &Requirements) {
     if doc.path(&["schema"]).and_then(Json::as_str) != Some("rtf-metrics-v1") {
         fail("schema is not rtf-metrics-v1");
     }
@@ -67,10 +84,33 @@ fn check_metrics(doc: &Json) {
             fail("hotspot row with zero conflicts");
         }
     }
+    let read_fast = u64_at(doc, &["counters", "read_fast"]);
+    let read_slow = u64_at(doc, &["counters", "read_slow"]);
+    if req.reads {
+        if read_fast == 0 {
+            fail("read_fast is zero — the wait-free read fast path never fired");
+        }
+        // A contended-but-healthy run reads mostly at the head; a slow-path
+        // majority means snapshots chronically trail the committed head.
+        if read_slow > read_fast {
+            fail(&format!("slow-path reads dominate: fast {read_fast} vs slow {read_slow}"));
+        }
+    }
+    if req.gc && u64_at(doc, &["counters", "versions_gced"]) == 0 {
+        fail("versions_gced is zero — the version GC never trimmed under load");
+    }
+    if req.no_dropped_spans {
+        let dropped = u64_at(doc, &["spans", "dropped"]);
+        if dropped > 0 {
+            fail(&format!("{dropped} spans dropped — ring buffers fell behind"));
+        }
+    }
     println!(
-        "metrics ok: {commits} commits, {aborts} aborts, {} hotspot rows, commit p99 {}ns",
+        "metrics ok: {commits} commits, {aborts} aborts, {} hotspot rows, commit p99 {}ns, \
+         reads fast/slow {read_fast}/{read_slow}, {} versions gced",
         hotspots.len(),
         u64_at(doc, &["histograms_ns", "commit", "p99_ns"]),
+        u64_at(doc, &["counters", "versions_gced"]),
     );
 }
 
@@ -130,13 +170,27 @@ fn load(path: &str) -> Json {
 }
 
 fn main() {
-    let mut argv = std::env::args().skip(1);
-    let metrics = argv.next().unwrap_or_else(|| {
-        eprintln!("usage: metrics_check <metrics.json> [chrome_trace.json]");
+    let mut req = Requirements::default();
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-reads" => req.reads = true,
+            "--require-gc" => req.gc = true,
+            "--no-dropped-spans" => req.no_dropped_spans = true,
+            _ if arg.starts_with("--") => {
+                eprintln!("metrics_check: unknown flag {arg}");
+                std::process::exit(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let metrics = positional.next().unwrap_or_else(|| {
+        eprintln!("usage: metrics_check [flags] <metrics.json> [chrome_trace.json]");
         std::process::exit(2);
     });
-    check_metrics(&load(&metrics));
-    if let Some(trace) = argv.next() {
+    check_metrics(&load(&metrics), &req);
+    if let Some(trace) = positional.next() {
         check_trace(&load(&trace));
     }
 }

@@ -298,6 +298,11 @@ impl Rtf {
             };
             let mut tx = Tx::new_for_root(Arc::clone(&inner.env), Arc::clone(&tree), ro_mode);
 
+            // One epoch pin per attempt: every version-list read and
+            // write-back on this thread (body, helping, validation, root
+            // commit) pins reentrantly — a thread-local depth bump instead
+            // of the era-advertisement fence per read.
+            let _pin = rtf_txengine::read_pin();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let r = body(&mut tx);
                 // Commit the implicit continuation chain down to the root,

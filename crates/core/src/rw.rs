@@ -42,8 +42,8 @@ use rtf_txbase::{
     new_write_token, NodeId, OrderKey, Orec, OrecStatus, TreeId, Version, WriteToken,
 };
 use rtf_txengine::{
-    resolve_read, tentative_insert, CellId, ConflictSite, ReadRecord, Source, TentativeEntry,
-    VBoxCell, Val, Visibility,
+    resolve_read, tentative_insert, CellId, ConflictSite, ReadPath, ReadRecord, Source,
+    TentativeEntry, VBoxCell, Val, Visibility,
 };
 
 use crate::node::Node;
@@ -119,6 +119,13 @@ impl Visibility for SubRead<'_> {
     fn snapshot(&self) -> Version {
         self.tree.start_version
     }
+
+    fn tentative_tree(&self) -> Option<TreeId> {
+        // The tentative rule filters by `entry.tree` first: entries of other
+        // trees are never admitted, so the cell's owner tag can route this
+        // reader around the mutex when only foreign entries are present.
+        Some(self.tree.tree_id)
+    }
 }
 
 /// Validation-time visibility (Alg 4 line 3): every predecessor of the
@@ -179,14 +186,34 @@ impl Visibility for SubValidation<'_> {
     fn snapshot(&self) -> Version {
         self.tree.start_version
     }
+
+    fn tentative_tree(&self) -> Option<TreeId> {
+        // Same tree filter as `SubRead` (see there).
+        Some(self.tree.tree_id)
+    }
 }
 
 /// Transactional read by a sub-transaction (Alg 2). Returns the value and
 /// the read-set record.
 pub fn sub_read(tree: &TreeCtx, node: &Node, cell: &Arc<VBoxCell>) -> (Val, ReadRecord) {
+    let (value, record, _) = sub_read_traced(tree, node, cell);
+    (value, record)
+}
+
+/// [`sub_read`], also reporting which permanent-list path served the read
+/// (accumulated into the `read_fast`/`read_slow` stats by the caller).
+pub fn sub_read_traced(
+    tree: &TreeCtx,
+    node: &Node,
+    cell: &Arc<VBoxCell>,
+) -> (Val, ReadRecord, ReadPath) {
     let epoch = node.fork_count.load(std::sync::atomic::Ordering::Relaxed);
     let r = resolve_read(&SubRead::new(tree, node), cell);
-    (r.value, ReadRecord { cell: Arc::clone(cell), token: r.token, source: r.source, epoch })
+    (
+        r.value,
+        ReadRecord { cell: Arc::clone(cell), token: r.token, source: r.source, epoch },
+        r.path,
+    )
 }
 
 /// Transactional write by a sub-transaction (Alg 1). On success the new

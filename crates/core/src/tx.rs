@@ -34,13 +34,13 @@ use std::sync::Arc;
 
 use rtf_taskpool::{OrderTag, Pool};
 use rtf_txengine::{
-    downcast, erase, obs_now_ns, tx_trace, ConflictKind, Event, EventSink, ReadLog, Source,
-    SpanKind, SpanRec, TxData, VBox, VBoxCell, Val,
+    downcast, erase, obs_now_ns, read_pin, tx_trace, ConflictKind, Event, EventSink, ReadLog,
+    ReadPath, Source, SpanKind, SpanRec, TxData, VBox, VBoxCell, Val,
 };
 
 use crate::future::TxFuture;
 use crate::node::{Node, NodeKind};
-use crate::rw::{sub_read, sub_write, validate_reads_detailed};
+use crate::rw::{sub_read_traced, sub_write, validate_reads_detailed};
 use crate::tree::{PoisonKind, TreeCtx};
 
 /// Unwind payload used for tree teardown; never escapes the crate.
@@ -117,18 +117,33 @@ pub struct Tx {
     frames: Vec<Frame>,
     /// Read-only transaction: skip read-set recording, forbid writes.
     ro_mode: bool,
+    /// Read-path counts accumulated locally and flushed as one
+    /// [`Event::ReadPathBatch`] when the handle drops (a per-read shared
+    /// counter would serialize the lock-free read path it measures).
+    reads_fast: u64,
+    reads_slow: u64,
+}
+
+impl Drop for Tx {
+    fn drop(&mut self) {
+        if self.reads_fast > 0 || self.reads_slow > 0 {
+            self.env
+                .sink
+                .event(Event::ReadPathBatch { fast: self.reads_fast, slow: self.reads_slow });
+        }
+    }
 }
 
 impl Tx {
     pub(crate) fn new_for_root(env: Arc<TxEnv>, tree: Arc<TreeCtx>, ro_mode: bool) -> Tx {
         let root = Arc::clone(&tree.root);
         let frame = Frame::new(root, &tree, &env);
-        Tx { env, tree, frames: vec![frame], ro_mode }
+        Tx { env, tree, frames: vec![frame], ro_mode, reads_fast: 0, reads_slow: 0 }
     }
 
     fn new_for_node(env: Arc<TxEnv>, tree: Arc<TreeCtx>, node: Arc<Node>, ro_mode: bool) -> Tx {
         let frame = Frame::new(node, &tree, &env);
-        Tx { env, tree, frames: vec![frame], ro_mode }
+        Tx { env, tree, frames: vec![frame], ro_mode, reads_fast: 0, reads_slow: 0 }
     }
 
     #[inline]
@@ -193,7 +208,11 @@ impl Tx {
     pub fn read_cell(&mut self, cell: &Arc<VBoxCell>) -> Val {
         self.check_poison();
         let frame = self.frames.last_mut().expect("entry frame");
-        let (val, entry) = sub_read(&self.tree, &frame.node, cell);
+        let (val, entry, path) = sub_read_traced(&self.tree, &frame.node, cell);
+        match path {
+            ReadPath::Fast => self.reads_fast += 1,
+            ReadPath::Slow => self.reads_slow += 1,
+        }
         if !self.ro_mode {
             frame.reads.push(entry);
         }
@@ -743,6 +762,12 @@ where
     F: Fn(&mut Tx) -> A + Send + 'static,
 {
     loop {
+        // One epoch pin per execution round: every version-list read and
+        // write-back inside the body or the commit attempt pins reentrantly
+        // (a thread-local depth bump instead of the era-advertisement
+        // fence). A local, not a stage field: the stage crosses threads on
+        // re-queue, and a pin is bound to the thread that took it.
+        let _pin = read_pin();
         if stage.tree.is_poisoned() {
             stage.handle.cancel();
             break;

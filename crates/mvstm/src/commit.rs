@@ -421,11 +421,14 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut committed = 0;
                     while committed < per {
+                        // Register BEFORE taking the snapshot, like the real
+                        // begin path (`TopTxn::new`): registering first pins
+                        // the GC watermark at or below the snapshot we then
+                        // take; snapshot-then-register leaves a window where
+                        // a concurrent write-back trims the version this
+                        // reader is about to need.
+                        let _reg = reg.register(clock.now());
                         let start = clock.now();
-                        // Register like the real begin path does: an
-                        // unregistered reader races concurrent write-back
-                        // trimming and can lose its snapshot version.
-                        let _reg = reg.register(start);
                         let (val, token) = b.cell().read_at(start);
                         let cur = *downcast::<u64>(val);
                         let mut reads = ReadSet::new();

@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 use rtf_txbase::{clock::Registration, TmStats, Version, WriteToken};
 use rtf_txengine::{
-    downcast, erase, resolve_read, CellId, Event, ReadRecord, ReadSet, Source, TentativeEntry,
-    TxData, VBox, VBoxCell, Val, Visibility, WriteSet,
+    downcast, erase, read_pin, resolve_read, CellId, Event, ReadPath, ReadPin, ReadRecord, ReadSet,
+    Source, TentativeEntry, TxData, VBox, VBoxCell, Val, Visibility, WriteSet,
 };
 
 use crate::commit::Conflict;
@@ -85,6 +85,15 @@ pub struct TopTxn<'tm> {
     writes: WriteSet,
     /// Declared read-only: reads skip read-set recording, writes panic.
     ro_mode: bool,
+    /// Read-path counts accumulated locally and flushed as one
+    /// [`Event::ReadPathBatch`] at commit/decomposition — per-read shared
+    /// counters would serialize the lock-free read path (see `TmStats`).
+    reads_fast: u64,
+    reads_slow: u64,
+    /// Epoch pin held for the transaction's lifetime, so every version-list
+    /// read inside it pins reentrantly — a thread-local depth bump instead
+    /// of the full era-advertisement fence ([`ReadPin`]).
+    _pin: ReadPin,
 }
 
 impl<'tm> TopTxn<'tm> {
@@ -97,7 +106,28 @@ impl<'tm> TopTxn<'tm> {
         // is retained.
         let reg = tm.registry().register(tm.clock().now());
         let start = tm.clock().now();
-        TopTxn { tm, start, _reg: reg, reads: ReadSet::new(), writes: WriteSet::new(), ro_mode }
+        TopTxn {
+            tm,
+            start,
+            _reg: reg,
+            reads: ReadSet::new(),
+            writes: WriteSet::new(),
+            ro_mode,
+            reads_fast: 0,
+            reads_slow: 0,
+            _pin: read_pin(),
+        }
+    }
+
+    /// Flushes the locally accumulated read-path counts as one event.
+    fn flush_read_paths(&mut self) {
+        if self.reads_fast > 0 || self.reads_slow > 0 {
+            self.tm
+                .sink()
+                .event(Event::ReadPathBatch { fast: self.reads_fast, slow: self.reads_slow });
+            self.reads_fast = 0;
+            self.reads_slow = 0;
+        }
     }
 
     /// The snapshot version this transaction reads at.
@@ -124,6 +154,10 @@ impl<'tm> TopTxn<'tm> {
     /// Untyped read (used by the core crate and data structures).
     pub fn read_cell(&mut self, cell: &Arc<VBoxCell>) -> Val {
         let r = resolve_read(&TopVisibility::reads(self.start, &self.writes), cell);
+        match r.path {
+            ReadPath::Fast => self.reads_fast += 1,
+            ReadPath::Slow => self.reads_slow += 1,
+        }
         // Reads served from the write-set carry no validation obligation;
         // everything else is a permanent-snapshot observation to validate.
         if r.source == Source::Permanent && !self.ro_mode {
@@ -145,7 +179,8 @@ impl<'tm> TopTxn<'tm> {
 
     /// Attempts to commit. On success returns the commit version (`None`
     /// for the read-only fast path, which consumes no version number).
-    pub fn try_commit(self) -> Result<Option<Version>, Conflict> {
+    pub fn try_commit(mut self) -> Result<Option<Version>, Conflict> {
+        self.flush_read_paths();
         let sink = self.tm.sink();
         if self.writes.is_empty() {
             // Read-only fast path: the snapshot was consistent by
@@ -175,7 +210,8 @@ impl<'tm> TopTxn<'tm> {
 
     /// Decomposes the transaction into raw parts (used by the `rtf` core
     /// crate, whose tree roots extend this read/write-set bookkeeping).
-    pub fn into_parts(self) -> (Version, ReadSet, WriteSet) {
+    pub fn into_parts(mut self) -> (Version, ReadSet, WriteSet) {
+        self.flush_read_paths();
         (self.start, self.reads, self.writes)
     }
 

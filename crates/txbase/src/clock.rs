@@ -11,6 +11,44 @@
 //! transaction in padded per-slot atomics; its minimum is the watermark under
 //! which old permanent versions may be garbage collected (JVSTM-style version
 //! GC).
+//!
+//! # Memory-ordering audit (lock-free read path)
+//!
+//! The `VBox` permanent lists are read with zero locks, so the orderings in
+//! this module are the *only* synchronization between a commit's write-back
+//! and a reader's snapshot lookup. The required chain:
+//!
+//! 1. write-back installs version `v` into each written cell with a
+//!    `Release` head-CAS (or a `Release` splice under the cell's structural
+//!    flag);
+//! 2. [`GlobalClock::publish`]`(v)` then CAS-stores the clock with
+//!    `Release` — ordered after every store of step 1;
+//! 3. a reader's [`GlobalClock::now`] is `Acquire`: reading `v`
+//!    synchronizes-with the publishing CAS, so every version `<= v` of every
+//!    written cell is visible before the reader walks any list. This is the
+//!    invariant "a snapshot obtained from the clock can always be resolved".
+//!
+//! Each `Relaxed` in this module, and why it is sufficient:
+//!
+//! * [`GlobalClock::publish`]'s initial load and CAS-failure ordering — the
+//!   loaded value only seeds the monotone-max retry loop; the sole
+//!   publication edge is the *successful* CAS, which is `Release`.
+//! * [`ActiveTxnRegistry`]'s `next` counter (`fetch_add(Relaxed)`) — a
+//!   round-robin placement hint; slot claiming itself is the `AcqRel` CAS.
+//! * [`ActiveTxnRegistry::active_count`] — diagnostics only; never feeds a
+//!   GC or visibility decision.
+//!
+//! The registration/GC edge must be stronger, and is: slot claim is an
+//! `AcqRel` CAS, [`ActiveTxnRegistry::min_active`] scans with `Acquire`, and
+//! deregistration stores `FREE` with `Release`. Combined with registering
+//! *before* taking the start snapshot (see `TopTxn::new`) this yields the
+//! watermark safety invariant the version GC relies on: every watermark ever
+//! computed is at or below the snapshot of every live *and future*
+//! transaction — a registration publishes a clock value no newer than the
+//! snapshot its owner then takes, and `min_active` is bounded by the clock
+//! value passed as `fallback`, which only advances. Hence trimming below
+//! the newest version at or below any watermark can never detach a version
+//! a resolvable snapshot still needs.
 
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};

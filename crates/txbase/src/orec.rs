@@ -17,6 +17,27 @@
 //! One orec exists per *execution attempt*: a re-executed sub-transaction
 //! allocates a fresh orec, so stale versions of the aborted attempt can never
 //! be confused with current ones.
+//!
+//! # Memory-ordering audit (lock-free read path)
+//!
+//! No field in this module uses `Relaxed`: orec fields are read on the read
+//! path *outside* any lock (the visibility policies snapshot them through
+//! `orec_snapshot`, and the tentative owner-tag shortcut means a reader may
+//! reach them without ever taking the tentative-list mutex), so every store
+//! that changes visibility is `Release` and every load is `Acquire`:
+//!
+//! * [`Orec::propagate_to`] stores `tx_tree_ver`, then `owner`, then
+//!   `status`, all `Release`. A reader that `Acquire`-loads the *new* owner
+//!   therefore also observes the matching `tx_tree_ver`; the `orec_snapshot`
+//!   helper re-reads `owner` to pin the pair against a racing second
+//!   propagation (ownership only ever moves to fresh node ids).
+//! * The Fig 4 visibility decision "reader witnessed the propagation"
+//!   additionally rides the `nClock` edge: `propagate_to` (Release stores)
+//!   happens-before the parent's `nClock` bump, and a reader's `ancVer`
+//!   capture `Acquire`-reads `nClock` — so `ancVer[A] >= tx_tree_ver`
+//!   implies the reader sees the propagated owner and value.
+//! * [`Orec::mark_aborted`] is `Release` so that a scrub that *observed*
+//!   the abort (Acquire load) cannot act on a stale entry state.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 

@@ -58,6 +58,21 @@ macro_rules! counters {
                 self.pool_fence_deferrals.fetch_add(n, Ordering::Relaxed);
             }
 
+            /// Adds a transaction's batch of fast-path reads. Per-read
+            /// increments on a shared line would serialize the very reads
+            /// the fast path unserializes, so transactions count locally
+            /// and flush once at commit/drop.
+            #[inline]
+            pub fn add_read_fast(&self, n: u64) {
+                self.read_fast.fetch_add(n, Ordering::Relaxed);
+            }
+
+            /// Adds a transaction's batch of slow-path reads.
+            #[inline]
+            pub fn add_read_slow(&self, n: u64) {
+                self.read_slow.fetch_add(n, Ordering::Relaxed);
+            }
+
             /// Copies all counters.
             pub fn snapshot(&self) -> StatSnapshot {
                 StatSnapshot {
@@ -117,6 +132,13 @@ counters! {
     /// Queued pool tasks a helping attempt had to defer because the
     /// helper's fence stack forbade them (order-bounded helping).
     pool_fence_deferrals,
+    /// Snapshot reads served by the wait-free fast path (head version at or
+    /// below the snapshot, or a local/tentative hit that never walked the
+    /// permanent list). Flushed in per-transaction batches, not per read.
+    read_fast,
+    /// Snapshot reads that fell back to the lock-free version-list walk
+    /// (snapshot older than the head version).
+    read_slow,
 }
 
 impl StatSnapshot {

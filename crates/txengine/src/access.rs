@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use rtf_txbase::{TreeId, Version, WriteToken};
 
-use crate::cell::{CellId, TentativeEntry, VBoxCell};
+use crate::cell::{CellId, ReadPath, TentativeEntry, VBoxCell};
 use crate::readset::{ReadRecord, Source};
 use crate::value::Val;
 
@@ -54,6 +54,15 @@ pub trait Visibility {
     fn scans_tentative(&self) -> bool {
         true
     }
+
+    /// The tree this reader belongs to, when its tentative rule can only
+    /// ever admit entries of that tree (the Fig 4 policies all filter by
+    /// `entry.tree` first). Lets [`resolve_read`] skip the tentative-list
+    /// mutex via the cell's owner tag when the list holds only other trees'
+    /// entries. `None` (the default) claims nothing and always scans.
+    fn tentative_tree(&self) -> Option<TreeId> {
+        None
+    }
 }
 
 /// A resolved read: the observed value, the identity of the write that
@@ -69,13 +78,20 @@ pub struct Resolution {
     /// entry; [`TreeId::NONE`] for local and permanent sources (abort
     /// attribution material — see [`ConflictSite`]).
     pub writer_tree: TreeId,
+    /// Which permanent-list path served the read. Tentative and local hits
+    /// never touch the permanent list and report [`ReadPath::Fast`] (they
+    /// are lock-free for the reporting transaction by construction).
+    pub path: ReadPath,
 }
 
 /// Resolves one read of `cell` under `policy` — the only read-resolution
 /// walk in the workspace (tentative list, then local buffer, then permanent
 /// versions).
 pub fn resolve_read<V: Visibility + ?Sized>(policy: &V, cell: &Arc<VBoxCell>) -> Resolution {
-    if policy.scans_tentative() {
+    // The owner tag lets readers skip the tentative mutex when the list is
+    // empty or holds only entries their tree-filtering rule would reject —
+    // the common case for every read class except the writer's own tree.
+    if policy.scans_tentative() && cell.tentative_scan_needed(policy.tentative_tree()) {
         let list = cell.tentative_lock();
         for entry in list.iter() {
             if let Some(source) = policy.tentative(entry) {
@@ -84,15 +100,22 @@ pub fn resolve_read<V: Visibility + ?Sized>(policy: &V, cell: &Arc<VBoxCell>) ->
                     token: entry.token,
                     source,
                     writer_tree: entry.tree,
+                    path: ReadPath::Fast,
                 };
             }
         }
     }
     if let Some((value, token)) = policy.local(cell.id()) {
-        return Resolution { value, token, source: Source::Local, writer_tree: TreeId::NONE };
+        return Resolution {
+            value,
+            token,
+            source: Source::Local,
+            writer_tree: TreeId::NONE,
+            path: ReadPath::Fast,
+        };
     }
-    let (value, token) = cell.read_at(policy.snapshot());
-    Resolution { value, token, source: Source::Permanent, writer_tree: TreeId::NONE }
+    let (value, token, path) = cell.read_at_traced(policy.snapshot());
+    Resolution { value, token, source: Source::Permanent, writer_tree: TreeId::NONE, path }
 }
 
 /// The cell a validation failed on, and (when the displacing write is still

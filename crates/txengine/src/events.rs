@@ -92,6 +92,15 @@ pub enum Event {
     PoolTaskHelped,
     /// A helping attempt had to defer queued tasks its fence stack forbids.
     PoolFenceDeferrals(u64),
+    /// A transaction's accumulated read-path counts, flushed once at
+    /// commit/teardown (per-read shared-counter traffic would serialize the
+    /// lock-free read path this event exists to observe).
+    ReadPathBatch {
+        /// Reads served by the wait-free fast path.
+        fast: u64,
+        /// Reads that walked the version list.
+        slow: u64,
+    },
 }
 
 /// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
@@ -263,6 +272,14 @@ impl EventSink for StatsSink {
             Event::ValidationNs(ns) => s.add_validation_ns(ns),
             Event::PoolTaskHelped => s.pool_helped_tasks(),
             Event::PoolFenceDeferrals(n) => s.add_pool_fence_deferrals(n),
+            Event::ReadPathBatch { fast, slow } => {
+                if fast > 0 {
+                    s.add_read_fast(fast);
+                }
+                if slow > 0 {
+                    s.add_read_slow(slow);
+                }
+            }
             // Timing and attribution detail beyond the flat counters is the
             // observability layer's business (see `rtf-txobs`).
             Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}

@@ -31,7 +31,10 @@ pub mod value;
 pub use access::{
     resolve_read, validate_reads, validate_reads_detailed, ConflictSite, Resolution, Visibility,
 };
-pub use cell::{tentative_insert, CellId, PermVersion, TentativeEntry, VBox, VBoxCell};
+pub use cell::{
+    read_pin, tentative_insert, CellId, PermVersion, ReadPath, ReadPin, TentativeEntry,
+    TentativeGuard, VBox, VBoxCell,
+};
 pub use events::{
     obs_now_ns, stable_thread_id, ConflictKind, Event, EventSink, NullSink, SpanKind, SpanRec,
     StatsSink, TeeSink, TraceSink,

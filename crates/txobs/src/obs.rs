@@ -134,6 +134,8 @@ impl MetricsSnapshot {
             ("validation_ns".into(), Json::U64(c.validation_ns)),
             ("pool_helped_tasks".into(), Json::U64(c.pool_helped_tasks)),
             ("pool_fence_deferrals".into(), Json::U64(c.pool_fence_deferrals)),
+            ("read_fast".into(), Json::U64(c.read_fast)),
+            ("read_slow".into(), Json::U64(c.read_slow)),
         ]);
         let derived = Json::Obj(vec![
             ("commits".into(), Json::U64(c.commits())),

@@ -51,6 +51,13 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
         c.top_abort_rate(),
         c.executions_per_commit()
     ));
+    let reads_total = c.read_fast + c.read_slow;
+    let fast_pct =
+        if reads_total == 0 { 0.0 } else { c.read_fast as f64 * 100.0 / reads_total as f64 };
+    out.push_str(&format!(
+        "reads: fast {}  slow {}  (fast-path {:.1}%)\n",
+        c.read_fast, c.read_slow, fast_pct
+    ));
     out.push_str("latency:\n");
     out.push_str(&format!(
         "  {:<16} {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
@@ -89,6 +96,8 @@ mod tests {
     fn report_mentions_every_section() {
         let mut m = MetricsSnapshot::default();
         m.counters.top_commits = 5;
+        m.counters.read_fast = 8;
+        m.counters.read_slow = 2;
         m.commit.count = 5;
         m.commit.p99 = 1_500;
         m.hotspots.push(Hotspot {
@@ -99,7 +108,9 @@ mod tests {
             last_writer_tree: 9,
         });
         let text = text_report(&m);
-        for needle in ["commits", "aborts", "histogram", "wait_turn", "cell@ff", "spans"] {
+        for needle in
+            ["commits", "aborts", "histogram", "wait_turn", "cell@ff", "spans", "fast-path 80.0%"]
+        {
             assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
         }
     }

@@ -55,6 +55,8 @@ fn fixed_snapshot() -> MetricsSnapshot {
     m.counters.futures_submitted = 200;
     m.counters.wait_turn_ns = 123_456;
     m.counters.validation_ns = 65_432;
+    m.counters.read_fast = 900;
+    m.counters.read_slow = 100;
     let conflicts = ConflictTable::default();
     for _ in 0..3 {
         conflicts.record(rtf_txengine::ConflictKind::SubValidation, 0xbeef, 4);

@@ -90,6 +90,13 @@ fn observer_collects_histograms_spans_and_attribution() {
         assert!(h.max > 0);
     }
 
+    // The lock-free read path attributes every snapshot read: each of the
+    // 240 ops reads through a future, so the flushed batches must cover at
+    // least that many, and the wait-free fast path must actually fire.
+    let reads = m.counters.read_fast + m.counters.read_slow;
+    assert!(reads >= 240, "read-path batches missing: {:?}", m.counters);
+    assert!(m.counters.read_fast > 0, "wait-free fast path never fired: {:?}", m.counters);
+
     // The engineered conflict must show up as attributed aborts.
     assert!(m.counters.top_validation_aborts >= 1, "not contended: {:?}", m.counters);
     assert!(!m.hotspots.is_empty());
@@ -132,6 +139,15 @@ fn observer_collects_histograms_spans_and_attribution() {
     // The exporters accept the real data: both documents re-parse.
     let metrics = Json::parse(&m.to_json().pretty()).unwrap();
     assert_eq!(metrics.path(&["counters", "top_commits"]).and_then(Json::as_u64), Some(242));
+    assert_eq!(
+        metrics.path(&["counters", "read_fast"]).and_then(Json::as_u64),
+        Some(m.counters.read_fast),
+        "read_fast missing from the JSON export"
+    );
+    assert_eq!(
+        metrics.path(&["counters", "read_slow"]).and_then(Json::as_u64),
+        Some(m.counters.read_slow),
+    );
     let trace = Json::parse(&chrome_trace(&spans).pretty()).unwrap();
     assert!(!trace.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
 }

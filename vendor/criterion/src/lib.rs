@@ -127,6 +127,32 @@ impl Bencher {
         }
     }
 
+    /// Benchmarks a routine that runs `iters` iterations itself and returns
+    /// the measured wall time — for multi-threaded or externally timed loops
+    /// (mirrors upstream criterion's `iter_custom`).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        // Warm-up & calibration: find how many iterations fit one sample.
+        let mut iters_per_sample = 1u64;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let elapsed = routine(iters_per_sample);
+            let target = self.measurement_time.div_f64(self.sample_size as f64);
+            if elapsed >= target || Instant::now() >= warm_deadline {
+                if elapsed < target {
+                    let scale = target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    iters_per_sample =
+                        ((iters_per_sample as f64 * scale).ceil() as u64).max(iters_per_sample);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        for _ in 0..self.sample_size {
+            let d = routine(iters_per_sample);
+            self.samples.push(d.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
     /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
     /// is timed.
     pub fn iter_batched<I, O>(

@@ -28,14 +28,22 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-const SLOT_COUNT: usize = 4096;
+const SLOT_COUNT: usize = 512;
 const INACTIVE: u64 = u64::MAX;
 
 static ERA: AtomicU64 = AtomicU64::new(1);
 
+/// One era-advertisement slot, padded to its own cache line: `pin`/unpin
+/// store to the owning thread's slot on every guard cycle, and an unpadded
+/// array would false-share those stores across all pinning threads — which
+/// shows up directly in read-path scaling, since every transactional read
+/// pins.
+#[repr(align(128))]
+struct Slot(AtomicU64);
+
 #[allow(clippy::declare_interior_mutable_const)]
-const INACTIVE_SLOT: AtomicU64 = AtomicU64::new(INACTIVE);
-static SLOTS: [AtomicU64; SLOT_COUNT] = [INACTIVE_SLOT; SLOT_COUNT];
+const INACTIVE_SLOT: Slot = Slot(AtomicU64::new(INACTIVE));
+static SLOTS: [Slot; SLOT_COUNT] = [INACTIVE_SLOT; SLOT_COUNT];
 /// Number of registry slots ever claimed; bounds the collection scan.
 static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
 static FREE_SLOTS: Mutex<Vec<usize>> = Mutex::new(Vec::new());
@@ -64,6 +72,11 @@ impl Garbage {
 }
 
 static LIMBO: Mutex<Vec<(u64, Garbage)>> = Mutex::new(Vec::new());
+/// Approximate `LIMBO` length, maintained alongside the mutex so unpin can
+/// skip the collection pass (and its `try_lock`) with one relaxed load when
+/// there is nothing to reclaim — the overwhelmingly common case on read-only
+/// paths that pin without ever retiring.
+static LIMBO_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 struct ThreadReg {
     slot: usize,
@@ -93,7 +106,7 @@ impl ThreadReg {
 
 impl Drop for ThreadReg {
     fn drop(&mut self) {
-        SLOTS[self.slot].store(INACTIVE, Ordering::SeqCst);
+        SLOTS[self.slot].0.store(INACTIVE, Ordering::SeqCst);
         FREE_SLOTS.lock().unwrap_or_else(PoisonError::into_inner).push(self.slot);
     }
 }
@@ -106,6 +119,9 @@ thread_local! {
 /// advertised by a pinned thread. Skips the pass when the limbo lock is
 /// contended — some other thread is already collecting.
 fn try_collect() {
+    if LIMBO_COUNT.load(Ordering::Relaxed) == 0 {
+        return;
+    }
     let mut limbo = match LIMBO.try_lock() {
         Ok(g) => g,
         Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
@@ -117,7 +133,7 @@ fn try_collect() {
     let hw = HIGH_WATER.load(Ordering::SeqCst).min(SLOT_COUNT);
     let mut min = u64::MAX;
     for slot in SLOTS.iter().take(hw) {
-        min = min.min(slot.load(Ordering::SeqCst));
+        min = min.min(slot.0.load(Ordering::SeqCst));
     }
     let mut keep = Vec::new();
     for (era, g) in limbo.drain(..) {
@@ -127,6 +143,7 @@ fn try_collect() {
             keep.push((era, g));
         }
     }
+    LIMBO_COUNT.store(keep.len(), Ordering::Relaxed);
     *limbo = keep;
 }
 
@@ -143,7 +160,7 @@ pub struct Guard {
 pub fn pin() -> Guard {
     REG.with(|reg| {
         if reg.depth.get() == 0 {
-            SLOTS[reg.slot].store(ERA.load(Ordering::SeqCst), Ordering::SeqCst);
+            SLOTS[reg.slot].0.store(ERA.load(Ordering::SeqCst), Ordering::SeqCst);
         }
         reg.depth.set(reg.depth.get() + 1);
         Guard { slot: reg.slot as isize, _not_send: PhantomData }
@@ -182,6 +199,7 @@ impl Guard {
         }
         let era = ERA.load(Ordering::SeqCst);
         LIMBO.lock().unwrap_or_else(PoisonError::into_inner).push((era, Garbage::new(ptr.ptr)));
+        LIMBO_COUNT.fetch_add(1, Ordering::Relaxed);
         ERA.fetch_add(1, Ordering::SeqCst);
     }
 }
@@ -191,14 +209,23 @@ impl Drop for Guard {
         if self.slot < 0 {
             return;
         }
-        let _ = REG.try_with(|reg| {
-            let d = reg.depth.get() - 1;
-            reg.depth.set(d);
-            if d == 0 {
-                SLOTS[reg.slot].store(INACTIVE, Ordering::SeqCst);
-            }
-        });
-        try_collect();
+        let outermost = REG
+            .try_with(|reg| {
+                let d = reg.depth.get() - 1;
+                reg.depth.set(d);
+                if d == 0 {
+                    SLOTS[reg.slot].0.store(INACTIVE, Ordering::SeqCst);
+                }
+                d == 0
+            })
+            .unwrap_or(true);
+        // Nested unpins cannot advance the minimum advertised era, so only
+        // the outermost unpin attempts collection — this keeps reentrant
+        // pin/unpin cycles (amortized read batches) free of shared-state
+        // traffic entirely.
+        if outermost {
+            try_collect();
+        }
     }
 }
 

@@ -1,0 +1,128 @@
+//! Offline API shim for the [`loom`] concurrency model checker.
+//!
+//! The build environment has no network access, so the real `loom` crate
+//! (exhaustive DPOR exploration of every interleaving under the C11 memory
+//! model) cannot be used. This shim exposes the small surface the workspace's
+//! `cfg(loom)` tests consume — [`model`], [`thread::spawn`],
+//! [`thread::yield_now`], [`hint::spin_loop`] and the [`sync`] re-exports —
+//! and implements [`model`] as **randomized stress scheduling**: the closure
+//! runs for many iterations, and [`thread::yield_now`] / [`hint::spin_loop`]
+//! inject pseudo-random sleeps and OS yields to perturb thread timing
+//! differently on every iteration.
+//!
+//! # Fidelity caveats (honest limitations)
+//!
+//! * This is a **stress tester, not a model checker**: it samples
+//!   interleavings instead of enumerating them, so passing runs raise
+//!   confidence but prove nothing.
+//! * It runs on real hardware, so only interleavings your CPU's memory model
+//!   can produce are explored (x86-TSO is much stronger than C11; weak-order
+//!   bugs that need Arm/Power reorderings may never fire).
+//! * `sync`/`cell` are re-exports of `std` types, not loom's checked
+//!   doubles, so there is no happens-before verification or leak checking.
+//!
+//! Swapping in the real crate requires no test changes: the surface below is
+//! call-compatible with loom 0.7 for everything the tests use.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations [`model`] runs its closure (override with `LOOM_MAX_ITER`,
+/// kept name-compatible with the real crate's iteration bound knob).
+const DEFAULT_ITERS: u64 = 400;
+
+static SCHED_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` under the stress scheduler: many fresh iterations, each with a
+/// different pseudo-random perturbation seed consumed by
+/// [`thread::yield_now`]. Panics propagate (a failed assertion in any
+/// iteration fails the test), matching real loom's contract.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters =
+        std::env::var("LOOM_MAX_ITER").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        SCHED_SEED.store(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), Ordering::Relaxed);
+        f();
+    }
+}
+
+fn next_perturbation() -> u64 {
+    // SplitMix64 step over the shared seed: cheap, thread-safe, and varied
+    // across both iterations and call sites.
+    let mut z = SCHED_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scheduling-perturbation points (loom's preemption points).
+pub mod thread {
+    pub use std::thread::{spawn, JoinHandle};
+
+    /// A preemption point: randomly either yields to the OS scheduler,
+    /// spins briefly, or sleeps for a few microseconds, so that successive
+    /// [`crate::model`] iterations explore different timings.
+    pub fn yield_now() {
+        match super::next_perturbation() % 8 {
+            0 | 1 => std::thread::yield_now(),
+            2 => std::thread::sleep(std::time::Duration::from_micros(
+                super::next_perturbation() % 50,
+            )),
+            3 | 4 => {
+                for _ in 0..(super::next_perturbation() % 64) {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Spin-hint preemption point.
+pub mod hint {
+    /// Forwards to [`crate::thread::yield_now`] so spin loops are also
+    /// perturbed.
+    pub fn spin_loop() {
+        super::thread::yield_now();
+    }
+}
+
+/// `std::sync` re-exports (NOT loom's instrumented doubles — see the module
+/// docs for what that forfeits).
+pub mod sync {
+    pub use std::sync::atomic;
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+}
+
+/// `std::cell` stand-ins.
+pub mod cell {
+    pub use std::cell::{Cell, RefCell, UnsafeCell};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_propagates_state() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+            let flag = Arc::new(AtomicU64::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = super::thread::spawn(move || {
+                super::thread::yield_now();
+                f2.store(1, Ordering::Release);
+            });
+            t.join().unwrap();
+            assert_eq!(flag.load(Ordering::Acquire), 1);
+        });
+        assert!(RUNS.load(Ordering::Relaxed) >= 2);
+    }
+}
