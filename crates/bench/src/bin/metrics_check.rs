@@ -13,7 +13,10 @@
 //!   (`counters.read_fast > 0`) and slow-path walks did not dominate;
 //! * `--require-gc` — the version GC trimmed permanent versions under load
 //!   (`counters.versions_gced > 0`);
-//! * `--no-dropped-spans` — the span rings kept up (`spans.dropped == 0`).
+//! * `--no-dropped-spans` — the span rings kept up (`spans.dropped == 0`);
+//! * `--require-stall-probe` — the starvation watchdog fired at least once
+//!   (`counters.stalls_detected > 0`), proving the stall path is wired all
+//!   the way through the event sink into the export.
 //!
 //! Exits non-zero with a message naming the first failed assertion.
 
@@ -53,6 +56,7 @@ struct Requirements {
     reads: bool,
     gc: bool,
     no_dropped_spans: bool,
+    stall_probe: bool,
 }
 
 fn check_metrics(doc: &Json, req: &Requirements) {
@@ -104,6 +108,9 @@ fn check_metrics(doc: &Json, req: &Requirements) {
         if dropped > 0 {
             fail(&format!("{dropped} spans dropped — ring buffers fell behind"));
         }
+    }
+    if req.stall_probe && u64_at(doc, &["counters", "stalls_detected"]) == 0 {
+        fail("stalls_detected is zero — the starvation watchdog never reported through the sink");
     }
     println!(
         "metrics ok: {commits} commits, {aborts} aborts, {} hotspot rows, commit p99 {}ns, \
@@ -177,6 +184,7 @@ fn main() {
             "--require-reads" => req.reads = true,
             "--require-gc" => req.gc = true,
             "--no-dropped-spans" => req.no_dropped_spans = true,
+            "--require-stall-probe" => req.stall_probe = true,
             _ if arg.starts_with("--") => {
                 eprintln!("metrics_check: unknown flag {arg}");
                 std::process::exit(2);

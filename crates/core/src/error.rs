@@ -1,0 +1,128 @@
+//! Structured failure surface of the runtime.
+//!
+//! The paper's protocol never *returns* failure — optimistic execution
+//! retries until it wins. A production runtime needs the other half of the
+//! story: panics contained into [`TxError::FuturePanicked`], bounded retry
+//! loops reporting [`TxError::RetryExhausted`], and the starvation watchdog
+//! converting a permanent stall into [`TxError::StallAborted`] instead of
+//! parking forever. [`crate::Rtf::run`] is the entry point that surfaces
+//! these as `Err` values; [`crate::Rtf::atomic`] keeps the panicking
+//! contract for infallible callers.
+
+use std::fmt;
+
+/// Why a transaction could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction observed its [`crate::CancelToken`] and stopped.
+    Cancelled,
+    /// A transactional future's task panicked; the tree was torn down and
+    /// every waiter released. `message` describes the panic payload when it
+    /// was a string (injected faults report their failpoint site).
+    FuturePanicked {
+        /// Panic message, when extractable (empty otherwise).
+        message: String,
+    },
+    /// The configured retry budget ([`crate::RtfBuilder::max_retries`] /
+    /// [`crate::RtfBuilder::retry_deadline`]) was exhausted before an
+    /// execution validated.
+    RetryExhausted {
+        /// Failed attempts performed before giving up.
+        attempts: u32,
+    },
+    /// A blocking wait stalled past `RTF_STALL_ABORT_MS` and was converted
+    /// into a structured abort by the starvation watchdog.
+    StallAborted {
+        /// Which wait stalled (`wait_turn`, `quiescence`, `future_wait`).
+        kind: &'static str,
+        /// How long the waiter had been blocked, milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Cancelled => write!(f, "transaction cancelled"),
+            TxError::FuturePanicked { message } if message.is_empty() => {
+                write!(f, "a transactional future panicked; the tree was torn down")
+            }
+            TxError::FuturePanicked { message } => {
+                write!(f, "a transactional future panicked ({message}); the tree was torn down")
+            }
+            TxError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} failed attempts")
+            }
+            TxError::StallAborted { kind, waited_ms } => {
+                write!(f, "aborted after stalling {waited_ms}ms in {kind} (RTF_STALL_ABORT_MS)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Why evaluating a [`crate::TxFuture`] handle could not produce a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FutureError {
+    /// The future has not resolved yet (only returned by the non-blocking
+    /// [`crate::TxFuture::try_wait`]).
+    Pending,
+    /// The submitting tree execution was torn down and re-executed; this
+    /// handle is stale (re-obtain it from the new execution).
+    Cancelled,
+    /// The future's task panicked; the tree was torn down.
+    Panicked,
+}
+
+impl fmt::Display for FutureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FutureError::Pending => write!(f, "transactional future not yet resolved"),
+            FutureError::Cancelled => write!(
+                f,
+                "transactional future cancelled: the submitting transaction execution was \
+                 aborted and re-executed; re-obtain the handle from the new execution"
+            ),
+            FutureError::Panicked => {
+                write!(f, "transactional future's task panicked; the tree was torn down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FutureError {}
+
+/// Best-effort human-readable description of a panic payload (for
+/// [`TxError::FuturePanicked::message`]): string payloads verbatim,
+/// injected-fault payloads by their failpoint site, anything else empty.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(p) = payload.downcast_ref::<rtf_txfault::InjectedPanic>() {
+        p.to_string()
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(TxError::Cancelled.to_string().contains("cancelled"));
+        assert!(TxError::FuturePanicked { message: String::new() }.to_string().contains("panick"));
+        assert!(TxError::FuturePanicked { message: "at x".into() }.to_string().contains("at x"));
+        assert!(TxError::RetryExhausted { attempts: 3 }.to_string().contains('3'));
+        assert!(TxError::StallAborted { kind: "wait_turn", waited_ms: 9 }
+            .to_string()
+            .contains("wait_turn"));
+        assert!(FutureError::Pending.to_string().contains("not yet"));
+        assert!(FutureError::Cancelled.to_string().contains("re-executed"));
+        assert!(FutureError::Panicked.to_string().contains("panick"));
+    }
+}

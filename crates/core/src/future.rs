@@ -14,16 +14,26 @@
 //! observer is *cancelled* — evaluating it panics with a descriptive message
 //! (the paper leaves this corner unspecified; see README limitations).
 
+// Audited `clippy::panic` exemption: this module's panics are the
+// runtime's typed unwind channels (`PoisonSignal` / `CancelSignal` /
+// structured `TxError` payloads) plus documented API-contract panics;
+// every one is caught or surfaced at the `Rtf` boundary, never a bug trap.
+#![allow(clippy::panic)]
+
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
 use rtf_txengine::TxData;
 
+use crate::error::{FutureError, TxError};
+
 enum FutState<A> {
     Pending,
     Committed(Arc<A>),
-    Cancelled,
+    /// Terminally failed; the reason is either [`FutureError::Cancelled`]
+    /// (tree teardown/re-execution) or [`FutureError::Panicked`].
+    Failed(FutureError),
 }
 
 struct Shared<A> {
@@ -69,12 +79,30 @@ impl<A: TxData> TxFuture<A> {
         self.shared.cv.notify_all();
     }
 
+    /// Marks the handle stale (tree teardown / re-execution).
     pub(crate) fn cancel(&self) {
+        self.fail(FutureError::Cancelled);
+    }
+
+    /// Marks the handle failed because its task panicked.
+    pub(crate) fn cancel_panicked(&self) {
+        self.fail(FutureError::Panicked);
+    }
+
+    fn fail(&self, reason: FutureError) {
+        debug_assert!(reason != FutureError::Pending, "Pending is not a failure");
         let mut st = self.shared.state.lock();
         if matches!(*st, FutState::Pending) {
-            *st = FutState::Cancelled;
+            *st = FutState::Failed(reason);
             self.shared.cv.notify_all();
         }
+    }
+
+    /// Whether the handle reached *any* terminal state (committed, cancelled
+    /// or panicked) — used by the task drop guard to tell a normal exit from
+    /// an abandoned one.
+    pub(crate) fn is_settled(&self) -> bool {
+        !matches!(*self.shared.state.lock(), FutState::Pending)
     }
 
     /// Non-blocking probe: the committed value, if already available.
@@ -90,21 +118,26 @@ impl<A: TxData> TxFuture<A> {
         self.try_get().is_some()
     }
 
-    /// Blocks until the future commits; panics if the submitting tree
-    /// execution was torn down (see module docs).
-    ///
-    /// Inside a transaction prefer [`crate::Tx::eval`], which also lets the
-    /// waiting thread help execute queued futures.
-    pub fn wait(&self) -> Arc<A> {
+    /// Non-blocking, non-panicking probe of the handle's state: the value if
+    /// committed, [`FutureError::Pending`] while unresolved, or the terminal
+    /// failure reason. Safe to call from destructors and unwinding code.
+    pub fn try_wait(&self) -> Result<Arc<A>, FutureError> {
+        match &*self.shared.state.lock() {
+            FutState::Committed(v) => Ok(Arc::clone(v)),
+            FutState::Pending => Err(FutureError::Pending),
+            FutState::Failed(reason) => Err(*reason),
+        }
+    }
+
+    /// Blocks until the future reaches a terminal state; never panics.
+    /// `Err` carries the failure reason ([`FutureError::Cancelled`] or
+    /// [`FutureError::Panicked`]).
+    pub fn wait_result(&self) -> Result<Arc<A>, FutureError> {
         let mut st = self.shared.state.lock();
         loop {
             match &*st {
-                FutState::Committed(v) => return Arc::clone(v),
-                FutState::Cancelled => panic!(
-                    "evaluated a transactional future whose submitting transaction \
-                     execution was aborted and re-executed; re-obtain the handle \
-                     from the new execution"
-                ),
+                FutState::Committed(v) => return Ok(Arc::clone(v)),
+                FutState::Failed(reason) => return Err(*reason),
                 FutState::Pending => {
                     self.shared.cv.wait_for(&mut st, Duration::from_millis(1));
                 }
@@ -112,17 +145,51 @@ impl<A: TxData> TxFuture<A> {
         }
     }
 
-    /// Like [`TxFuture::wait`], but calls `help` while pending so a blocked
-    /// thread keeps the pool busy (avoids pool-starvation deadlock).
-    /// Returns `Err(())` if the future was cancelled (tree teardown); the
-    /// caller decides how to surface that.
-    pub(crate) fn wait_helping(&self, mut help: impl FnMut() -> bool) -> Result<Arc<A>, ()> {
+    /// Blocks until the future commits; panics if the submitting tree
+    /// execution was torn down (see module docs) or its task panicked.
+    ///
+    /// Inside a transaction prefer [`crate::Tx::eval`], which also lets the
+    /// waiting thread help execute queued futures. In destructors prefer
+    /// [`TxFuture::try_wait`]: when `wait` fails while the thread is already
+    /// unwinding it re-panics with the plain [`FutureError`] payload —
+    /// no formatting mid-unwind, and the runtime's quiet hook suppresses the
+    /// duplicate report — but a panic escaping a destructor during unwind
+    /// still aborts the process, by Rust's rules, no matter the payload.
+    pub fn wait(&self) -> Arc<A> {
+        match self.wait_result() {
+            Ok(v) => v,
+            Err(reason) => {
+                if std::thread::panicking() {
+                    std::panic::panic_any(reason);
+                }
+                match reason {
+                    FutureError::Panicked => {
+                        std::panic::panic_any(TxError::FuturePanicked { message: String::new() })
+                    }
+                    _ => panic!(
+                        "evaluated a transactional future whose submitting transaction \
+                         execution was aborted and re-executed; re-obtain the handle \
+                         from the new execution"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Like [`TxFuture::wait_result`], but calls `help` while pending so a
+    /// blocked thread keeps the pool busy (avoids pool-starvation deadlock).
+    /// `Err` carries the failure reason; the caller decides how to surface
+    /// it.
+    pub(crate) fn wait_helping(
+        &self,
+        mut help: impl FnMut() -> bool,
+    ) -> Result<Arc<A>, FutureError> {
         loop {
             {
                 let mut st = self.shared.state.lock();
                 match &*st {
                     FutState::Committed(v) => return Ok(Arc::clone(v)),
-                    FutState::Cancelled => return Err(()),
+                    FutState::Failed(reason) => return Err(*reason),
                     FutState::Pending => {
                         // Help with the lock released; park briefly only
                         // when there is nothing to help with.
@@ -174,6 +241,72 @@ mod tests {
         let f: TxFuture<u32> = TxFuture::new_pending();
         f.cancel();
         let _ = f.wait();
+    }
+
+    #[test]
+    fn try_wait_reports_each_state_without_panicking() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        assert_eq!(f.try_wait().unwrap_err(), FutureError::Pending);
+        f.complete(Arc::new(4));
+        assert_eq!(*f.try_wait().unwrap(), 4);
+
+        let g: TxFuture<u32> = TxFuture::new_pending();
+        g.cancel();
+        assert_eq!(g.try_wait().unwrap_err(), FutureError::Cancelled);
+
+        let h: TxFuture<u32> = TxFuture::new_pending();
+        h.cancel_panicked();
+        assert_eq!(h.try_wait().unwrap_err(), FutureError::Panicked);
+        assert_eq!(h.wait_result().unwrap_err(), FutureError::Panicked);
+    }
+
+    #[test]
+    fn panicked_wait_panics_with_structured_payload() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.cancel_panicked();
+        let payload = std::panic::catch_unwind(|| f.wait()).expect_err("must panic");
+        match payload.downcast_ref::<TxError>() {
+            Some(TxError::FuturePanicked { .. }) => {}
+            other => panic!("expected TxError::FuturePanicked payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_during_unwinding_repanics_with_plain_reason() {
+        // A destructor probing a failed handle while its thread unwinds must
+        // not enter the formatting panic!; it re-panics with the bare
+        // `FutureError` payload (catchable, quiet-hook-suppressible).
+        struct ProbeOnDrop(TxFuture<u32>, Arc<std::sync::Mutex<Option<FutureError>>>);
+        impl Drop for ProbeOnDrop {
+            fn drop(&mut self) {
+                assert!(std::thread::panicking());
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.0.wait()));
+                let payload = caught.expect_err("wait on a failed handle still fails");
+                *self.1.lock().unwrap() = payload.downcast_ref::<FutureError>().copied();
+            }
+        }
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.cancel();
+        let seen = Arc::new(std::sync::Mutex::new(None));
+        let seen2 = Arc::clone(&seen);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _probe = ProbeOnDrop(f, seen2);
+            panic!("outer failure");
+        }));
+        assert!(result.is_err());
+        assert_eq!(*seen.lock().unwrap(), Some(FutureError::Cancelled));
+    }
+
+    #[test]
+    fn is_settled_tracks_terminal_states() {
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        assert!(!f.is_settled());
+        f.complete(Arc::new(1));
+        assert!(f.is_settled());
+        let g: TxFuture<u32> = TxFuture::new_pending();
+        g.cancel_panicked();
+        assert!(g.is_settled());
     }
 
     #[test]

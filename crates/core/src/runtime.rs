@@ -20,24 +20,41 @@
 //! latter switching to the sequential fallback mode (`rootWriteSet`, D3)
 //! after `fallback_threshold` consecutive occurrences.
 
+// Audited `clippy::panic` exemption: this module's panics are the
+// runtime's typed unwind channels (`PoisonSignal` / `CancelSignal` /
+// structured `TxError` payloads) plus documented API-contract panics;
+// every one is caught or surfaced at the `Rtf` boundary, never a bug trap.
+#![allow(clippy::panic)]
+
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rtf_mvstm::{CommitStrategy, MvStm, TxData};
 use rtf_taskpool::{Pool, PoolRunner};
 use rtf_txbase::{OrecStatus, StatSnapshot, TmStats};
 use rtf_txengine::{
-    obs_now_ns, Event, EventSink, ReadRecord, ReadSet, RetryDriver, Source, SpanKind, SpanRec,
-    TraceSink, WriteEntry, WriteSet,
+    obs_now_ns, Event, EventSink, ReadRecord, ReadSet, RetryBudget, RetryDriver, Source, SpanKind,
+    SpanRec, StallKind, TraceSink, WriteEntry, WriteSet,
 };
 use rtf_txobs::TxObs;
 
+use crate::error::{panic_message, TxError};
 use crate::future::TxFuture;
+use crate::stall::{StallThresholds, StallWatch};
 use crate::tree::{PoisonKind, TreeCtx, TreeSemantics};
 use crate::tx::{install_quiet_poison_hook, CancelSignal, PoisonSignal, Tx, TxEnv};
 
 /// The transaction was deliberately cancelled via [`Tx::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cancelled;
+
+/// Internal outcome of [`Rtf::run_top_level`]: either a deliberate
+/// cancellation or a structured fault. The panicking entry points
+/// (`atomic`) convert faults into panics; [`Rtf::run`] returns them.
+enum RunStop {
+    Cancelled,
+    Fault(TxError),
+}
 
 /// Configuration of an [`Rtf`] instance.
 #[derive(Clone, Debug)]
@@ -60,6 +77,20 @@ pub struct RtfConfig {
     /// stream. Independent of the env-driven observer (`RTF_METRICS` /
     /// `RTF_CHROME_TRACE`), which attaches automatically.
     pub observer: Option<Arc<TxObs>>,
+    /// Maximum failed top-level attempts before [`Rtf::run`] gives up with
+    /// [`TxError::RetryExhausted`] (`None` = retry forever, the paper's
+    /// behaviour and the default).
+    pub max_retries: Option<u32>,
+    /// Wall-clock budget per top-level transaction; exceeded ⇒
+    /// [`TxError::RetryExhausted`] (`None` = unbounded, the default).
+    pub retry_deadline: Option<Duration>,
+    /// Stall-watchdog warn threshold override (else `RTF_STALL_WARN_MS`,
+    /// else 200ms).
+    pub stall_warn: Option<Duration>,
+    /// Stall-watchdog abort threshold override (else `RTF_STALL_ABORT_MS`,
+    /// else disabled): a wait stalled this long is torn down as
+    /// [`TxError::StallAborted`].
+    pub stall_abort: Option<Duration>,
 }
 
 impl Default for RtfConfig {
@@ -71,6 +102,10 @@ impl Default for RtfConfig {
             fallback_threshold: 1,
             semantics: TreeSemantics::StrongOrdering,
             observer: None,
+            max_retries: None,
+            retry_deadline: None,
+            stall_warn: None,
+            stall_abort: None,
         }
     }
 }
@@ -119,6 +154,35 @@ impl RtfBuilder {
     /// runtime it is attached to.
     pub fn observer(mut self, obs: Arc<TxObs>) -> Self {
         self.config.observer = Some(obs);
+        self
+    }
+
+    /// Bounds the retry loop: after `n` failed attempts, [`Rtf::run`]
+    /// returns [`TxError::RetryExhausted`] instead of retrying forever.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.max_retries = Some(n);
+        self
+    }
+
+    /// Bounds the retry loop by wall-clock time per top-level transaction.
+    pub fn retry_deadline(mut self, d: Duration) -> Self {
+        self.config.retry_deadline = Some(d);
+        self
+    }
+
+    /// Stall-watchdog warn threshold: waits blocked this long emit
+    /// `StallDetected` through the event stream (default 200ms, or
+    /// `RTF_STALL_WARN_MS`).
+    pub fn stall_warn(mut self, d: Duration) -> Self {
+        self.config.stall_warn = Some(d);
+        self
+    }
+
+    /// Arms the stall-watchdog abort: a wait blocked this long is torn down
+    /// and surfaced as [`TxError::StallAborted`] (default off, or
+    /// `RTF_STALL_ABORT_MS`).
+    pub fn stall_abort(mut self, d: Duration) -> Self {
+        self.config.stall_abort = Some(d);
         self
     }
 
@@ -211,7 +275,8 @@ impl Rtf {
         let mvstm = MvStm::with_strategy_and_extras(config.commit_strategy, extras);
         let sink = Arc::clone(mvstm.sink());
         let pool_runner = Pool::start_with_sink(config.workers, Arc::clone(&sink));
-        let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt });
+        let stall = StallThresholds::resolve(config.stall_warn, config.stall_abort);
+        let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt, stall });
         Rtf {
             inner: Arc::new(RtfInner { mvstm, env, config, observers, _pool_runner: pool_runner }),
         }
@@ -223,18 +288,42 @@ impl Rtf {
     /// `body` may execute several times (aborts, re-executions); keep
     /// non-transactional side effects idempotent.
     pub fn atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
-        match self.run_top_level(body, false) {
+        match self.run_top_level(body, false, false) {
             Ok(r) => r,
-            Err(Cancelled) => panic!(
+            Err(RunStop::Cancelled) => panic!(
                 "Tx::cancel inside Rtf::atomic — use Rtf::try_atomic for cancellable transactions"
             ),
+            // Only reachable when the caller armed a retry budget or the
+            // stall-abort watchdog on a panicking entry point; the payload
+            // is the structured error (catchable, quiet-hook-suppressed).
+            Err(RunStop::Fault(e)) => std::panic::panic_any(e),
         }
+    }
+
+    /// Like [`Rtf::atomic`], but returns the runtime's structured failures
+    /// instead of panicking: [`Tx::cancel`] ⇒ [`TxError::Cancelled`], a
+    /// panicked future ⇒ [`TxError::FuturePanicked`], an exhausted retry
+    /// budget ⇒ [`TxError::RetryExhausted`], an armed stall watchdog ⇒
+    /// [`TxError::StallAborted`]. No effects escape on `Err`.
+    ///
+    /// A panic on the *calling* thread (in the body itself, outside any
+    /// future) still unwinds to the caller — that is the caller's own
+    /// panic, not a runtime fault.
+    pub fn run<R>(&self, body: impl Fn(&mut Tx) -> R) -> Result<R, TxError> {
+        self.run_top_level(body, false, true).map_err(|stop| match stop {
+            RunStop::Cancelled => TxError::Cancelled,
+            RunStop::Fault(e) => e,
+        })
     }
 
     /// Like [`Rtf::atomic`], but [`Tx::cancel`] aborts the transaction and
     /// returns `Err(Cancelled)` instead of committing (no effects escape).
     pub fn try_atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> Result<R, Cancelled> {
-        self.run_top_level(body, false)
+        match self.run_top_level(body, false, false) {
+            Ok(r) => Ok(r),
+            Err(RunStop::Cancelled) => Err(Cancelled),
+            Err(RunStop::Fault(e)) => std::panic::panic_any(e),
+        }
     }
 
     /// Runs `body` as a read-only top-level transaction: reads skip
@@ -242,11 +331,12 @@ impl Rtf {
     /// always consistent), writes panic. Futures may still be submitted to
     /// parallelize long read-only work.
     pub fn atomic_ro<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
-        match self.run_top_level(body, true) {
+        match self.run_top_level(body, true, false) {
             Ok(r) => r,
-            Err(Cancelled) => panic!(
+            Err(RunStop::Cancelled) => panic!(
                 "Tx::cancel inside Rtf::atomic_ro — use Rtf::try_atomic for cancellable transactions"
             ),
+            Err(RunStop::Fault(e)) => std::panic::panic_any(e),
         }
     }
 
@@ -265,10 +355,25 @@ impl Rtf {
         })
     }
 
-    fn run_top_level<R>(&self, body: impl Fn(&mut Tx) -> R, ro_mode: bool) -> Result<R, Cancelled> {
+    /// The shared retry loop behind every entry point. `structured`
+    /// controls how a *user* panic inside a future surfaces: `true`
+    /// ([`Rtf::run`]) converts it into [`TxError::FuturePanicked`]; `false`
+    /// (`atomic` family) resumes the original payload on this thread.
+    /// Runtime-originated faults (retry budget, stall abort, payload-less
+    /// future deaths) are always returned as [`RunStop::Fault`].
+    fn run_top_level<R>(
+        &self,
+        body: impl Fn(&mut Tx) -> R,
+        ro_mode: bool,
+        structured: bool,
+    ) -> Result<R, RunStop> {
         let inner = &self.inner;
         let sink = &inner.env.sink;
-        let mut retry = RetryDriver::new();
+        let budget = RetryBudget {
+            max_attempts: inner.config.max_retries,
+            deadline: inner.config.retry_deadline.map(|d| Instant::now() + d),
+        };
+        let mut retry = RetryDriver::new().with_budget(budget);
         let mut consecutive_inter_tree = 0u32;
         loop {
             let fallback = consecutive_inter_tree >= inner.config.fallback_threshold;
@@ -320,7 +425,17 @@ impl Rtf {
                     // nesting must wait for stragglers explicitly.
                     if inner.config.semantics == TreeSemantics::ParallelNesting {
                         let pool = inner.env.pool.clone();
-                        tree.wait_quiescent(|| pool.help_one(None));
+                        let mut watch = StallWatch::warn_only(
+                            StallKind::Quiescence,
+                            tree.tree_id.0,
+                            tree.root.id.raw(),
+                            Arc::clone(sink),
+                            inner.env.stall,
+                        );
+                        tree.wait_quiescent(|| {
+                            let _ = watch.tick();
+                            pool.help_one(None)
+                        });
                     }
                     if self.root_commit(&tree) {
                         top_span(true);
@@ -342,7 +457,7 @@ impl Rtf {
                         // Deliberate rollback: tear the tree down, discard
                         // everything, and report the cancellation.
                         self.teardown(&tree);
-                        return Err(Cancelled);
+                        return Err(RunStop::Cancelled);
                     }
                     if payload.is::<PoisonSignal>() {
                         self.teardown(&tree);
@@ -357,9 +472,26 @@ impl Rtf {
                             Some(PoisonKind::UserPanic(p)) => {
                                 if p.is::<CancelSignal>() {
                                     // Tx::cancel called inside a future.
-                                    return Err(Cancelled);
+                                    return Err(RunStop::Cancelled);
+                                }
+                                if structured {
+                                    return Err(RunStop::Fault(TxError::FuturePanicked {
+                                        message: panic_message(&*p),
+                                    }));
                                 }
                                 std::panic::resume_unwind(p);
+                            }
+                            Some(PoisonKind::FuturePanicked { message }) => {
+                                // The payload died with the task (contained
+                                // at the pool layer): only the structured
+                                // error is left to surface.
+                                return Err(RunStop::Fault(TxError::FuturePanicked { message }));
+                            }
+                            Some(PoisonKind::Stalled { kind, waited_ms }) => {
+                                return Err(RunStop::Fault(TxError::StallAborted {
+                                    kind,
+                                    waited_ms,
+                                }));
                             }
                             None => unreachable!("PoisonSignal without a latched reason"),
                         }
@@ -372,7 +504,10 @@ impl Rtf {
                     }
                 }
             }
-            retry.backoff();
+            if let Err(e) = retry.try_backoff() {
+                sink.event(Event::RetryExhausted);
+                return Err(RunStop::Fault(TxError::RetryExhausted { attempts: e.attempts() }));
+            }
         }
     }
 
@@ -382,8 +517,31 @@ impl Rtf {
     fn teardown(&self, tree: &TreeCtx) {
         tree.poison(PoisonKind::ContinuationRestart); // ensure latched
         let pool = self.inner.env.pool.clone();
-        tree.wait_quiescent(|| pool.help_one(None));
-        tree.scrub_tentative();
+        // Quiescence must run to completion whatever happens (aborting the
+        // teardown would leak the tree); the watchdog only reports.
+        let mut watch = StallWatch::warn_only(
+            StallKind::Quiescence,
+            tree.tree_id.0,
+            tree.root.id.raw(),
+            Arc::clone(&self.inner.env.sink),
+            self.inner.env.stall,
+        );
+        tree.wait_quiescent(|| {
+            let _ = watch.tick();
+            pool.help_one(None)
+        });
+        // The scrub equally must complete even with a fault injected
+        // mid-teardown: a leaked tentative entry would wedge every later
+        // writer of that box behind a dead tree.
+        loop {
+            let scrubbed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rtf_txfault::fail_point!("core.teardown.scrub");
+                tree.scrub_tentative();
+            }));
+            if scrubbed.is_ok() {
+                break;
+            }
+        }
     }
 
     /// Top-level commit (§III-A + §IV): consolidate, validate, write back.

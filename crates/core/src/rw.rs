@@ -58,20 +58,50 @@ pub struct InterTreeConflict {
     pub writer_tree: TreeId,
 }
 
+// Retries spent in `orec_snapshot` on this thread since the last flush.
+// Each `Tx` drains the counter when it drops and reports it as one
+// `Event::OrecSnapshotRetries` batch — a per-retry shared counter would
+// serialize the lock-free read path it measures.
+thread_local! {
+    static OREC_SNAPSHOT_RETRIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Drains this thread's accumulated snapshot-retry count.
+pub(crate) fn take_orec_snapshot_retries() -> u64 {
+    OREC_SNAPSHOT_RETRIES.with(|c| c.replace(0))
+}
+
 /// Consistent snapshot of an orec's `(owner, tx_tree_ver, status)`.
 ///
 /// Propagation stores `tx_tree_ver` before `owner`; re-reading `owner`
 /// afterwards detects a propagation racing in between (ownership only ever
 /// moves to fresh node ids, so an unchanged owner pins the pair).
+///
+/// The retry loop is bounded in *behaviour*, not iterations: a conflicting
+/// propagation is a handful of stores, so a retry storm means the writer
+/// thread was descheduled mid-propagation — after a short pure-spin burst
+/// the loop escalates to `yield_now` to hand it the CPU instead of burning
+/// it. Retries are counted (see [`take_orec_snapshot_retries`]) so a
+/// pathological site shows up in the metrics rather than as mystery CPU.
 fn orec_snapshot(orec: &Orec) -> (NodeId, u64, OrecStatus) {
+    const SPIN_LIMIT: u32 = 64;
+    let mut retries: u32 = 0;
     loop {
         let o1 = orec.owner();
         let ver = orec.tx_tree_ver();
         let status = orec.status();
         if orec.owner() == o1 {
+            if retries > 0 {
+                OREC_SNAPSHOT_RETRIES.with(|c| c.set(c.get() + u64::from(retries)));
+            }
             return (o1, ver, status);
         }
-        std::hint::spin_loop();
+        retries = retries.saturating_add(1);
+        if retries < SPIN_LIMIT {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
     }
 }
 

@@ -48,6 +48,23 @@ pub enum PoisonKind {
     /// User code panicked inside a sub-transaction; the payload is resumed
     /// on the thread that called `atomic`.
     UserPanic(Box<dyn Any + Send + 'static>),
+    /// A future task died without settling its handle (its panic was
+    /// contained at the pool layer, or the task closure was dropped unrun).
+    /// Unlike [`PoisonKind::UserPanic`] there is no payload to resume; the
+    /// runtime surfaces [`crate::TxError::FuturePanicked`] instead.
+    FuturePanicked {
+        /// Human-readable description of what died (best effort).
+        message: String,
+    },
+    /// The starvation watchdog converted a wait stalled past
+    /// `RTF_STALL_ABORT_MS` into a teardown
+    /// ([`crate::TxError::StallAborted`]).
+    Stalled {
+        /// Which wait stalled (`wait_turn`, `quiescence`, `future_wait`).
+        kind: &'static str,
+        /// How long the waiter had been blocked, milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl std::fmt::Debug for PoisonKind {
@@ -56,6 +73,10 @@ impl std::fmt::Debug for PoisonKind {
             PoisonKind::InterTree => write!(f, "InterTree"),
             PoisonKind::ContinuationRestart => write!(f, "ContinuationRestart"),
             PoisonKind::UserPanic(_) => write!(f, "UserPanic(..)"),
+            PoisonKind::FuturePanicked { message } => write!(f, "FuturePanicked({message})"),
+            PoisonKind::Stalled { kind, waited_ms } => {
+                write!(f, "Stalled({kind}, {waited_ms}ms)")
+            }
         }
     }
 }

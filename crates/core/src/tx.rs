@@ -29,33 +29,49 @@
 //! [`PoisonSignal`] payload; every transactional operation polls the tree's
 //! poison latch so all participants converge to the `atomic` retry loop.
 
+// Audited `clippy::panic` exemption: this module's panics are the
+// runtime's typed unwind channels (`PoisonSignal` / `CancelSignal` /
+// structured `TxError` payloads) plus documented API-contract panics;
+// every one is caught or surfaced at the `Rtf` boundary, never a bug trap.
+#![allow(clippy::panic)]
+
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use rtf_taskpool::{OrderTag, Pool};
 use rtf_txengine::{
     downcast, erase, obs_now_ns, read_pin, tx_trace, ConflictKind, Event, EventSink, ReadLog,
-    ReadPath, Source, SpanKind, SpanRec, TxData, VBox, VBoxCell, Val,
+    ReadPath, Source, SpanKind, SpanRec, StallKind, TxData, VBox, VBoxCell, Val,
 };
 
+use crate::error::TxError;
 use crate::future::TxFuture;
 use crate::node::{Node, NodeKind};
 use crate::rw::{sub_read_traced, sub_write, validate_reads_detailed};
+use crate::stall::{StallAction, StallThresholds, StallWatch};
 use crate::tree::{PoisonKind, TreeCtx};
 
 /// Unwind payload used for tree teardown; never escapes the crate.
 pub(crate) struct PoisonSignal;
 
-/// Silences the default panic hook for [`PoisonSignal`] unwinds: they are
-/// internal control flow (always caught by the runtime), not errors, and
-/// must not spam stderr. Installed once per process, delegating everything
-/// else to the previously installed hook.
+/// Silences the default panic hook for unwinds the runtime itself raises
+/// and handles: [`PoisonSignal`]/[`CancelSignal`] (internal control flow),
+/// structured [`TxError`]/[`crate::FutureError`] payloads (surfaced at the
+/// API boundary), and injected [`rtf_txfault::InjectedPanic`] faults
+/// (contained by the pool). None of these are errors worth a stderr report;
+/// everything else is delegated to the previously installed hook.
 pub(crate) fn install_quiet_poison_hook() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<PoisonSignal>() || info.payload().is::<CancelSignal>() {
+            let p = info.payload();
+            if p.is::<PoisonSignal>()
+                || p.is::<CancelSignal>()
+                || p.is::<TxError>()
+                || p.is::<crate::error::FutureError>()
+                || p.is::<rtf_txfault::InjectedPanic>()
+            {
                 return;
             }
             prev(info);
@@ -105,6 +121,8 @@ pub(crate) struct TxEnv {
     pub sink: Arc<dyn EventSink>,
     /// §IV-E read-only validation skip enabled (ablation A2 turns it off).
     pub ro_opt: bool,
+    /// Starvation-watchdog thresholds (builder/env resolved once at build).
+    pub stall: StallThresholds,
 }
 
 /// Handle to the current transactional context.
@@ -130,6 +148,10 @@ impl Drop for Tx {
             self.env
                 .sink
                 .event(Event::ReadPathBatch { fast: self.reads_fast, slow: self.reads_slow });
+        }
+        let orec_retries = crate::rw::take_orec_snapshot_retries();
+        if orec_retries > 0 {
+            self.env.sink.event(Event::OrecSnapshotRetries(orec_retries));
         }
     }
 }
@@ -417,9 +439,23 @@ impl Tx {
     /// queued futures, so bounded pools cannot deadlock.
     pub fn eval<A: TxData>(&mut self, fut: &TxFuture<A>) -> Arc<A> {
         self.check_poison();
+        if rtf_txfault::fail_point!("core.eval.wait").is_abort() {
+            // Injected fault: the evaluation "fails" as a restart of the
+            // whole attempt (the strongest recoverable outcome at this
+            // boundary).
+            self.tree.poison(PoisonKind::ContinuationRestart);
+            std::panic::panic_any(PoisonSignal);
+        }
         tx_trace!(self.env.sink, "eval begin (node {:?})", self.current().node.id);
         let pool = self.env.pool.clone();
         let tree = Arc::clone(&self.tree);
+        let mut watch = StallWatch::new(
+            StallKind::FutureWait,
+            self.tree.tree_id.0,
+            self.current().node.id.raw(),
+            Arc::clone(&self.env.sink),
+            self.env.stall,
+        );
         // Helping is fenced at the current node's serialization position:
         // running a *later*-positioned task inline could suspend our
         // uncommitted frames beneath work that transitively waits on them
@@ -429,21 +465,32 @@ impl Tx {
             if tree.is_poisoned() {
                 std::panic::panic_any(PoisonSignal);
             }
+            if let StallAction::Abort { waited_ms } = watch.tick() {
+                tree.poison(PoisonKind::Stalled { kind: StallKind::FutureWait.name(), waited_ms });
+                std::panic::panic_any(PoisonSignal);
+            }
             pool.help_one(Some(&bound))
         }) {
             Ok(v) => v,
-            Err(()) => {
-                // Cancelled: if it is our own tree being torn down, converge
-                // to the retry loop; otherwise the caller holds a handle
-                // from a superseded execution of some other transaction.
+            Err(reason) => {
+                // Failed handle: if it is our own tree being torn down,
+                // converge to the retry loop (the runtime surfaces the
+                // latched poison reason); otherwise the caller holds a
+                // handle from a superseded or crashed execution of some
+                // other transaction — surface the reason directly.
                 if self.tree.is_poisoned() {
                     std::panic::panic_any(PoisonSignal);
                 }
-                panic!(
-                    "evaluated a transactional future whose submitting transaction \
-                     execution was aborted and re-executed; re-obtain the handle \
-                     from the new execution"
-                );
+                match reason {
+                    crate::error::FutureError::Panicked => {
+                        std::panic::panic_any(TxError::FuturePanicked { message: String::new() })
+                    }
+                    _ => panic!(
+                        "evaluated a transactional future whose submitting transaction \
+                         execution was aborted and re-executed; re-obtain the handle \
+                         from the new execution"
+                    ),
+                }
             }
         }
     }
@@ -594,6 +641,11 @@ fn commit_frame(
     // constraint: a sub-transaction serializes when it commits.
     let wait_turn = tree.semantics == crate::tree::TreeSemantics::StrongOrdering;
     if let Some((target, threshold)) = node.wait_turn_target().filter(|_| wait_turn) {
+        if rtf_txfault::fail_point!("core.wait_turn").is_abort() && !blocking {
+            // Injected fault: pretend the turn is not ready, forcing the
+            // task through a re-queue round trip.
+            return Err(CommitBlock::WouldBlock);
+        }
         if blocking {
             let pool = env.pool.clone();
             tx_trace!(
@@ -610,9 +662,26 @@ fn commit_frame(
             // reason as in `Tx::eval`: everything this wait depends on is
             // serialized strictly before `node`.
             let bound = order_tag(tree, &node.path);
+            let mut watch = StallWatch::new(
+                StallKind::WaitTurn,
+                tree.tree_id.0,
+                node.id.raw(),
+                Arc::clone(&env.sink),
+                env.stall,
+            );
             let ok = target.wait_nclock_at_least(
                 threshold,
-                || pool.help_one(Some(&bound)),
+                || {
+                    if let StallAction::Abort { waited_ms } = watch.tick() {
+                        // Poison instead of unwinding from inside the wait:
+                        // the loop's poison check converges every waiter.
+                        tree.poison(PoisonKind::Stalled {
+                            kind: StallKind::WaitTurn.name(),
+                            waited_ms,
+                        });
+                    }
+                    pool.help_one(Some(&bound))
+                },
                 || tree.is_poisoned(),
             );
             let t1 = obs_now_ns();
@@ -639,6 +708,12 @@ fn commit_frame(
     }
 
     let inbox = std::mem::take(&mut *node.inbox.lock());
+    if rtf_txfault::fail_point!("core.subcommit.validate").is_abort() {
+        // Injected validation failure: restore the inbox (the caller aborts
+        // the subtree and needs the adopted orecs) and re-execute.
+        *node.inbox.lock() = inbox;
+        return Err(CommitBlock::Conflict);
+    }
     let wrote_any = frame.wrote || !inbox.written_cells.is_empty();
 
     // §IV-E: a read-only sub-transaction may skip validation iff no
@@ -681,6 +756,13 @@ fn commit_frame(
         }
     }
 
+    if rtf_txfault::fail_point!("core.subcommit.propagate").is_abort() {
+        // Injected fault just before propagation: behaves like a validation
+        // failure (nothing has been propagated yet, so re-execution is the
+        // correct recovery).
+        *node.inbox.lock() = inbox;
+        return Err(CommitBlock::Conflict);
+    }
     // Propagation (Alg 4 lines 7–13). `ver` is what the parent's nclock
     // becomes; ordering (re-own, merge, then bump) ensures that once a
     // waiter wakes on the bump, the propagated state is in place.
@@ -735,6 +817,26 @@ fn commit_frame(
 /// pool tasks never block in `waitTurn`, which keeps the helping discipline
 /// deadlock-free: a helper can safely run any queued task inline, because
 /// every task either finishes or returns after re-queueing.
+///
+/// # Drop guard
+///
+/// The stage's `Drop` is the panic-safety backstop of the whole future
+/// lifecycle. However the task dies — a fault injected before the closure
+/// runs (the pool contains the panic and drops the unrun closure, and the
+/// stage with it), a panic escaping [`run_future_task`]'s internal catches,
+/// or the pool discarding queued closures at shutdown — dropping the stage:
+///
+/// 1. aborts any executed-but-uncommitted frames (their writes stay
+///    invisible and their orecs read as aborted);
+/// 2. if the handle never settled, poisons the tree as
+///    [`PoisonKind::FuturePanicked`] and fails the handle, so `eval`ers and
+///    `waitTurn` waiters wake instead of hanging and the runtime surfaces
+///    [`TxError::FuturePanicked`];
+/// 3. reports `task_finished` exactly once, releasing quiescence waiters.
+///
+/// Normal completion and teardown paths settle the handle first, making the
+/// guard a no-op beyond the task-count decrement; the re-queue path *moves*
+/// the stage into the next closure, so the guard does not fire early.
 struct FutureStage<A: TxData, F> {
     env: Arc<TxEnv>,
     tree: Arc<TreeCtx>,
@@ -752,10 +854,36 @@ struct FutureStage<A: TxData, F> {
     submitted_ns: u64,
 }
 
+impl<A: TxData, F> Drop for FutureStage<A, F> {
+    fn drop(&mut self) {
+        // Abort executed-but-uncommitted frames first: their writes must
+        // never become visible, whatever killed the task.
+        if let Some((mut tx, _)) = self.pending.take() {
+            tx.abort_frames_down_to(0);
+        }
+        if !self.handle.is_settled() {
+            // Abandoned mid-flight: the pool contained a panic and dropped
+            // the closure, or the closure was discarded unrun. There is no
+            // payload left to resume — surface a structured future-panic
+            // and wake every waiter.
+            self.env.sink.event(Event::FuturePanicked);
+            self.tree.poison(PoisonKind::FuturePanicked {
+                message: format!(
+                    "future task (fork {} under {:?}) died before settling its handle",
+                    self.fork_idx, self.parent.id
+                ),
+            });
+            self.handle.cancel_panicked();
+        }
+        self.tree.task_finished();
+    }
+}
+
 /// Pool task driving one transactional future position: executes the body,
 /// commits its chain (re-queueing while not ready), and re-executes on
 /// validation conflicts (the future side of partial rollback). Converges on
-/// tree teardown. Calls `task_finished` exactly once, at a terminal state.
+/// tree teardown. The stage's drop guard reports `task_finished` exactly
+/// once per lifecycle and cleans up after any abnormal exit.
 fn run_future_task<A, F>(mut stage: FutureStage<A, F>)
 where
     A: TxData,
@@ -790,18 +918,44 @@ where
                 stage.ro_mode,
             );
             let body = &stage.body;
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx))) {
-                Ok(value) => stage.pending = Some((tx, value)),
+            // The failpoint runs inside the same containment as the body:
+            // an injected *panic* here is indistinguishable from a user
+            // panic (and carries its site in the surfaced message), while
+            // an injected *abort* re-executes the attempt from scratch.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if rtf_txfault::fail_point!("core.future.body").is_abort() {
+                    return None;
+                }
+                Some(body(&mut tx))
+            })) {
+                Ok(Some(value)) => stage.pending = Some((tx, value)),
+                Ok(None) => {
+                    // Injected fault: treat as a spurious abort of this
+                    // body attempt and re-execute from scratch.
+                    stage.env.sink.event(Event::SubValidationAbort);
+                    continue;
+                }
                 Err(payload) => {
-                    if !payload.is::<PoisonSignal>() {
+                    if payload.is::<PoisonSignal>() {
+                        stage.handle.cancel();
+                    } else {
                         // User panic inside the future: poison the tree; the
                         // atomic runner resumes the payload on the caller.
+                        stage.env.sink.event(Event::FuturePanicked);
                         stage.tree.poison(PoisonKind::UserPanic(payload));
+                        stage.handle.cancel_panicked();
                     }
-                    stage.handle.cancel();
                     break;
                 }
             }
+        }
+        if rtf_txfault::fail_point!("core.future.commit").is_abort() {
+            // Injected commit failure: partial rollback and re-execution.
+            let (mut tx, _) = stage.pending.take().expect("pending set above");
+            tx.abort_frames_down_to(0);
+            stage.env.sink.event(Event::SubValidationAbort);
+            stage.requeues = 0;
+            continue;
         }
         let (tx, _) = stage.pending.as_mut().expect("pending set above");
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -852,13 +1006,16 @@ where
                 return; // NOT task_finished: the stage is still in flight.
             }
             Err(payload) => {
-                if !payload.is::<PoisonSignal>() {
+                if payload.is::<PoisonSignal>() {
+                    stage.handle.cancel();
+                } else {
+                    stage.env.sink.event(Event::FuturePanicked);
                     stage.tree.poison(PoisonKind::UserPanic(payload));
+                    stage.handle.cancel_panicked();
                 }
-                stage.handle.cancel();
                 break;
             }
         }
     }
-    stage.tree.task_finished();
+    // `task_finished` runs in the stage's drop guard — here, on every path.
 }

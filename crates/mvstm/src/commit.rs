@@ -98,6 +98,11 @@ impl CommitChain {
         sink: &dyn EventSink,
     ) -> Result<Version, Conflict> {
         debug_assert!(!writes.is_empty(), "read-only transactions skip the commit chain");
+        // Injected abort: behave exactly like a failed validation, so the
+        // caller's re-execution machinery is what gets exercised.
+        if rtf_txfault::fail_point!("mvstm.commit.validate").is_abort() {
+            return Err(Conflict);
+        }
         match self.strategy {
             CommitStrategy::GlobalMutex => self.commit_mutex(reads, writes, clock, registry, sink),
             CommitStrategy::LockFreeHelping => {
@@ -162,6 +167,9 @@ impl CommitChain {
                 // `newrec` (and the write values it owns) drop here.
                 return Err(Conflict);
             }
+            // Delay here widens the validate→enqueue window, forcing CAS
+            // retries and full re-validations on the loser.
+            rtf_txfault::fail_point!("mvstm.commit.enqueue");
             let tail_ver = unsafe { tail.deref() }.version.load(Ordering::Acquire);
             newrec.version.store(tail_ver + 1, Ordering::Relaxed);
             newrec.prev.store(tail, Ordering::Relaxed);
@@ -240,6 +248,10 @@ impl CommitChain {
             if rec.done.load(Ordering::Acquire) {
                 continue; // another helper finished it meanwhile
             }
+            // A stalled write-back is exactly what the helping protocol
+            // exists for: a delay here must be recovered by other committers
+            // replaying the record.
+            rtf_txfault::fail_point!("mvstm.commit.writeback");
             let version = rec.version.load(Ordering::Relaxed);
             let mut gced = 0;
             for w in rec.writes.iter() {

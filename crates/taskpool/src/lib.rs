@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
+// Robustness gate: production code must not unwrap or panic ad hoc —
+// every residual site carries an audited `allow` naming its invariant
+// (tests are exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::panic))]
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
@@ -41,8 +45,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A unit of work. Tasks are one-shot closures; panics are the submitter's
-/// responsibility to catch (the `rtf` runtime wraps every future body).
+/// A unit of work. Tasks are one-shot closures. Panics are *contained* at
+/// the pool layer: every task runs under `catch_unwind`, a panicking task
+/// neither kills its worker nor unwinds into a helping thread's suspended
+/// transaction frames, and the panic is reported through the sink as
+/// [`Event::PoolTaskPanicked`]. The payload is dropped here — submitters
+/// that need to observe the failure must arrange their own signalling (the
+/// `rtf` runtime does, converting an abandoned future task into a
+/// structured cancellation via the task's own drop guard).
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// A task's position in the serialization order of its *realm* (one
@@ -138,6 +148,18 @@ pub struct Pool {
 }
 
 /// Owns the worker threads; dropping it initiates shutdown and joins them.
+///
+/// # Queued-task fate on drop
+///
+/// Workers only observe the shutdown flag when the queues are empty, so with
+/// `workers > 0` every task enqueued *before* the drop is still executed
+/// before the workers exit (tasks enqueued concurrently with the drop may
+/// race the last worker's exit). With `workers = 0` nothing drains the
+/// queue: the remaining task closures are **dropped, unrun**, when the last
+/// [`Pool`] handle goes away — their destructors run, which is what lets a
+/// submitter observe abandonment (the `rtf` runtime cancels a future's
+/// handle from its task's drop guard). Callers needing a hard guarantee
+/// drain via [`Pool::help_one`] before dropping, as the tests do.
 pub struct PoolRunner {
     pool: Pool,
     handles: Vec<JoinHandle<()>>,
@@ -243,7 +265,10 @@ impl Pool {
                 shared.pending.fetch_sub(1, Ordering::Release);
                 let realm = job.tag.as_ref().map(|t| t.realm).unwrap_or(0);
                 let t0 = if shared.sink.spans_enabled() { obs_now_ns() } else { 0 };
-                (job.run)();
+                // Containment matters doubly here: the helper's stack holds
+                // suspended transaction frames, and a helped task's panic
+                // unwinding into them would tear down an innocent bystander.
+                let ok = run_contained(shared, job.run);
                 if t0 != 0 {
                     shared.sink.span(SpanRec {
                         kind: SpanKind::PoolHelp,
@@ -252,7 +277,7 @@ impl Pool {
                         parent: 0,
                         start_ns: t0,
                         end_ns: obs_now_ns(),
-                        ok: true,
+                        ok,
                     });
                 }
                 shared.sink.event(Event::PoolTaskHelped);
@@ -322,13 +347,53 @@ fn find_task(shared: &Shared, local: Option<&Worker<Job>>) -> Option<Job> {
     }
 }
 
+/// Runs one task with panic containment: an unwinding task is caught, its
+/// payload dropped, and the panic reported as [`Event::PoolTaskPanicked`].
+/// Returns `true` when the task completed normally.
+///
+/// The `taskpool.task.run` failpoint fires *inside* the containment scope,
+/// so an injected panic exercises the same path as a real task panic —
+/// including dropping the never-run closure, which is how abandoned
+/// transactional futures get cancelled instead of hanging their tree.
+fn run_contained(shared: &Shared, task: Task) -> bool {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        rtf_txfault::fail_point!("taskpool.task.run");
+        task();
+    }));
+    if outcome.is_err() {
+        shared.sink.event(Event::PoolTaskPanicked);
+    }
+    outcome.is_ok()
+}
+
+/// Backstop for the (should-be-unreachable) case of a panic escaping
+/// [`run_contained`] — e.g. a panicking sink: if the worker thread unwinds,
+/// spawn a detached replacement so the pool keeps its capacity. The
+/// replacement exits promptly on shutdown like any worker; its local deque
+/// is not registered for stealing, which only costs steal opportunities.
+struct WorkerRespawn {
+    shared: Arc<Shared>,
+}
+
+impl Drop for WorkerRespawn {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.shutdown.load(Ordering::Acquire) {
+            let shared = Arc::clone(&self.shared);
+            let _ = std::thread::Builder::new()
+                .name("rtf-worker-respawn".into())
+                .spawn(move || worker_loop(shared, Worker::new_fifo()));
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
+    let _respawn = WorkerRespawn { shared: Arc::clone(&shared) };
     loop {
         // Workers run any task unconditionally: an idle worker's stack holds
         // no suspended frames, so no fence applies.
         if let Some(job) = find_task(&shared, Some(&local)) {
             shared.pending.fetch_sub(1, Ordering::Release);
-            (job.run)();
+            run_contained(&shared, job.run);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -425,6 +490,66 @@ mod tests {
         }
         drop(runner);
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panicking_task_neither_kills_worker_nor_loses_queued_tasks() {
+        let runner = Pool::start(1);
+        let pool = runner.pool();
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        // A burst of panicking tasks interleaved with real work: the single
+        // worker must survive all of them and still run every normal task.
+        for i in 0..40 {
+            if i % 4 == 0 {
+                pool.spawn(Box::new(|| panic!("injected task panic")));
+            }
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..40 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn help_one_contains_panics_instead_of_unwinding_the_helper() {
+        let runner = Pool::start(0);
+        let pool = runner.pool();
+        pool.spawn(Box::new(|| panic!("injected task panic")));
+        // The panic must not unwind into this (helping) thread.
+        assert!(pool.help_one(None));
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_queued_tasks_run_their_destructors() {
+        // With zero workers, tasks still queued at shutdown are dropped
+        // unrun — but their captures are destroyed, so submitters can
+        // observe the abandonment.
+        struct SetOnDrop(Arc<AtomicBool>, Arc<AtomicBool>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.1.store(true, Ordering::Release);
+            }
+        }
+        let ran = Arc::new(AtomicBool::new(false));
+        let dropped = Arc::new(AtomicBool::new(false));
+        let runner = Pool::start(0);
+        let pool = runner.pool();
+        {
+            let guard = SetOnDrop(Arc::clone(&ran), Arc::clone(&dropped));
+            pool.spawn(Box::new(move || guard.0.store(true, Ordering::Release)));
+        }
+        drop(runner);
+        drop(pool);
+        assert!(!ran.load(Ordering::Acquire), "no worker should have run the task");
+        assert!(dropped.load(Ordering::Acquire), "queued closure must be destroyed");
     }
 
     #[test]

@@ -73,6 +73,15 @@ macro_rules! counters {
                 self.read_slow.fetch_add(n, Ordering::Relaxed);
             }
 
+            /// Adds a transaction's batch of `orec_snapshot` retries (full
+            /// re-reads forced by a racing ownership propagation). Batched
+            /// like the read-path counters: the snapshot sits on the
+            /// lock-free read path.
+            #[inline]
+            pub fn add_orec_snapshot_retries(&self, n: u64) {
+                self.orec_snapshot_retries.fetch_add(n, Ordering::Relaxed);
+            }
+
             /// Copies all counters.
             pub fn snapshot(&self) -> StatSnapshot {
                 StatSnapshot {
@@ -139,6 +148,23 @@ counters! {
     /// Snapshot reads that fell back to the lock-free version-list walk
     /// (snapshot older than the head version).
     read_slow,
+    /// Blocking waits (waitTurn / quiescence / future wait) the starvation
+    /// watchdog flagged as stalled past the report threshold.
+    stalls_detected,
+    /// Permanently stalled waits converted into structured aborts
+    /// (`RTF_STALL_ABORT_MS` exceeded).
+    stall_aborts,
+    /// Pool tasks whose panic was contained by the worker/helper
+    /// `catch_unwind` (the worker survived).
+    pool_task_panics,
+    /// Transactional future tasks whose panic was converted into a
+    /// structured cancellation instead of a hang.
+    future_panics,
+    /// Retry drivers that exhausted their attempt/deadline budget.
+    retries_exhausted,
+    /// `orec_snapshot` re-reads forced by a racing ownership propagation
+    /// (flushed in per-transaction batches with the read-path counters).
+    orec_snapshot_retries,
 }
 
 impl StatSnapshot {

@@ -354,6 +354,7 @@ impl VBoxCell {
                 // In-order write-back: prepend. Release publishes the fully
                 // initialized node (including its `next` link) to readers'
                 // Acquire head loads.
+                rtf_txfault::fail_point!("txengine.cell.prepend");
                 new.next.store(head, Ordering::Relaxed);
                 match self.head.compare_exchange(
                     head,
@@ -372,6 +373,7 @@ impl VBoxCell {
             // Out-of-order write-back (lagging helper): splice mid-list,
             // serialized with trims so the walk cannot enter a suffix that a
             // concurrent trim detaches.
+            rtf_txfault::fail_point!("txengine.cell.splice");
             let _lk = ListOpGuard::acquire(&self.list_op);
             // Re-read the head under the flag: head versions only grow, so
             // it still precedes our splice position, and no node reachable
@@ -404,6 +406,11 @@ impl VBoxCell {
         let Some(_lk) = ListOpGuard::try_acquire(&self.list_op) else {
             return 0;
         };
+        // Trims are skippable: an injected abort models "GC lost the flag
+        // race" and exercises the no-trim path under load.
+        if rtf_txfault::fail_point!("txengine.cell.trim").is_abort() {
+            return 0;
+        }
         let mut keep = self.head_ref(guard);
         while keep.version > watermark {
             let nxt = keep.next.load(Ordering::Acquire, guard);

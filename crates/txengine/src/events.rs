@@ -34,6 +34,29 @@ pub enum ConflictKind {
     InterTree,
 }
 
+/// Which blocking wait the starvation watchdog flagged (see
+/// [`Event::StallDetected`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// A sub-commit blocked in `waitTurn` (Alg 3) past the stall threshold.
+    WaitTurn,
+    /// Tree teardown blocked waiting for task quiescence.
+    Quiescence,
+    /// A submitter blocked in `TxFuture::wait`/`eval` past the threshold.
+    FutureWait,
+}
+
+impl StallKind {
+    /// Stable display name (used by trace/JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallKind::WaitTurn => "wait_turn",
+            StallKind::Quiescence => "quiescence",
+            StallKind::FutureWait => "future_wait",
+        }
+    }
+}
+
 /// One observable runtime event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -101,6 +124,33 @@ pub enum Event {
         /// Reads that walked the version list.
         slow: u64,
     },
+    /// The starvation watchdog observed a blocking wait exceeding its
+    /// threshold (the waiter keeps waiting; this is the escalation signal).
+    StallDetected {
+        /// Which wait stalled.
+        kind: StallKind,
+        /// Raw id of the waiting tree (0 when not applicable).
+        tree: u64,
+        /// Raw id of the waiting node (0 when not applicable).
+        node: u64,
+        /// How long the waiter had been blocked when the report fired.
+        waited_ns: u64,
+    },
+    /// A permanently stalled wait was converted into a structured abort
+    /// (`RTF_STALL_ABORT_MS` exceeded).
+    StallAbort,
+    /// A pool task panicked and was contained by the worker/helper
+    /// `catch_unwind` (the worker survives).
+    PoolTaskPanicked,
+    /// A transactional future's task panicked and was converted into a
+    /// structured cancellation instead of a hang.
+    FuturePanicked,
+    /// A retry driver exhausted its attempt/deadline budget.
+    RetryExhausted,
+    /// `orec_snapshot` retries accumulated by one transaction (flushed with
+    /// the read-path batch; each retry is one full re-read forced by a
+    /// racing ownership propagation).
+    OrecSnapshotRetries(u64),
 }
 
 /// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
@@ -280,6 +330,12 @@ impl EventSink for StatsSink {
                     s.add_read_slow(slow);
                 }
             }
+            Event::StallDetected { .. } => s.stalls_detected(),
+            Event::StallAbort => s.stall_aborts(),
+            Event::PoolTaskPanicked => s.pool_task_panics(),
+            Event::FuturePanicked => s.future_panics(),
+            Event::RetryExhausted => s.retries_exhausted(),
+            Event::OrecSnapshotRetries(n) => s.add_orec_snapshot_retries(n),
             // Timing and attribution detail beyond the flat counters is the
             // observability layer's business (see `rtf-txobs`).
             Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}

@@ -37,8 +37,8 @@ pub use cell::{
 };
 pub use events::{
     obs_now_ns, stable_thread_id, ConflictKind, Event, EventSink, NullSink, SpanKind, SpanRec,
-    StatsSink, TeeSink, TraceSink,
+    StallKind, StatsSink, TeeSink, TraceSink,
 };
 pub use readset::{ReadLog, ReadRecord, ReadSet, Source, WriteEntry, WriteSet};
-pub use retry::{retry_backoff, ExpBackoff, RetryDriver, RetryPolicy};
+pub use retry::{retry_backoff, ExpBackoff, RetryBudget, RetryDriver, RetryExhausted, RetryPolicy};
 pub use value::{downcast, erase, TxData, Val};

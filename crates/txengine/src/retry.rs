@@ -8,7 +8,7 @@
 //! resolve within microseconds but must not melt the scheduler when they
 //! don't.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Decides how long attempt number `attempt` (1-based: the first *retry* is
 /// attempt 1) should pause before re-executing.
@@ -47,6 +47,52 @@ pub fn retry_backoff(attempt: u32) {
     ExpBackoff.pause(attempt);
 }
 
+/// Limits on how long a [`RetryDriver`] may keep retrying. The default is
+/// unlimited (the paper's optimistic loops retry until they win).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetryBudget {
+    /// Maximum number of failed attempts before giving up.
+    pub max_attempts: Option<u32>,
+    /// Wall-clock instant after which no further attempt is made.
+    pub deadline: Option<Instant>,
+}
+
+impl RetryBudget {
+    /// The unlimited budget (retry forever).
+    pub const UNLIMITED: RetryBudget = RetryBudget { max_attempts: None, deadline: None };
+
+    /// True when neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_attempts.is_none() && self.deadline.is_none()
+    }
+}
+
+/// Why a bounded retry loop gave up (see [`RetryDriver::try_backoff`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryExhausted {
+    /// The attempt cap was reached.
+    Attempts {
+        /// Failed attempts performed.
+        attempts: u32,
+    },
+    /// The deadline passed.
+    Deadline {
+        /// Failed attempts performed when the deadline fired.
+        attempts: u32,
+    },
+}
+
+impl RetryExhausted {
+    /// Failed attempts performed before giving up.
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            RetryExhausted::Attempts { attempts } | RetryExhausted::Deadline { attempts } => {
+                attempts
+            }
+        }
+    }
+}
+
 /// Counts attempts and applies a [`RetryPolicy`] between them: the single
 /// retry-with-backoff driver for both the top-level `atomic` loop and the
 /// tree re-execution driver.
@@ -54,6 +100,7 @@ pub fn retry_backoff(attempt: u32) {
 pub struct RetryDriver<P: RetryPolicy = ExpBackoff> {
     attempt: u32,
     policy: P,
+    budget: RetryBudget,
 }
 
 impl RetryDriver<ExpBackoff> {
@@ -66,7 +113,13 @@ impl RetryDriver<ExpBackoff> {
 impl<P: RetryPolicy> RetryDriver<P> {
     /// A driver pacing retries with `policy`.
     pub fn with_policy(policy: P) -> RetryDriver<P> {
-        RetryDriver { attempt: 0, policy }
+        RetryDriver { attempt: 0, policy, budget: RetryBudget::UNLIMITED }
+    }
+
+    /// Installs an attempt/deadline budget (builder style).
+    pub fn with_budget(mut self, budget: RetryBudget) -> RetryDriver<P> {
+        self.budget = budget;
+        self
     }
 
     /// Number of failed attempts so far.
@@ -74,10 +127,29 @@ impl<P: RetryPolicy> RetryDriver<P> {
         self.attempt
     }
 
-    /// Registers a failed attempt and pauses before the next one.
+    /// Registers a failed attempt and pauses before the next one
+    /// (unbounded: ignores the budget).
     pub fn backoff(&mut self) {
         self.attempt += 1;
         self.policy.pause(self.attempt);
+    }
+
+    /// Registers a failed attempt; pauses and returns `Ok` if the budget
+    /// permits another try, or reports [`RetryExhausted`] without pausing.
+    pub fn try_backoff(&mut self) -> Result<(), RetryExhausted> {
+        self.attempt += 1;
+        if let Some(max) = self.budget.max_attempts {
+            if self.attempt >= max {
+                return Err(RetryExhausted::Attempts { attempts: self.attempt });
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(RetryExhausted::Deadline { attempts: self.attempt });
+            }
+        }
+        self.policy.pause(self.attempt);
+        Ok(())
     }
 }
 
@@ -109,6 +181,36 @@ mod tests {
         assert_eq!(rec.0.load(Ordering::Relaxed), 1);
         d.backoff();
         assert_eq!(rec.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn attempt_budget_exhausts() {
+        let mut d =
+            RetryDriver::new().with_budget(RetryBudget { max_attempts: Some(3), deadline: None });
+        assert!(d.try_backoff().is_ok());
+        assert!(d.try_backoff().is_ok());
+        assert_eq!(d.try_backoff(), Err(RetryExhausted::Attempts { attempts: 3 }));
+    }
+
+    #[test]
+    fn deadline_budget_exhausts() {
+        let mut d = RetryDriver::new().with_budget(RetryBudget {
+            max_attempts: None,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        });
+        match d.try_backoff() {
+            Err(RetryExhausted::Deadline { attempts: 1 }) => {}
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        assert!(RetryBudget::UNLIMITED.is_unlimited());
+        let mut d = RetryDriver::new();
+        for _ in 0..8 {
+            assert!(d.try_backoff().is_ok());
+        }
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl MetricsSnapshot {
             ("pool_fence_deferrals".into(), Json::U64(c.pool_fence_deferrals)),
             ("read_fast".into(), Json::U64(c.read_fast)),
             ("read_slow".into(), Json::U64(c.read_slow)),
+            ("stalls_detected".into(), Json::U64(c.stalls_detected)),
+            ("stall_aborts".into(), Json::U64(c.stall_aborts)),
+            ("pool_task_panics".into(), Json::U64(c.pool_task_panics)),
+            ("future_panics".into(), Json::U64(c.future_panics)),
+            ("retries_exhausted".into(), Json::U64(c.retries_exhausted)),
+            ("orec_snapshot_retries".into(), Json::U64(c.orec_snapshot_retries)),
         ]);
         let derived = Json::Obj(vec![
             ("commits".into(), Json::U64(c.commits())),

@@ -51,6 +51,17 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
         c.top_abort_rate(),
         c.executions_per_commit()
     ));
+    out.push_str("robustness:\n");
+    out.push_str(&format!(
+        "  stalls detected {}  stall aborts {}  pool task panics {}  future panics {}  \
+         retries exhausted {}  orec snapshot retries {}\n",
+        c.stalls_detected,
+        c.stall_aborts,
+        c.pool_task_panics,
+        c.future_panics,
+        c.retries_exhausted,
+        c.orec_snapshot_retries
+    ));
     let reads_total = c.read_fast + c.read_slow;
     let fast_pct =
         if reads_total == 0 { 0.0 } else { c.read_fast as f64 * 100.0 / reads_total as f64 };
@@ -108,9 +119,16 @@ mod tests {
             last_writer_tree: 9,
         });
         let text = text_report(&m);
-        for needle in
-            ["commits", "aborts", "histogram", "wait_turn", "cell@ff", "spans", "fast-path 80.0%"]
-        {
+        for needle in [
+            "commits",
+            "aborts",
+            "histogram",
+            "wait_turn",
+            "cell@ff",
+            "spans",
+            "fast-path 80.0%",
+            "stalls detected",
+        ] {
             assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
         }
     }
