@@ -1,0 +1,13 @@
+//! Ablation A5: the deterministic ordered-commit lane's throughput cost —
+//! unordered vs global total order (`ordered(1)`) vs sharded
+//! (`ordered(4)`) on the contended synthetic workload.
+
+use rtf_bench::ablation;
+use rtf_bench::{Args, MetricsSidecar};
+
+fn main() {
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "ablation_ordered");
+    ablation::ablation_ordered(&args).emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
+}

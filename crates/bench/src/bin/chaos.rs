@@ -21,16 +21,25 @@
 //! `metrics_check --require-stall-probe` can verify the watchdog's export
 //! path even in builds without failpoints.
 //!
+//! With `--ordered SHARDS` the same workload runs through the ordered
+//! commit lane (every top-level transaction commits in ticket order): the
+//! run additionally checks the ticket lifecycle balances (every issued
+//! ticket resolves as exactly one commit or abandonment), records the
+//! commit-order log, and — on any invariant violation — dumps it as an
+//! `rtf-replay-v1` artifact so the failing schedule can be replayed.
+//!
 //! Usage: `chaos [--seed N] [--runs N] [--clients N] [--workers N]
-//!               [--min-injections N] [--min-sites N] [--quick]`
+//!               [--min-injections N] [--min-sites N] [--ordered SHARDS]
+//!               [--quick]`
 //!
 //! Exit status 0 = all invariants held; 1 = a violation (with a message).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rtf::{Rtf, TxError, VBox};
 use rtf_txfault::{decision_stream, FaultPlan, SiteRule};
+use rtf_txobs::{CommitLog, ReplayArtifact};
 
 /// Workload size knobs, resolved from the command line.
 struct Config {
@@ -40,12 +49,13 @@ struct Config {
     workers: usize,
     min_injections: u64,
     min_sites: usize,
+    ordered: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed N] [--runs N] [--clients N] [--workers N] \
-         [--min-injections N] [--min-sites N] [--quick]"
+         [--min-injections N] [--min-sites N] [--ordered SHARDS] [--quick]"
     );
     std::process::exit(2);
 }
@@ -65,6 +75,7 @@ fn parse_args() -> Config {
         workers: 4,
         min_injections: 10_000,
         min_sites: 12,
+        ordered: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +92,7 @@ fn parse_args() -> Config {
             "--workers" => cfg.workers = val("--workers") as usize,
             "--min-injections" => cfg.min_injections = val("--min-injections"),
             "--min-sites" => cfg.min_sites = val("--min-sites") as usize,
+            "--ordered" => cfg.ordered = Some(val("--ordered") as usize),
             "--quick" => {
                 cfg.runs = 400;
                 cfg.min_injections = 500;
@@ -91,8 +103,29 @@ fn parse_args() -> Config {
     cfg
 }
 
+/// Commit-order recording context, installed for ordered runs so a failure
+/// can print a replayable schedule.
+static REPLAY: OnceLock<(Arc<CommitLog>, u64, u32)> = OnceLock::new();
+
 fn fail(msg: &str) -> ! {
     eprintln!("chaos: FAIL: {msg}");
+    if let Some((log, seed, shards)) = REPLAY.get() {
+        // Counters/state are unknown mid-failure; the schedule (per-lane
+        // commit order) is the replayable content.
+        let artifact = ReplayArtifact::from_run(
+            "chaos",
+            *seed,
+            *shards,
+            log,
+            0,
+            &rtf_txbase::StatSnapshot::default(),
+        );
+        eprintln!(
+            "chaos: replayable commit-order artifact ({} commits so far):\n{}",
+            log.len(),
+            artifact.to_json().pretty()
+        );
+    }
     std::process::exit(1);
 }
 
@@ -107,6 +140,9 @@ fn plan(seed: u64) -> FaultPlan {
         .rule(SiteRule::at("mvstm.commit.validate").abort(200_000))
         .rule(SiteRule::at("mvstm.commit.enqueue").abort(60_000).delay(40_000, 50))
         .rule(SiteRule::at("mvstm.commit.writeback").delay(60_000, 50))
+        // Ticket handoff (ordered runs only; the site sits before the
+        // turn wait, so an abort here must retry at the same position).
+        .rule(SiteRule::at("mvstm.commit.ticket").abort(60_000).delay(30_000, 50))
         .rule(SiteRule::at("txengine.cell.*").abort(40_000).delay(20_000, 20))
         // Waiting paths: spurious wakeups and short delays widen races and
         // provoke the watchdog's warn threshold.
@@ -128,15 +164,18 @@ const SLOTS: usize = 32;
 /// One batch of contended transactions; returns (successes, failures by
 /// kind, expected per-slot sums, expected total).
 fn run_workload(cfg: &Config) -> (u64, u64, u64) {
-    let tm = Arc::new(
-        Rtf::builder()
-            .workers(cfg.workers)
-            // Deadlock backstop: a wait stuck past 5s is a bug — surface it
-            // as a structured failure instead of hanging CI.
-            .stall_warn(std::time::Duration::from_millis(200))
-            .stall_abort(std::time::Duration::from_secs(5))
-            .build(),
-    );
+    let mut builder = Rtf::builder()
+        .workers(cfg.workers)
+        // Deadlock backstop: a wait stuck past 5s is a bug — surface it
+        // as a structured failure instead of hanging CI.
+        .stall_warn(std::time::Duration::from_millis(200))
+        .stall_abort(std::time::Duration::from_secs(5));
+    if let Some(shards) = cfg.ordered {
+        let log = CommitLog::new();
+        let _ = REPLAY.set((Arc::clone(&log), cfg.seed, shards.max(1) as u32));
+        builder = builder.ordered(shards).event_sink(log);
+    }
+    let tm = Arc::new(builder.build());
     let slots: Arc<Vec<VBox<u64>>> = Arc::new((0..SLOTS).map(|_| VBox::new(0u64)).collect());
     let total = VBox::new(0u64);
 
@@ -218,7 +257,37 @@ fn run_workload(cfg: &Config) -> (u64, u64, u64) {
         fail(&format!("total: committed {got_total} != expected {expected_total}"));
     }
     let stats = tm.stats();
-    (ok_runs.load(Ordering::Relaxed), panicked_runs.load(Ordering::Relaxed), stats.future_panics)
+    let ok = ok_runs.load(Ordering::Relaxed);
+    if cfg.ordered.is_some() {
+        // Ticket lifecycle must balance at quiescence, and every committed
+        // run must have flowed through the ordered lane exactly once.
+        if stats.ordered_commits + stats.tickets_abandoned != stats.tickets_issued {
+            fail(&format!(
+                "ticket lifecycle leak: issued {} != commits {} + abandoned {}",
+                stats.tickets_issued, stats.ordered_commits, stats.tickets_abandoned
+            ));
+        }
+        if stats.ordered_commits != ok {
+            fail(&format!(
+                "ordered commits {} != successful runs {ok} (log drift)",
+                stats.ordered_commits
+            ));
+        }
+        if let Some((log, ..)) = REPLAY.get() {
+            if log.len() as u64 != stats.ordered_commits {
+                fail(&format!(
+                    "commit log has {} entries but ordered_commits is {}",
+                    log.len(),
+                    stats.ordered_commits
+                ));
+            }
+        }
+        println!(
+            "chaos: ordered lane balanced: {} issued = {} commits + {} abandoned",
+            stats.tickets_issued, stats.ordered_commits, stats.tickets_abandoned
+        );
+    }
+    (ok, panicked_runs.load(Ordering::Relaxed), stats.future_panics)
 }
 
 /// Deterministically trips the starvation watchdog once: a future that

@@ -16,7 +16,11 @@
 //! * `--no-dropped-spans` — the span rings kept up (`spans.dropped == 0`);
 //! * `--require-stall-probe` — the starvation watchdog fired at least once
 //!   (`counters.stalls_detected > 0`), proving the stall path is wired all
-//!   the way through the event sink into the export.
+//!   the way through the event sink into the export;
+//! * `--require-ordered` — the ordered-commit lane ran and its ticket
+//!   lifecycle balanced: tickets were issued, commits flowed through the
+//!   lane, and `issued == ordered_commits + abandoned` (every ticket
+//!   resolved exactly once).
 //!
 //! Exits non-zero with a message naming the first failed assertion.
 
@@ -57,6 +61,7 @@ struct Requirements {
     gc: bool,
     no_dropped_spans: bool,
     stall_probe: bool,
+    ordered: bool,
 }
 
 fn check_metrics(doc: &Json, req: &Requirements) {
@@ -111,6 +116,25 @@ fn check_metrics(doc: &Json, req: &Requirements) {
     }
     if req.stall_probe && u64_at(doc, &["counters", "stalls_detected"]) == 0 {
         fail("stalls_detected is zero — the starvation watchdog never reported through the sink");
+    }
+    if req.ordered {
+        let issued = u64_at(doc, &["counters", "tickets_issued"]);
+        let ordered_commits = u64_at(doc, &["counters", "ordered_commits"]);
+        let abandoned = u64_at(doc, &["counters", "tickets_abandoned"]);
+        if issued == 0 {
+            fail("tickets_issued is zero — the ordered lane never issued a ticket");
+        }
+        if ordered_commits == 0 {
+            fail("ordered_commits is zero — nothing committed through the ordered lane");
+        }
+        // A quiescent export must balance: RAII resolves every ticket
+        // exactly once, as a commit or an abandonment.
+        if ordered_commits + abandoned != issued {
+            fail(&format!(
+                "ticket lifecycle leak: issued {issued} != commits {ordered_commits} + \
+                 abandoned {abandoned}"
+            ));
+        }
     }
     println!(
         "metrics ok: {commits} commits, {aborts} aborts, {} hotspot rows, commit p99 {}ns, \
@@ -185,6 +209,7 @@ fn main() {
             "--require-gc" => req.gc = true,
             "--no-dropped-spans" => req.no_dropped_spans = true,
             "--require-stall-probe" => req.stall_probe = true,
+            "--require-ordered" => req.ordered = true,
             _ if arg.starts_with("--") => {
                 eprintln!("metrics_check: unknown flag {arg}");
                 std::process::exit(2);

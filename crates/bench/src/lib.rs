@@ -11,6 +11,11 @@
 //! | `fig6_tpcc` | Fig 6d–f — TPC-C throughput / latency / abort rate vs threads × futures |
 //! | `ablation_commit` | A1 — lock-free helping vs global-mutex commit |
 //! | `ablation_roflag` | A2 — §IV-E read-only future validation skip on/off |
+//! | `ablation_ordering` | A4 — strong ordering vs parallel nesting |
+//! | `ablation_ordered` | A5 — ordered-commit lane vs unordered, 1 vs 4 lanes |
+//! | `ordered_replay` | record/replay determinism check for the ordered lane |
+//! | `chaos` | seeded fault-injection runner (`--ordered SHARDS` for the lane) |
+//! | `metrics_check` | CI validator for exported metrics/trace JSON |
 //!
 //! Run e.g. `cargo run --release -p rtf-bench --bin fig5b -- --quick`.
 //! Common flags: `--quick` (CI-sized), `--threads N` (total thread budget),

@@ -83,6 +83,7 @@
 mod error;
 mod future;
 mod node;
+mod ordered;
 mod runtime;
 mod rw;
 mod stall;
@@ -91,18 +92,21 @@ mod tx;
 
 pub use error::{FutureError, TxError};
 pub use future::TxFuture;
+pub use ordered::OrderedTicket;
 pub use runtime::{Cancelled, Rtf, RtfBuilder, RtfConfig};
 pub use tree::TreeSemantics;
 pub use tx::Tx;
 
 // Re-export the data layer so `rtf` alone suffices for applications.
 pub use rtf_mvstm::CommitStrategy;
-pub use rtf_txbase::StatSnapshot;
+pub use rtf_txbase::{StatSnapshot, Ticket};
 pub use rtf_txengine::{TxData, VBox};
 
 // Observability layer (attach via [`RtfBuilder::observer`] or the
 // `RTF_METRICS` / `RTF_METRICS_TEXT` / `RTF_CHROME_TRACE` env vars).
-pub use rtf_txobs::{ExportPaths, MetricsSnapshot, ObsConfig, TxObs};
+pub use rtf_txobs::{
+    state_hash, CommitLog, ExportPaths, MetricsSnapshot, ObsConfig, ReplayArtifact, TxObs,
+};
 
 // Internal APIs for sibling crates (data structures, benches) and tests.
 #[doc(hidden)]
@@ -603,5 +607,142 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*x.read_committed(), 200);
+    }
+
+    /// Ordered mode: concurrent clients' commits land in strict ticket
+    /// order, observable through a custom event sink capturing the
+    /// `TicketCommit` stream.
+    #[test]
+    fn ordered_mode_commit_log_is_strictly_ascending() {
+        use rtf_txengine::{Event, EventSink};
+        use std::sync::Mutex;
+        struct Capture(Mutex<Vec<(u32, u64)>>);
+        impl EventSink for Capture {
+            fn event(&self, e: Event) {
+                if let Event::TicketCommit { lane, seq, .. } = e {
+                    self.0.lock().unwrap().push((lane, seq));
+                }
+            }
+        }
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        let tm = Arc::new(Rtf::builder().workers(3).ordered(1).event_sink(cap.clone()).build());
+        assert!(tm.is_ordered());
+        let b = VBox::new(0u64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let tm = Arc::clone(&tm);
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        tm.atomic(|tx| {
+                            let v = *tx.read(&b);
+                            tx.write(&b, v + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*b.read_committed(), 200);
+        let log = cap.0.lock().unwrap();
+        assert_eq!(log.len(), 200);
+        assert!(
+            log.windows(2).all(|w| w[0].1 < w[1].1),
+            "ordered commits must be strictly ascending in seq"
+        );
+        let s = tm.stats();
+        assert_eq!(s.ordered_commits, 200);
+        assert_eq!(s.tickets_issued, 200);
+        assert_eq!(s.tickets_abandoned, 0);
+    }
+
+    /// Pre-drawn tickets pin the commit order to submission order even when
+    /// the transactions run on threads in reverse.
+    #[test]
+    fn run_ticketed_commits_in_submission_order() {
+        let tm = Arc::new(Rtf::builder().workers(2).ordered(1).build());
+        let log = VBox::new(Vec::<u64>::new());
+        // Draw tickets 0..4 on this thread, then run them in reverse.
+        let tickets: Vec<_> = (0..4u64).map(|i| (i, tm.ticket())).collect();
+        let handles: Vec<_> = tickets
+            .into_iter()
+            .rev()
+            .map(|(i, ticket)| {
+                let tm = Arc::clone(&tm);
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    tm.run_ticketed(ticket, move |tx| {
+                        let mut v = (*tx.read(&log)).clone();
+                        v.push(i);
+                        tx.write(&log, v);
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*log.read_committed(), vec![0, 1, 2, 3]);
+    }
+
+    /// A stuck predecessor ticket bounded by the armed stall watchdog: the
+    /// successor surfaces `StallAborted { kind: "ticket_wait" }` instead of
+    /// hanging, and abandoning the stuck ticket unwedges the lane.
+    #[test]
+    fn ordered_stuck_predecessor_stall_aborts_then_lane_recovers() {
+        let tm = Rtf::builder()
+            .workers(2)
+            .ordered(1)
+            .stall_warn(std::time::Duration::from_millis(10))
+            .stall_abort(std::time::Duration::from_millis(80))
+            .build();
+        let stuck = tm.ticket(); // seq 0, never runs
+        let b = VBox::new(0u64);
+        let r = tm.run(|tx| {
+            let v = *tx.read(&b);
+            tx.write(&b, v + 1);
+        });
+        match r {
+            Err(TxError::StallAborted { kind, waited_ms }) => {
+                assert_eq!(kind, "ticket_wait");
+                assert!(waited_ms >= 80);
+            }
+            other => panic!("expected ticket_wait stall abort, got {other:?}"),
+        }
+        assert_eq!(*b.read_committed(), 0, "a stalled commit must publish nothing");
+        drop(stuck); // abandon seq 0: the lane skips it and seq 1's hole
+        tm.atomic(|tx| {
+            let v = *tx.read(&b);
+            tx.write(&b, v + 1);
+        });
+        assert_eq!(*b.read_committed(), 1);
+        let s = tm.stats();
+        assert!(s.stall_aborts >= 1, "{s:?}");
+        assert_eq!(s.tickets_abandoned, 2, "stalled successor + dropped predecessor: {s:?}");
+    }
+
+    /// Read-only transactions also take (and log) their turn in ordered
+    /// mode, and cancellation abandons the ticket cleanly.
+    #[test]
+    fn ordered_mode_covers_ro_and_cancel_paths() {
+        let tm = Rtf::builder().workers(2).ordered(1).build();
+        let b = VBox::new(5u64);
+        assert_eq!(tm.atomic_ro(|tx| *tx.read(&b)), 5);
+        let r = tm.try_atomic(|tx| {
+            tx.cancel();
+        });
+        assert!(r.is_err());
+        tm.atomic(|tx| {
+            let v = *tx.read(&b);
+            tx.write(&b, v + 1);
+        });
+        let s = tm.stats();
+        assert_eq!(s.tickets_issued, 3);
+        assert_eq!(s.ordered_commits, 2, "ro + rw commits: {s:?}");
+        assert_eq!(s.tickets_abandoned, 1, "cancelled tx: {s:?}");
+        assert_eq!(s.top_ro_commits, 1);
     }
 }

@@ -29,9 +29,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rtf_mvstm::{CommitStrategy, MvStm, TxData};
+use rtf_mvstm::{CommitStrategy, MvStm, TurnGate, TxData};
 use rtf_taskpool::{Pool, PoolRunner};
-use rtf_txbase::{OrecStatus, StatSnapshot, TmStats};
+use rtf_txbase::{OrecStatus, StatSnapshot, TicketDispenser, TmStats};
 use rtf_txengine::{
     obs_now_ns, Event, EventSink, ReadRecord, ReadSet, RetryBudget, RetryDriver, Source, SpanKind,
     SpanRec, StallKind, TraceSink, WriteEntry, WriteSet,
@@ -40,7 +40,8 @@ use rtf_txobs::TxObs;
 
 use crate::error::{panic_message, TxError};
 use crate::future::TxFuture;
-use crate::stall::{StallThresholds, StallWatch};
+use crate::ordered::OrderedTicket;
+use crate::stall::{StallAction, StallThresholds, StallWatch};
 use crate::tree::{PoisonKind, TreeCtx, TreeSemantics};
 use crate::tx::{install_quiet_poison_hook, CancelSignal, PoisonSignal, Tx, TxEnv};
 
@@ -56,8 +57,22 @@ enum RunStop {
     Fault(TxError),
 }
 
+/// Internal outcome of [`Rtf::root_commit`].
+enum RootCommit {
+    /// The top level committed (and, in ordered mode, at its ticket's
+    /// turn).
+    Committed,
+    /// Commit-time validation failed: re-execute.
+    Conflict,
+    /// The ordered-lane turn wait hit the armed stall-abort threshold.
+    Stalled {
+        /// How long the commit waited for its turn, in milliseconds.
+        waited_ms: u64,
+    },
+}
+
 /// Configuration of an [`Rtf`] instance.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RtfConfig {
     /// Worker threads executing transactional futures. With `0`, futures
     /// run lazily on whichever thread first waits for them (helping).
@@ -91,6 +106,16 @@ pub struct RtfConfig {
     /// else disabled): a wait stalled this long is torn down as
     /// [`TxError::StallAborted`].
     pub stall_abort: Option<Duration>,
+    /// Ordered-execution lane: `Some(shards)` makes every top-level
+    /// transaction draw a commit ticket from a dispenser with `shards`
+    /// lanes and commit in strict per-lane ticket order (`Some(1)` = one
+    /// global total order). `None` (the default) is the ordinary
+    /// first-validated-first-committed race.
+    pub ordered: Option<usize>,
+    /// Additional event sinks composed into the runtime's sink tee (e.g. a
+    /// commit-order recorder). Independent of `observer` and the env-driven
+    /// sinks.
+    pub extra_sinks: Vec<Arc<dyn EventSink>>,
 }
 
 impl Default for RtfConfig {
@@ -106,7 +131,30 @@ impl Default for RtfConfig {
             retry_deadline: None,
             stall_warn: None,
             stall_abort: None,
+            ordered: None,
+            extra_sinks: Vec::new(),
         }
+    }
+}
+
+// Manual impl: `extra_sinks` holds trait objects with no `Debug` bound;
+// report only their count.
+impl std::fmt::Debug for RtfConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtfConfig")
+            .field("workers", &self.workers)
+            .field("ro_opt", &self.ro_opt)
+            .field("commit_strategy", &self.commit_strategy)
+            .field("fallback_threshold", &self.fallback_threshold)
+            .field("semantics", &self.semantics)
+            .field("observer", &self.observer.is_some())
+            .field("max_retries", &self.max_retries)
+            .field("retry_deadline", &self.retry_deadline)
+            .field("stall_warn", &self.stall_warn)
+            .field("stall_abort", &self.stall_abort)
+            .field("ordered", &self.ordered)
+            .field("extra_sinks", &self.extra_sinks.len())
+            .finish()
     }
 }
 
@@ -186,6 +234,23 @@ impl RtfBuilder {
         self
     }
 
+    /// Enables the ordered-execution lane: every top-level transaction
+    /// draws a commit ticket and commits in strict per-lane ticket order.
+    /// `shards == 1` gives one global total commit order (the
+    /// record/replay configuration); more shards trade order granularity
+    /// for dispatch scalability.
+    pub fn ordered(mut self, shards: usize) -> Self {
+        self.config.ordered = Some(shards.max(1));
+        self
+    }
+
+    /// Composes an additional [`EventSink`] into the runtime's event
+    /// stream (e.g. `rtf_txobs::CommitLog` for commit-order recording).
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.config.extra_sinks.push(sink);
+        self
+    }
+
     /// Builds the runtime (spawns the worker pool).
     pub fn build(self) -> Rtf {
         Rtf::with_config(self.config)
@@ -224,6 +289,9 @@ struct RtfInner {
     /// Observers attached to this runtime (explicit and/or env-driven);
     /// exports run when the runtime is dropped.
     observers: Vec<Arc<TxObs>>,
+    /// Ticket dispenser of the ordered-execution lane (`Some` iff the
+    /// runtime was built with [`RtfBuilder::ordered`]).
+    dispenser: Option<Arc<TicketDispenser>>,
     _pool_runner: PoolRunner,
 }
 
@@ -272,13 +340,22 @@ impl Rtf {
             }
         }
         extras.extend(observers.iter().map(TxObs::sink));
+        extras.extend(config.extra_sinks.iter().cloned());
         let mvstm = MvStm::with_strategy_and_extras(config.commit_strategy, extras);
         let sink = Arc::clone(mvstm.sink());
         let pool_runner = Pool::start_with_sink(config.workers, Arc::clone(&sink));
         let stall = StallThresholds::resolve(config.stall_warn, config.stall_abort);
+        let dispenser = config.ordered.map(|shards| Arc::new(TicketDispenser::new(shards)));
         let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt, stall });
         Rtf {
-            inner: Arc::new(RtfInner { mvstm, env, config, observers, _pool_runner: pool_runner }),
+            inner: Arc::new(RtfInner {
+                mvstm,
+                env,
+                config,
+                observers,
+                dispenser,
+                _pool_runner: pool_runner,
+            }),
         }
     }
 
@@ -288,7 +365,7 @@ impl Rtf {
     /// `body` may execute several times (aborts, re-executions); keep
     /// non-transactional side effects idempotent.
     pub fn atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
-        match self.run_top_level(body, false, false) {
+        match self.run_top_level(body, false, false, None) {
             Ok(r) => r,
             Err(RunStop::Cancelled) => panic!(
                 "Tx::cancel inside Rtf::atomic — use Rtf::try_atomic for cancellable transactions"
@@ -310,7 +387,43 @@ impl Rtf {
     /// future) still unwinds to the caller — that is the caller's own
     /// panic, not a runtime fault.
     pub fn run<R>(&self, body: impl Fn(&mut Tx) -> R) -> Result<R, TxError> {
-        self.run_top_level(body, false, true).map_err(|stop| match stop {
+        self.run_top_level(body, false, true, None).map_err(|stop| match stop {
+            RunStop::Cancelled => TxError::Cancelled,
+            RunStop::Fault(e) => e,
+        })
+    }
+
+    /// Whether this runtime commits through the ordered-execution lane.
+    pub fn is_ordered(&self) -> bool {
+        self.inner.dispenser.is_some()
+    }
+
+    /// Draws a commit ticket *now*, before the transaction body exists —
+    /// pinning the transaction's position in the predefined commit order to
+    /// this call (submission order), independent of when worker threads get
+    /// to run it. Pass the ticket to [`Rtf::run_ticketed`].
+    ///
+    /// # Panics
+    ///
+    /// If the runtime was not built with [`RtfBuilder::ordered`].
+    pub fn ticket(&self) -> OrderedTicket {
+        let dispenser = self
+            .inner
+            .dispenser
+            .as_ref()
+            .expect("Rtf::ticket requires ordered mode (RtfBuilder::ordered)");
+        OrderedTicket::acquire(Arc::clone(dispenser), Arc::clone(&self.inner.env.sink))
+    }
+
+    /// Like [`Rtf::run`], but committing at the position of a ticket drawn
+    /// earlier with [`Rtf::ticket`]. On error the ticket is abandoned and
+    /// the lane skips over it.
+    pub fn run_ticketed<R>(
+        &self,
+        ticket: OrderedTicket,
+        body: impl Fn(&mut Tx) -> R,
+    ) -> Result<R, TxError> {
+        self.run_top_level(body, false, true, Some(ticket)).map_err(|stop| match stop {
             RunStop::Cancelled => TxError::Cancelled,
             RunStop::Fault(e) => e,
         })
@@ -319,7 +432,7 @@ impl Rtf {
     /// Like [`Rtf::atomic`], but [`Tx::cancel`] aborts the transaction and
     /// returns `Err(Cancelled)` instead of committing (no effects escape).
     pub fn try_atomic<R>(&self, body: impl Fn(&mut Tx) -> R) -> Result<R, Cancelled> {
-        match self.run_top_level(body, false, false) {
+        match self.run_top_level(body, false, false, None) {
             Ok(r) => Ok(r),
             Err(RunStop::Cancelled) => Err(Cancelled),
             Err(RunStop::Fault(e)) => std::panic::panic_any(e),
@@ -331,7 +444,7 @@ impl Rtf {
     /// always consistent), writes panic. Futures may still be submitted to
     /// parallelize long read-only work.
     pub fn atomic_ro<R>(&self, body: impl Fn(&mut Tx) -> R) -> R {
-        match self.run_top_level(body, true, false) {
+        match self.run_top_level(body, true, false, None) {
             Ok(r) => r,
             Err(RunStop::Cancelled) => panic!(
                 "Tx::cancel inside Rtf::atomic_ro — use Rtf::try_atomic for cancellable transactions"
@@ -366,9 +479,22 @@ impl Rtf {
         body: impl Fn(&mut Tx) -> R,
         ro_mode: bool,
         structured: bool,
+        ticket: Option<OrderedTicket>,
     ) -> Result<R, RunStop> {
         let inner = &self.inner;
         let sink = &inner.env.sink;
+        // Ordered mode: every top-level transaction holds a ticket for its
+        // whole lifetime — drawn here unless the caller pinned one earlier
+        // (`run_ticketed`), kept across retries (a re-execution commits at
+        // the *same* position), and released exactly once: completed on
+        // commit, abandoned (RAII) on every other exit path including
+        // unwinds.
+        let mut ticket = ticket.or_else(|| {
+            inner
+                .dispenser
+                .as_ref()
+                .map(|d| OrderedTicket::acquire(Arc::clone(d), Arc::clone(sink)))
+        });
         let budget = RetryBudget {
             max_attempts: inner.config.max_retries,
             deadline: inner.config.retry_deadline.map(|d| Instant::now() + d),
@@ -437,12 +563,29 @@ impl Rtf {
                             pool.help_one(None)
                         });
                     }
-                    if self.root_commit(&tree) {
-                        top_span(true);
-                        return Ok(r);
+                    match self.root_commit(&tree, ticket.as_ref()) {
+                        RootCommit::Committed => {
+                            if let Some(t) = ticket.take() {
+                                t.complete(tree.tree_id.0);
+                            }
+                            top_span(true);
+                            return Ok(r);
+                        }
+                        // Top-level validation conflict (counted inside);
+                        // the ticket (if any) is kept: the re-execution
+                        // commits at the same position.
+                        RootCommit::Conflict => top_span(false),
+                        RootCommit::Stalled { waited_ms } => {
+                            // The armed stall watchdog gave up on the turn
+                            // wait; dropping `ticket` on return abandons the
+                            // position so successors skip over it.
+                            top_span(false);
+                            return Err(RunStop::Fault(TxError::StallAborted {
+                                kind: StallKind::TicketWait.name(),
+                                waited_ms,
+                            }));
+                        }
                     }
-                    // Top-level validation conflict (counted inside).
-                    top_span(false);
                 }
                 Ok(Err(_sub_conflict)) => {
                     // An implicit continuation missed a write: without FCC
@@ -544,9 +687,53 @@ impl Rtf {
         }
     }
 
+    /// Blocks until `ticket`'s turn (the ordered lane's cross-transaction
+    /// waitTurn). While waiting the thread *helps* through the task pool —
+    /// the predecessor may be blocked on futures this thread can run — and
+    /// the stall watchdog bounds the wait when an abort threshold is armed.
+    /// Returns `Err(waited_ms)` when the watchdog gave up.
+    fn wait_ticket_turn(&self, tree: &TreeCtx, ticket: &OrderedTicket) -> Result<(), u64> {
+        let seq = ticket.ticket().seq;
+        let lane = ticket.lane();
+        if lane.turn() >= seq {
+            return Ok(());
+        }
+        let inner = &self.inner;
+        let sink = &inner.env.sink;
+        let pool = inner.env.pool.clone();
+        let t0 = obs_now_ns();
+        let mut watch = StallWatch::new(
+            StallKind::TicketWait,
+            tree.tree_id.0,
+            tree.root.id.raw(),
+            Arc::clone(sink),
+            inner.env.stall,
+        );
+        let mut stalled = None;
+        let ok = lane.wait_turn(
+            seq,
+            || pool.help_one(None),
+            || match watch.tick() {
+                StallAction::Continue => true,
+                StallAction::Abort { waited_ms } => {
+                    stalled = Some(waited_ms);
+                    false
+                }
+            },
+        );
+        sink.event(Event::TicketWaitNs(obs_now_ns().saturating_sub(t0)));
+        if ok {
+            Ok(())
+        } else {
+            Err(stalled.unwrap_or(0))
+        }
+    }
+
     /// Top-level commit (§III-A + §IV): consolidate, validate, write back.
-    /// Returns whether the commit succeeded.
-    fn root_commit(&self, tree: &TreeCtx) -> bool {
+    /// In ordered mode (`ticket` present) the commit additionally waits for
+    /// its ticket's turn first, so per-lane ticket order extends into chain
+    /// version order.
+    fn root_commit(&self, tree: &TreeCtx, ticket: Option<&OrderedTicket>) -> RootCommit {
         let inner = &self.inner;
         let sink = &inner.env.sink;
         let t0 = obs_now_ns();
@@ -592,11 +779,35 @@ impl Rtf {
         }
 
         if writes.is_empty() {
-            // Read-only fast path (§IV-E).
+            // Read-only fast path (§IV-E). Ordered mode still waits for the
+            // turn — the commit-order log must include read-only commits at
+            // their ticket positions for replay to be well-defined — and
+            // then re-validates the reads: the transaction publishes
+            // nothing, but its *result* must be as of its ticket position
+            // (the sequential spec), not its snapshot. A displaced read
+            // aborts and re-executes at the same position.
+            if let Some(t) = ticket {
+                if let Err(waited_ms) = self.wait_ticket_turn(tree, t) {
+                    tree.scrub_tentative();
+                    commit_span(false);
+                    return RootCommit::Stalled { waited_ms };
+                }
+                let inbox = std::mem::take(&mut *tree.root.inbox.lock());
+                let mut reads = ReadSet::new();
+                for (cell, token) in inbox.perm_reads {
+                    reads.record(ReadRecord { cell, token, source: Source::Permanent, epoch: 0 });
+                }
+                if inner.mvstm.chain().validate_ro(&reads, sink.as_ref()).is_err() {
+                    sink.event(Event::TopValidationAbort);
+                    tree.scrub_tentative();
+                    commit_span(false);
+                    return RootCommit::Conflict;
+                }
+            }
             sink.event(Event::TopRoCommit);
             tree.scrub_tentative();
             commit_span(true);
-            return true;
+            return RootCommit::Committed;
         }
 
         // Consolidated read-set: the root's own permanent reads were merged
@@ -609,26 +820,46 @@ impl Rtf {
             reads.record(ReadRecord { cell, token, source: Source::Permanent, epoch: 0 });
         }
 
-        let committed = inner
-            .mvstm
-            .chain()
-            .try_commit(
+        let mut stalled: Option<u64> = None;
+        let result = {
+            let mut wait = || match ticket {
+                Some(t) => match self.wait_ticket_turn(tree, t) {
+                    Ok(()) => true,
+                    Err(waited_ms) => {
+                        stalled = Some(waited_ms);
+                        false
+                    }
+                },
+                None => true,
+            };
+            inner.mvstm.chain().try_commit_gated(
+                ticket.map(|_| TurnGate { wait: &mut wait }),
                 &reads,
                 writes.into_writes(),
                 inner.mvstm.clock(),
                 inner.mvstm.registry(),
                 sink.as_ref(),
             )
-            .is_ok();
+        };
         tree.scrub_tentative();
+        let committed = result.is_ok();
         if committed {
             sink.event(Event::TopCommitNs(obs_now_ns().saturating_sub(t0)));
             sink.event(Event::TopCommit);
+        } else if let Some(waited_ms) = stalled {
+            // A stall-abandoned turn wait is not a validation conflict:
+            // report it as the structured stall it is.
+            commit_span(false);
+            return RootCommit::Stalled { waited_ms };
         } else {
             sink.event(Event::TopValidationAbort);
         }
         commit_span(committed);
-        committed
+        if committed {
+            RootCommit::Committed
+        } else {
+            RootCommit::Conflict
+        }
     }
 
     /// Event counters of this runtime.

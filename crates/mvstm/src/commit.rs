@@ -45,6 +45,19 @@ pub enum CommitStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conflict;
 
+/// The ordered-execution lane's in-order commit gate.
+///
+/// `wait` blocks until it is the transaction's turn to commit (the
+/// cross-transaction analogue of waitTurn, Alg 3) and returns whether the
+/// turn actually arrived — `false` means the wait was abandoned (stall
+/// watchdog fired, cancellation) and the commit must not proceed. The
+/// closure lives in the caller (core) because waiting sensibly means
+/// *helping* through the task pool, which mvstm does not know about.
+pub struct TurnGate<'a> {
+    /// Blocks for the turn; `false` abandons the commit.
+    pub wait: &'a mut dyn FnMut() -> bool,
+}
+
 /// One write to install at commit (the engine's buffered-write entry).
 pub use rtf_txengine::WriteEntry as CommitWrite;
 
@@ -108,6 +121,69 @@ impl CommitChain {
             CommitStrategy::LockFreeHelping => {
                 self.commit_lockfree(reads, writes, clock, registry, sink)
             }
+        }
+    }
+
+    /// [`CommitChain::try_commit`] behind an optional in-order gate: when
+    /// `gate` is present the commit first waits for its ticket's turn, so
+    /// the chain's version order extends the predefined ticket order.
+    ///
+    /// The caller must hold the turn through the entire enqueue +
+    /// write-back (i.e. retire its ticket only after this returns): the
+    /// gate serializes *entry* into the chain, and because each committer
+    /// CASes the tail before its successor may enter, per-lane ticket order
+    /// and chain version order coincide.
+    pub fn try_commit_gated(
+        &self,
+        gate: Option<TurnGate<'_>>,
+        reads: &ReadSet,
+        writes: Vec<WriteEntry>,
+        clock: &GlobalClock,
+        registry: &ActiveTxnRegistry,
+        sink: &dyn EventSink,
+    ) -> Result<Version, Conflict> {
+        if let Some(gate) = gate {
+            // Injected abort at the ticket handoff: the ticket is abandoned
+            // by the caller's abort path, exercising hole-skipping in the
+            // lane.
+            if rtf_txfault::fail_point!("mvstm.commit.ticket").is_abort() {
+                return Err(Conflict);
+            }
+            if !(gate.wait)() {
+                return Err(Conflict);
+            }
+        }
+        self.try_commit(reads, writes, clock, registry, sink)
+    }
+
+    /// Read-set-only validation for empty-write-set (read-only) top-level
+    /// commits in the ordered lane. A read-only transaction publishes
+    /// nothing, so the unordered fast path skips validation entirely and
+    /// serializes at its snapshot — but a *ticketed* one must serialize at
+    /// its ticket position, so once the turn is won its reads must still
+    /// be current. Returns `Err(Conflict)` (reporting the displaced cell)
+    /// when they are not; the caller re-executes at the same position.
+    pub fn validate_ro(&self, reads: &ReadSet, sink: &dyn EventSink) -> Result<(), Conflict> {
+        if rtf_txfault::fail_point!("mvstm.commit.validate").is_abort() {
+            return Err(Conflict);
+        }
+        let site = match self.strategy {
+            CommitStrategy::GlobalMutex => {
+                let _g = self.mutex.lock();
+                validate_reads_detailed(reads.iter(), |_| TopVisibility::latest()).err()
+            }
+            CommitStrategy::LockFreeHelping => {
+                let guard = epoch::pin();
+                let tail = self.tail.load(Ordering::Acquire, &guard);
+                self.validate_against(tail, reads, &guard).err()
+            }
+        };
+        match site {
+            Some(site) => {
+                Self::report_conflict(sink, site);
+                Err(Conflict)
+            }
+            None => Ok(()),
         }
     }
 
@@ -470,6 +546,52 @@ mod tests {
         assert_eq!(expected, (threads * per) as u64);
         assert_eq!(*downcast::<u64>(b.cell().read_at(clock.now()).0), expected);
         assert_eq!(clock.now(), expected);
+    }
+
+    #[test]
+    fn gate_refusal_aborts_without_writing() {
+        let (chain, clock, reg) = harness();
+        let b = VBox::new(0u64);
+        let mut refused = || false;
+        let r = chain.try_commit_gated(
+            Some(TurnGate { wait: &mut refused }),
+            &ReadSet::new(),
+            vec![write_of(&b, 1)],
+            &clock,
+            &reg,
+            &NullSink,
+        );
+        assert_eq!(r, Err(Conflict));
+        assert_eq!(clock.now(), 0, "a refused gate must not touch the chain");
+        assert_eq!(*downcast::<u64>(b.cell().read_at(0).0), 0);
+    }
+
+    #[test]
+    fn gate_admission_commits_and_none_gate_is_transparent() {
+        let (chain, clock, reg) = harness();
+        let b = VBox::new(0u64);
+        let mut waited = false;
+        let mut admit = || {
+            waited = true;
+            true
+        };
+        let v = chain
+            .try_commit_gated(
+                Some(TurnGate { wait: &mut admit }),
+                &ReadSet::new(),
+                vec![write_of(&b, 8)],
+                &clock,
+                &reg,
+                &NullSink,
+            )
+            .unwrap();
+        assert_eq!(v, 1);
+        assert!(waited, "the gate must have been consulted");
+        let v2 = chain
+            .try_commit_gated(None, &ReadSet::new(), vec![write_of(&b, 9)], &clock, &reg, &NullSink)
+            .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(*downcast::<u64>(b.cell().read_at(2).0), 9);
     }
 
     #[test]

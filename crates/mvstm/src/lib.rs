@@ -50,7 +50,7 @@ use std::sync::Arc;
 use rtf_txbase::{ActiveTxnRegistry, GlobalClock, StatSnapshot, TmStats, Version};
 use rtf_txengine::{EventSink, RetryDriver, StatsSink, TeeSink};
 
-pub use commit::{CommitStrategy, CommitWrite, Conflict};
+pub use commit::{CommitStrategy, CommitWrite, Conflict, TurnGate};
 pub use rtf_txengine::{
     downcast, erase, retry_backoff, tentative_insert, CellId, PermVersion, ReadSet, TentativeEntry,
     TxData, VBox, VBoxCell, Val, WriteSet,

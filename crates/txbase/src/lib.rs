@@ -28,6 +28,6 @@ pub mod stats;
 pub use clock::{ActiveTxnRegistry, GlobalClock};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use ids::{new_node_id, new_tree_id, new_write_token, NodeId, TreeId, Version, WriteToken};
-pub use order::{follows, OrderKey};
+pub use order::{follows, OrderKey, Ticket, TicketDispenser, TicketLane};
 pub use orec::{Orec, OrecStatus};
 pub use stats::{StatSnapshot, TmStats};

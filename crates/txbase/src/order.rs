@@ -23,8 +23,12 @@
 //! trees are strictly binary; our `fork` API returns control to the parent
 //! after the subtree commits, which is semantically a fresh continuation.
 
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Duration;
 
 /// A position in the serialization order of one transaction tree.
 ///
@@ -108,6 +112,163 @@ impl fmt::Debug for OrderKey {
 #[inline]
 pub fn follows(a: &OrderKey, b: &OrderKey) -> bool {
     a > b
+}
+
+// ---------------------------------------------------------------------------
+// Cross-transaction commit tickets (ordered-execution lane).
+//
+// OrderKey serializes sub-transactions *inside* one tree; tickets generalize
+// the same waitTurn discipline *across* top-level transactions ("Processing
+// Transactions in a Predefined Order", PAPERS.md): each top-level transaction
+// in the ordered lane draws a ticket at start, executes speculatively out of
+// order, and commits strictly in ticket order within its lane. With one lane
+// the commit order is a global total order; with `n` lanes only intra-lane
+// order is enforced (a sharded dispenser trades determinism granularity for
+// dispatch scalability, exactly like the sharded sequencers in that line of
+// work).
+
+/// A commit ticket: position `seq` in lane `lane` of a [`TicketDispenser`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ticket {
+    /// Lane index within the dispenser.
+    pub lane: u32,
+    /// Zero-based position within the lane; commits happen in ascending
+    /// `seq` order per lane.
+    pub seq: u64,
+}
+
+struct LaneState {
+    /// The seq whose turn it is to commit next.
+    next_commit: u64,
+    /// Out-of-order retirements ahead of `next_commit` (abandoned tickets):
+    /// holes are skipped so a dead predecessor never wedges its successors.
+    retired: BTreeSet<u64>,
+}
+
+/// One FIFO commit lane: a monotone issue counter plus a turn pointer.
+///
+/// `wait_turn` mirrors the intra-tree waitTurn (Alg 3) shape: the waiter
+/// alternates between *helping* (running queued work so the predecessor can
+/// finish) and a bounded condvar sleep, and a `keep` callback lets the caller
+/// abandon the wait (stall watchdog, cancellation).
+pub struct TicketLane {
+    issue: AtomicU64,
+    state: Mutex<LaneState>,
+    cv: Condvar,
+}
+
+impl Default for TicketLane {
+    fn default() -> Self {
+        TicketLane {
+            issue: AtomicU64::new(0),
+            state: Mutex::new(LaneState { next_commit: 0, retired: BTreeSet::new() }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl TicketLane {
+    /// Draws the next seq in this lane (0, 1, 2, ...).
+    pub fn issue(&self) -> u64 {
+        self.issue.fetch_add(1, AtomicOrdering::Relaxed)
+    }
+
+    /// Total tickets issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issue.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The seq whose turn it currently is.
+    pub fn turn(&self) -> u64 {
+        self.state.lock().next_commit
+    }
+
+    /// Blocks until it is `seq`'s turn to commit. Returns `true` when the
+    /// turn arrived, `false` when `keep` asked to abandon the wait.
+    ///
+    /// While waiting, `help` is invoked *outside* the lane lock; it should
+    /// try to execute one unit of pending work (e.g. a task-pool job that the
+    /// predecessor is blocked on) and return whether it did anything. When
+    /// nothing could be helped the waiter sleeps briefly on the lane condvar
+    /// instead of spinning.
+    pub fn wait_turn(
+        &self,
+        seq: u64,
+        mut help: impl FnMut() -> bool,
+        mut keep: impl FnMut() -> bool,
+    ) -> bool {
+        let mut g = self.state.lock();
+        loop {
+            if g.next_commit >= seq {
+                return true;
+            }
+            if !keep() {
+                return false;
+            }
+            let helped = MutexGuard::unlocked(&mut g, &mut help);
+            if !helped && g.next_commit < seq {
+                self.cv.wait_for(&mut g, Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Retires `seq`: if it held the turn, the turn advances past it and past
+    /// any already-retired successors (hole skipping); if it retires early
+    /// (abandoned before its turn) it is remembered so the turn can later
+    /// skip over it. Idempotent for already-passed seqs.
+    pub fn retire(&self, seq: u64) {
+        let mut g = self.state.lock();
+        let st = &mut *g;
+        if seq == st.next_commit {
+            st.next_commit += 1;
+            while st.retired.remove(&st.next_commit) {
+                st.next_commit += 1;
+            }
+            self.cv.notify_all();
+        } else if seq > st.next_commit {
+            st.retired.insert(seq);
+        }
+    }
+}
+
+/// A sharded ticket dispenser: `shards` independent [`TicketLane`]s with
+/// round-robin assignment. `shards == 1` yields a global total commit order.
+pub struct TicketDispenser {
+    lanes: Vec<TicketLane>,
+    rr: AtomicU64,
+}
+
+impl TicketDispenser {
+    /// Creates a dispenser with `shards` lanes (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        TicketDispenser {
+            lanes: (0..shards).map(|_| TicketLane::default()).collect(),
+            rr: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Draws a ticket from the next lane in round-robin order.
+    pub fn acquire(&self) -> Ticket {
+        let lane = (self.rr.fetch_add(1, AtomicOrdering::Relaxed) % self.lanes.len() as u64) as u32;
+        Ticket { lane, seq: self.lanes[lane as usize].issue() }
+    }
+
+    /// The lane backing tickets with `Ticket::lane == lane`.
+    pub fn lane(&self, lane: u32) -> &TicketLane {
+        &self.lanes[lane as usize]
+    }
+}
+
+impl fmt::Debug for TicketDispenser {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketDispenser").field("shards", &self.lanes.len()).finish()
+    }
 }
 
 #[cfg(test)]
@@ -298,5 +459,149 @@ mod tests {
         // leftmost element of the right subtree:
         let right_min = right.child_future(0).child_future(0).write_key(0);
         assert!(left_max < right_min);
+    }
+
+    // --- ticket lane / dispenser ---
+
+    #[test]
+    fn tickets_issue_in_order_and_first_turn_is_immediate() {
+        let lane = TicketLane::default();
+        assert_eq!(lane.issue(), 0);
+        assert_eq!(lane.issue(), 1);
+        assert_eq!(lane.issued(), 2);
+        assert_eq!(lane.turn(), 0);
+        // seq 0's turn is immediate: help/keep must not even be consulted.
+        assert!(lane.wait_turn(0, || panic!("no help needed"), || panic!("no keep needed")));
+    }
+
+    #[test]
+    fn successor_blocks_until_predecessor_retires() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let lane = Arc::new(TicketLane::default());
+        let (s0, s1) = (lane.issue(), lane.issue());
+        let committed0 = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (lane, committed0) = (Arc::clone(&lane), Arc::clone(&committed0));
+            std::thread::spawn(move || {
+                assert!(lane.wait_turn(s1, || false, || true));
+                // The wait may only end after the predecessor retired.
+                assert!(committed0.load(AtomicOrdering::Acquire));
+                lane.retire(s1);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        committed0.store(true, AtomicOrdering::Release);
+        lane.retire(s0);
+        t.join().unwrap();
+        assert_eq!(lane.turn(), 2);
+    }
+
+    #[test]
+    fn out_of_order_retirement_skips_holes() {
+        let lane = TicketLane::default();
+        let seqs: Vec<u64> = (0..5).map(|_| lane.issue()).collect();
+        // 2, 3 and 1 abandon before their turn; nothing moves yet.
+        lane.retire(seqs[2]);
+        lane.retire(seqs[3]);
+        lane.retire(seqs[1]);
+        assert_eq!(lane.turn(), 0);
+        // Retiring 0 must sweep the turn all the way to 4.
+        lane.retire(seqs[0]);
+        assert_eq!(lane.turn(), 4);
+        assert!(lane.wait_turn(seqs[4], || false, || true));
+        lane.retire(seqs[4]);
+        assert_eq!(lane.turn(), 5);
+        // Double-retire of a passed seq is a no-op.
+        lane.retire(seqs[2]);
+        assert_eq!(lane.turn(), 5);
+    }
+
+    #[test]
+    fn keep_false_abandons_the_wait() {
+        let lane = TicketLane::default();
+        let _s0 = lane.issue();
+        let s1 = lane.issue();
+        let mut polls = 0;
+        let ok = lane.wait_turn(
+            s1,
+            || false,
+            || {
+                polls += 1;
+                polls < 3
+            },
+        );
+        assert!(!ok, "wait must report abandonment");
+        assert_eq!(lane.turn(), 0, "abandoning a wait must not retire the ticket");
+    }
+
+    #[test]
+    fn helping_is_invoked_outside_the_lane_lock() {
+        use std::sync::Arc;
+        let lane = Arc::new(TicketLane::default());
+        let s0 = lane.issue();
+        let s1 = lane.issue();
+        // The helper itself retires the predecessor — it could not do that
+        // if the lane lock were still held around `help`.
+        let lane2 = Arc::clone(&lane);
+        let mut done = false;
+        assert!(lane.wait_turn(
+            s1,
+            move || {
+                if !done {
+                    lane2.retire(s0);
+                    done = true;
+                }
+                true
+            },
+            || true,
+        ));
+    }
+
+    #[test]
+    fn dispenser_round_robins_lanes_and_sequences_within_each() {
+        let d = TicketDispenser::new(3);
+        assert_eq!(d.shards(), 3);
+        let tickets: Vec<Ticket> = (0..6).map(|_| d.acquire()).collect();
+        let lanes: Vec<u32> = tickets.iter().map(|t| t.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 0, 1, 2]);
+        let seqs: Vec<u64> = tickets.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(d.lane(0).issued(), 2);
+    }
+
+    #[test]
+    fn dispenser_clamps_zero_shards_to_one() {
+        let d = TicketDispenser::new(0);
+        assert_eq!(d.shards(), 1);
+        let t = d.acquire();
+        assert_eq!((t.lane, t.seq), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_lane_traffic_commits_in_seq_order() {
+        use std::sync::Arc;
+        let lane = Arc::new(TicketLane::default());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let lane = Arc::clone(&lane);
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let seq = lane.issue();
+                        assert!(lane.wait_turn(seq, || false, || true));
+                        log.lock().push(seq);
+                        lane.retire(seq);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let log = log.lock();
+        assert_eq!(log.len(), 400);
+        assert!(log.windows(2).all(|w| w[0] < w[1]), "commit log must be strictly ascending");
     }
 }

@@ -73,6 +73,13 @@ macro_rules! counters {
                 self.read_slow.fetch_add(n, Ordering::Relaxed);
             }
 
+            /// Accumulates time spent waiting for an ordered-lane ticket's
+            /// turn.
+            #[inline]
+            pub fn add_ticket_wait_ns(&self, ns: u64) {
+                self.ticket_wait_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+
             /// Adds a transaction's batch of `orec_snapshot` retries (full
             /// re-reads forced by a racing ownership propagation). Batched
             /// like the read-path counters: the snapshot sits on the
@@ -165,6 +172,17 @@ counters! {
     /// `orec_snapshot` re-reads forced by a racing ownership propagation
     /// (flushed in per-transaction batches with the read-path counters).
     orec_snapshot_retries,
+    /// Commit tickets issued by the ordered-execution lane's dispenser.
+    tickets_issued,
+    /// Top-level transactions committed through the ordered lane (in strict
+    /// per-lane ticket order).
+    ordered_commits,
+    /// Tickets abandoned before commit (abort, panic, retry exhaustion or
+    /// stall) — the lane skipped over them.
+    tickets_abandoned,
+    /// Nanoseconds spent waiting for a ticket's turn in the ordered lane
+    /// (the cross-transaction analogue of `wait_turn_ns`).
+    ticket_wait_ns,
 }
 
 impl StatSnapshot {

@@ -44,6 +44,9 @@ pub enum StallKind {
     Quiescence,
     /// A submitter blocked in `TxFuture::wait`/`eval` past the threshold.
     FutureWait,
+    /// An ordered-lane transaction blocked waiting for its commit ticket's
+    /// turn past the threshold.
+    TicketWait,
 }
 
 impl StallKind {
@@ -53,6 +56,7 @@ impl StallKind {
             StallKind::WaitTurn => "wait_turn",
             StallKind::Quiescence => "quiescence",
             StallKind::FutureWait => "future_wait",
+            StallKind::TicketWait => "ticket_wait",
         }
     }
 }
@@ -151,6 +155,32 @@ pub enum Event {
     /// the read-path batch; each retry is one full re-read forced by a
     /// racing ownership propagation).
     OrecSnapshotRetries(u64),
+    /// An ordered-lane commit ticket was issued.
+    TicketIssued,
+    /// An ordered-lane transaction committed at its ticket's turn. The
+    /// `(lane, seq)` pair is the transaction's position in the predefined
+    /// commit order; the stream of these events *is* the commit-order log
+    /// the record/replay harness captures (`rtf-replay-v1`).
+    TicketCommit {
+        /// Dispenser lane the ticket came from.
+        lane: u32,
+        /// Position within the lane (ascending at commit time).
+        seq: u64,
+        /// Raw id of the committing tree (diagnostic only: tree ids are
+        /// process-global and not reproducible across runs, so replay
+        /// artifacts exclude them).
+        tree: u64,
+    },
+    /// An ordered-lane ticket was abandoned before commit (abort, panic,
+    /// retry exhaustion or stall); the lane skips over it.
+    TicketAbandoned {
+        /// Dispenser lane the ticket came from.
+        lane: u32,
+        /// Position within the lane.
+        seq: u64,
+    },
+    /// Nanoseconds an ordered-lane commit spent waiting for its turn.
+    TicketWaitNs(u64),
 }
 
 /// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
@@ -336,6 +366,10 @@ impl EventSink for StatsSink {
             Event::FuturePanicked => s.future_panics(),
             Event::RetryExhausted => s.retries_exhausted(),
             Event::OrecSnapshotRetries(n) => s.add_orec_snapshot_retries(n),
+            Event::TicketIssued => s.tickets_issued(),
+            Event::TicketCommit { .. } => s.ordered_commits(),
+            Event::TicketAbandoned { .. } => s.tickets_abandoned(),
+            Event::TicketWaitNs(ns) => s.add_ticket_wait_ns(ns),
             // Timing and attribution detail beyond the flat counters is the
             // observability layer's business (see `rtf-txobs`).
             Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}
@@ -456,6 +490,11 @@ mod tests {
         sink.event(Event::WaitTurnNs(120));
         sink.event(Event::PoolTaskHelped);
         sink.event(Event::PoolFenceDeferrals(3));
+        sink.event(Event::TicketIssued);
+        sink.event(Event::TicketIssued);
+        sink.event(Event::TicketCommit { lane: 0, seq: 0, tree: 9 });
+        sink.event(Event::TicketAbandoned { lane: 0, seq: 1 });
+        sink.event(Event::TicketWaitNs(40));
         // Detail-only events fall through without touching counters.
         sink.event(Event::TopCommitNs(999));
         sink.event(Event::FutureLifetimeNs(999));
@@ -466,6 +505,10 @@ mod tests {
         assert_eq!(snap.wait_turn_ns, 120);
         assert_eq!(snap.pool_helped_tasks, 1);
         assert_eq!(snap.pool_fence_deferrals, 3);
+        assert_eq!(snap.tickets_issued, 2);
+        assert_eq!(snap.ordered_commits, 1);
+        assert_eq!(snap.tickets_abandoned, 1);
+        assert_eq!(snap.ticket_wait_ns, 40);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod conflicts;
 pub mod hist;
 pub mod json;
 pub mod obs;
+pub mod replay;
 pub mod report;
 pub mod ring;
 
@@ -38,6 +39,7 @@ pub use conflicts::{ConflictTable, Hotspot};
 pub use hist::{HistSnapshot, LogHist};
 pub use json::{Json, ParseError};
 pub use obs::{ExportPaths, MetricsSnapshot, ObsConfig, SpanObs, TxObs};
+pub use replay::{state_hash, CommitLog, ReplayArtifact, ReplayCounters, REPLAY_SCHEMA};
 pub use ring::SpanRing;
 
 // Re-exported so observer clients need not depend on the engine crate for

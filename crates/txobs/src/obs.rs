@@ -142,6 +142,10 @@ impl MetricsSnapshot {
             ("future_panics".into(), Json::U64(c.future_panics)),
             ("retries_exhausted".into(), Json::U64(c.retries_exhausted)),
             ("orec_snapshot_retries".into(), Json::U64(c.orec_snapshot_retries)),
+            ("tickets_issued".into(), Json::U64(c.tickets_issued)),
+            ("ordered_commits".into(), Json::U64(c.ordered_commits)),
+            ("tickets_abandoned".into(), Json::U64(c.tickets_abandoned)),
+            ("ticket_wait_ns".into(), Json::U64(c.ticket_wait_ns)),
         ]);
         let derived = Json::Obj(vec![
             ("commits".into(), Json::U64(c.commits())),

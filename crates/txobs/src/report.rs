@@ -62,6 +62,16 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
         c.retries_exhausted,
         c.orec_snapshot_retries
     ));
+    if c.tickets_issued > 0 {
+        out.push_str("ordered lane:\n");
+        out.push_str(&format!(
+            "  tickets issued {}  ordered commits {}  abandoned {}  turn wait {}\n",
+            c.tickets_issued,
+            c.ordered_commits,
+            c.tickets_abandoned,
+            fmt_ns(c.ticket_wait_ns)
+        ));
+    }
     let reads_total = c.read_fast + c.read_slow;
     let fast_pct =
         if reads_total == 0 { 0.0 } else { c.read_fast as f64 * 100.0 / reads_total as f64 };
@@ -109,6 +119,8 @@ mod tests {
         m.counters.top_commits = 5;
         m.counters.read_fast = 8;
         m.counters.read_slow = 2;
+        m.counters.tickets_issued = 6;
+        m.counters.ordered_commits = 5;
         m.commit.count = 5;
         m.commit.p99 = 1_500;
         m.hotspots.push(Hotspot {
@@ -128,6 +140,8 @@ mod tests {
             "spans",
             "fast-path 80.0%",
             "stalls detected",
+            "ordered lane",
+            "tickets issued 6",
         ] {
             assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
         }

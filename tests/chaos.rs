@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use rtf::{Rtf, TxError, VBox};
+use rtf::{CommitLog, ReplayArtifact, Rtf, TxError, VBox};
 use rtf_txfault::{FaultPlan, SiteRule};
 
 /// Serializes tests: installed fault plans are process-global.
@@ -270,4 +270,113 @@ fn seeded_chaos_preserves_counter_exactness() {
     // With 1000 runs at these panic rates, some future panics are certain;
     // each must have surfaced as a structured error, never a crash or hang.
     assert!(panicked > 0, "injected panics never surfaced as FuturePanicked");
+}
+
+/// The seeded chaos workload through the ordered lane: the same exactness
+/// invariant, plus ticket-lifecycle balance. Any violation fails with the
+/// recorded commit order attached as an `rtf-replay-v1` artifact — a
+/// replayable schedule, not just a counter mismatch.
+#[test]
+fn seeded_chaos_through_ordered_lane_dumps_replayable_schedule_on_failure() {
+    let _g = lock();
+    if !rtf_txfault::enabled() {
+        eprintln!("skipped: requires --features fault-inject");
+        return;
+    }
+    const SHARDS: u32 = 2;
+    rtf_txfault::install(
+        FaultPlan::new(0x0D0E)
+            .rule(SiteRule::at("mvstm.commit.validate").abort(150_000))
+            .rule(SiteRule::at("mvstm.commit.ticket").abort(80_000).delay(40_000, 50))
+            .rule(SiteRule::at("core.wait_turn").abort(30_000).spurious(150_000))
+            .rule(SiteRule::at("core.future.body").abort(60_000).panic(10_000))
+            .rule(SiteRule::at("txengine.cell.*").abort(30_000)),
+    );
+    let log = CommitLog::new();
+    // On any invariant violation, attach the recorded schedule so the
+    // failure is replayable from the test output alone.
+    let dump = {
+        let log = Arc::clone(&log);
+        move |msg: String, stats: &rtf::StatSnapshot| -> ! {
+            let artifact = ReplayArtifact::from_run("chaos-test", 0x0D0E, SHARDS, &log, 0, stats);
+            panic!("{msg}\nreplayable schedule:\n{}", artifact.to_json().pretty());
+        }
+    };
+    let outcome = bounded(120, {
+        let log = Arc::clone(&log);
+        move || {
+            let tm = Arc::new(
+                Rtf::builder()
+                    .workers(4)
+                    .ordered(SHARDS as usize)
+                    .event_sink(log as _)
+                    .stall_warn(Duration::from_millis(200))
+                    .stall_abort(Duration::from_secs(10))
+                    .build(),
+            );
+            let counter = VBox::new(0u64);
+            let expected = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let tm = Arc::clone(&tm);
+                    let counter = counter.clone();
+                    let expected = Arc::clone(&expected);
+                    std::thread::spawn(move || {
+                        for _ in 0..150 {
+                            let r = tm.run({
+                                let counter = counter.clone();
+                                move |tx| {
+                                    let f = tx.submit({
+                                        let counter = counter.clone();
+                                        move |tx| {
+                                            let v = *tx.read(&counter);
+                                            tx.write(&counter, v + 1);
+                                            1u64
+                                        }
+                                    });
+                                    let d = *tx.eval(&f);
+                                    let v = *tx.read(&counter);
+                                    tx.write(&counter, v + d);
+                                }
+                            });
+                            match r {
+                                Ok(()) => {
+                                    expected.fetch_add(2, Ordering::Relaxed);
+                                }
+                                Err(TxError::FuturePanicked { .. }) => {}
+                                Err(e) => panic!("unexpected chaos failure: {e}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread crashed");
+            }
+            (*counter.read_committed(), expected.load(Ordering::Relaxed), tm.stats())
+        }
+    });
+    rtf_txfault::clear();
+    let (committed, expected, stats) = outcome;
+    if committed != expected {
+        dump(
+            format!("ordered chaos lost exactness: committed {committed} != expected {expected}"),
+            &stats,
+        );
+    }
+    if stats.ordered_commits + stats.tickets_abandoned != stats.tickets_issued {
+        dump(
+            format!(
+                "ticket lifecycle leak: issued {} != commits {} + abandoned {}",
+                stats.tickets_issued, stats.ordered_commits, stats.tickets_abandoned
+            ),
+            &stats,
+        );
+    }
+    assert_eq!(
+        log.len() as u64,
+        stats.ordered_commits,
+        "commit log drifted from the ordered_commits counter"
+    );
+    assert_eq!(stats.tickets_issued, 600, "every run draws exactly one ticket");
 }

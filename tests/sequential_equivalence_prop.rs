@@ -147,6 +147,76 @@ fn random_programs_match_sequential() {
     }
 }
 
+/// Ordered mode extends the equivalence *across* transactions: a batch of
+/// random programs run as ticketed top-level transactions must equal the
+/// sequential execution of those programs in ticket order — and the commit
+/// log must be exactly the ticket order — even though worker threads race
+/// through them out of order.
+#[test]
+fn ordered_mode_batch_matches_sequential_spec_in_ticket_order() {
+    use rtf::CommitLog;
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x08D0 + seed);
+        let progs: Vec<Prog> = (0..12).map(|_| gen_prog(&mut rng, 6)).collect();
+
+        // Reference: one sequential pass, program k applied at position k.
+        let mut expect_state = [0u64; BOXES];
+        for (i, s) in expect_state.iter_mut().enumerate() {
+            *s = (i as u64 + 1) * 100;
+        }
+        let expect_accs: Vec<u64> = progs.iter().map(|p| interp(p, &mut expect_state, 7)).collect();
+
+        // TM: tickets drawn in program order pin the commit order; three
+        // threads then race through disjoint round-robin slices (each
+        // slice in increasing ticket order, so turn waits cannot
+        // deadlock).
+        let log = CommitLog::new();
+        let tm = Rtf::builder().workers(2).ordered(1).event_sink(Arc::clone(&log) as _).build();
+        let boxes: Arc<Vec<VBox<u64>>> =
+            Arc::new((0..BOXES).map(|i| VBox::new((i as u64 + 1) * 100)).collect());
+        let threads = 3;
+        let mut per_thread: Vec<Vec<(usize, rtf::OrderedTicket)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for k in 0..progs.len() {
+            per_thread[k % threads].push((k, tm.ticket()));
+        }
+        let got_accs = {
+            let accs = Arc::new(std::sync::Mutex::new(vec![0u64; progs.len()]));
+            let handles: Vec<_> = per_thread
+                .into_iter()
+                .map(|slice| {
+                    let tm = tm.clone();
+                    let boxes = Arc::clone(&boxes);
+                    let progs = progs.clone();
+                    let accs = Arc::clone(&accs);
+                    std::thread::spawn(move || {
+                        for (k, ticket) in slice {
+                            let prog = progs[k].clone();
+                            let boxes = Arc::clone(&boxes);
+                            let acc = tm
+                                .run_ticketed(ticket, move |tx| run_tm(tx, &prog, &boxes, 7))
+                                .expect("ticketed program failed");
+                            accs.lock().unwrap()[k] = acc;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("runner thread crashed");
+            }
+            Arc::try_unwrap(accs).unwrap().into_inner().unwrap()
+        };
+
+        assert_eq!(got_accs, expect_accs, "accumulators diverged (seed {seed})");
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(*b.read_committed(), expect_state[i], "box {i} diverged (seed {seed})");
+        }
+        // Commit log == ticket order: one lane, dense ascending sequence.
+        let expected_log: Vec<(u32, u64)> = (0..progs.len() as u64).map(|s| (0, s)).collect();
+        assert_eq!(log.entries(), expected_log, "commit order != ticket order (seed {seed})");
+    }
+}
+
 /// The same programs must also be deterministic across repeated TM runs
 /// (fresh boxes each time).
 #[test]

@@ -179,6 +179,74 @@ fn recursive_divide_and_conquer_sum() {
     assert_eq!(total, (0..64u64).sum());
 }
 
+/// The ordered lane extends strong ordering *across* top-level
+/// transactions: tickets drawn in submission order fix the inter-transaction
+/// order, and inside each transaction the paper's intra-tree ordering fixes
+/// the rest — so a shared trace must read exactly as the fully sequential
+/// program, transaction by transaction, fork by fork.
+#[test]
+fn ordered_lane_composes_with_intra_tree_strong_ordering() {
+    let tm = Rtf::builder().workers(3).ordered(1).build();
+    let trace = VBox::new(Vec::<u64>::new());
+    let push = |tx: &mut rtf::Tx, b: &VBox<Vec<u64>>, tag: u64| {
+        let mut v = (*tx.read(b)).clone();
+        v.push(tag);
+        tx.write(b, v);
+    };
+
+    // Tickets drawn in order 0..6; three threads then run disjoint
+    // round-robin slices concurrently (each slice in increasing ticket
+    // order, so turn waits cannot deadlock).
+    let n = 6u64;
+    let threads = 3;
+    let mut per_thread: Vec<Vec<(u64, rtf::OrderedTicket)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for i in 0..n {
+        per_thread[(i as usize) % threads].push((i, tm.ticket()));
+    }
+    let handles: Vec<_> = per_thread
+        .into_iter()
+        .map(|slice| {
+            let tm = tm.clone();
+            let trace = trace.clone();
+            std::thread::spawn(move || {
+                for (i, ticket) in slice {
+                    let trace = trace.clone();
+                    tm.run_ticketed(ticket, move |tx| {
+                        // Transaction i writes [10i, 10i+1, 10i+2]: root,
+                        // then its future, then its continuation.
+                        push(tx, &trace, 10 * i);
+                        let tf = trace.clone();
+                        let tc = trace.clone();
+                        tx.fork(
+                            move |tx| push(tx, &tf, 10 * i + 1),
+                            move |tx, f| {
+                                push(tx, &tc, 10 * i + 2);
+                                let _ = tx.eval(f);
+                            },
+                        );
+                    })
+                    .expect("ticketed transaction failed");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("runner thread crashed");
+    }
+
+    let expect: Vec<u64> = (0..n).flat_map(|i| [10 * i, 10 * i + 1, 10 * i + 2]).collect();
+    assert_eq!(
+        *trace.read_committed(),
+        expect,
+        "cross-transaction ticket order must compose with intra-tree ordering"
+    );
+    let s = tm.stats();
+    assert_eq!(s.tickets_issued, n);
+    assert_eq!(s.ordered_commits, n);
+    assert_eq!(s.tickets_abandoned, 0);
+}
+
 /// Writes by later-serialized sub-transactions must not leak into earlier
 /// ones: the future (serialized first) must never see the continuation's
 /// write even when the continuation commits while the future still runs.
