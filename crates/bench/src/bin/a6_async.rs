@@ -1,0 +1,88 @@
+//! A6 — sync-vs-async front-end overhead on the Fig 5b contended workload.
+//!
+//! The waker-based blocking core (DESIGN.md §3.14) claims the async
+//! front-end is a different *waiting* strategy, not a different runtime:
+//! `block_on(run_async(body))` must cost no more than a few percent over
+//! the blocking `atomic(body)` on the same workload, because the poll path
+//! helps with the same discipline the blocking waits use.
+//!
+//! For each Fig 5b `i*j` allocation and read-prefix length this drives the
+//! *identical* contended body through both front-ends and reports the
+//! async/sync throughput ratio (1.00 = free, lower = async overhead).
+
+use rtf_bench::{Args, MetricsSidecar};
+use rtf_benchkit::measure::fmt_f64;
+use rtf_benchkit::{run_clients, SyntheticArray, SyntheticConfig, Table};
+use rtf_txasync::block_on;
+
+use rtf_bench::fig5::allocations;
+
+fn main() {
+    let mut args = Args::parse();
+    let sidecar = MetricsSidecar::install(&mut args, "a6_async");
+    let budget = args.thread_budget();
+    eprintln!("a6: sync vs async front-end, thread budget {budget} (use --threads to change)");
+
+    let prefixes: Vec<usize> = if args.quick { vec![10, 100] } else { vec![10, 100, 1_000] };
+    let iter = if args.quick { 100 } else { 1_000 };
+    let array_size = args.array_size.unwrap_or(if args.quick { 1 << 14 } else { 1 << 18 });
+
+    let header: Vec<String> = std::iter::once("prefix".to_string())
+        .chain(allocations(budget).iter().map(|a| a.to_string()))
+        .collect();
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t_sync =
+        Table::new("A6 — blocking front-end throughput (txs/s), contended synthetic", &headers);
+    let mut t_async = Table::new(
+        "A6 — async front-end throughput (txs/s), same workload via block_on(run_async)",
+        &headers,
+    );
+    let mut t_ratio =
+        Table::new("A6 — async / sync throughput ratio (1.00 = the waker path is free)", &headers);
+
+    for &prefix in &prefixes {
+        let mut row_sync = vec![prefix.to_string()];
+        let mut row_async = vec![prefix.to_string()];
+        let mut row_ratio = vec![prefix.to_string()];
+        for alloc in allocations(budget) {
+            let cfg = SyntheticConfig {
+                array_size,
+                tx_len: prefix,
+                iters_between: iter,
+                hot_spots: 20,
+                hot_writes: 10,
+            };
+            let ops = args.ops.unwrap_or_else(|| (20_000 / prefix.max(10)).clamp(5, 200));
+            let workers = budget.saturating_sub(alloc.clients).max(1);
+
+            // Fresh TM and data per cell and per front-end: contended runs
+            // mutate hot spots, and a shared TM would let one front-end
+            // warm the other's pool.
+            let data = SyntheticArray::new(cfg);
+            let tm = args.tm().workers(workers).build();
+            let sync_tp = run_clients(alloc.clients, ops, |c, i| {
+                tm.atomic(data.contended_body(alloc.futures, (c * ops + i) as u64));
+            })
+            .throughput();
+
+            let data = SyntheticArray::new(cfg);
+            let tm = args.tm().workers(workers).build();
+            let async_tp = run_clients(alloc.clients, ops, |c, i| {
+                block_on(tm.run_async(data.contended_body(alloc.futures, (c * ops + i) as u64)))
+                    .expect("async contended transaction failed");
+            })
+            .throughput();
+
+            row_sync.push(fmt_f64(sync_tp));
+            row_async.push(fmt_f64(async_tp));
+            row_ratio.push(fmt_f64(async_tp / sync_tp));
+        }
+        t_sync.row(row_sync);
+        t_async.row(row_async);
+        t_ratio.row(row_ratio);
+    }
+    t_sync.emit(args.csv.as_deref());
+    t_async.emit(args.csv.as_deref());
+    t_ratio.emit(args.csv.as_deref());
+    sidecar.write(args.csv.as_deref());
+}

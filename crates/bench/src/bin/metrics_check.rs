@@ -20,7 +20,11 @@
 //! * `--require-ordered` — the ordered-commit lane ran and its ticket
 //!   lifecycle balanced: tickets were issued, commits flowed through the
 //!   lane, and `issued == ordered_commits + abandoned` (every ticket
-//!   resolved exactly once).
+//!   resolved exactly once);
+//! * `--require-async` — the waker backend of the unified wait layer ran:
+//!   wakers were registered at blocking sites and fired by completions
+//!   (`counters.wakers_registered > 0 && counters.wakers_fired > 0`), with
+//!   no more fires than registrations.
 //!
 //! Exits non-zero with a message naming the first failed assertion.
 
@@ -62,6 +66,7 @@ struct Requirements {
     no_dropped_spans: bool,
     stall_probe: bool,
     ordered: bool,
+    async_wakers: bool,
 }
 
 fn check_metrics(doc: &Json, req: &Requirements) {
@@ -134,6 +139,21 @@ fn check_metrics(doc: &Json, req: &Requirements) {
                 "ticket lifecycle leak: issued {issued} != commits {ordered_commits} + \
                  abandoned {abandoned}"
             ));
+        }
+    }
+    if req.async_wakers {
+        let registered = u64_at(doc, &["counters", "wakers_registered"]);
+        let fired = u64_at(doc, &["counters", "wakers_fired"]);
+        if registered == 0 {
+            fail("wakers_registered is zero — no blocking site used the waker backend");
+        }
+        if fired == 0 {
+            fail("wakers_fired is zero — registered wakers were never woken");
+        }
+        // A fire consumes a registration (re-registrations may outnumber
+        // fires; the reverse would mean a waker fired out of thin air).
+        if fired > registered {
+            fail(&format!("wakers fired {fired} > registered {registered}"));
         }
     }
     println!(
@@ -210,6 +230,7 @@ fn main() {
             "--no-dropped-spans" => req.no_dropped_spans = true,
             "--require-stall-probe" => req.stall_probe = true,
             "--require-ordered" => req.ordered = true,
+            "--require-async" => req.async_wakers = true,
             _ if arg.starts_with("--") => {
                 eprintln!("metrics_check: unknown flag {arg}");
                 std::process::exit(2);

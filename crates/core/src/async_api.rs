@@ -1,0 +1,346 @@
+//! Async front-end: top-level transactions as pollable futures.
+//!
+//! [`Rtf::run_async`] (and its ordered sibling [`Rtf::run_ticketed_async`])
+//! wraps one whole top-level transaction — the same retry loop as
+//! [`Rtf::run`], helping included — in a [`TxRun`] future. The transaction
+//! body still executes on the task pool (or inline, via helping); the
+//! *waiting* is what becomes async: instead of parking an OS thread on the
+//! result, the poller registers its [`Waker`](std::task::Waker) in a
+//! [`WaitCell`] and yields.
+//!
+//! The poll path keeps the stack-wide help-first discipline: each poll
+//! re-checks the result, runs bounded helping steps through the pool while
+//! they make progress, and only then registers the waker. With a
+//! zero-worker pool on a single-threaded executor the first poll's helping
+//! step runs the entire transaction inline — no OS thread ever blocks,
+//! which is the property the equivalence suite pins down.
+//!
+//! Stall surveillance: the warn-only watchdog is armed when the [`TxRun`]
+//! is *created* (registration time), not on first poll, so a future parked
+//! in an executor still accrues wait time against the warn threshold and
+//! reports `StallDetected` on its next poll. Abort authority stays with the
+//! blocking waits inside the transaction itself (they already convert armed
+//! stalls into [`TxError::StallAborted`]); tearing the outer future down as
+//! well would double-report the same stall.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use parking_lot::Mutex;
+use rtf_txbase::{WaitCell, WaiterHandle};
+use rtf_txengine::{Event, StallKind};
+use rtf_txfault::Outcome;
+
+use crate::error::TxError;
+use crate::ordered::OrderedTicket;
+use crate::runtime::Rtf;
+use crate::stall::StallWatch;
+use crate::tx::Tx;
+
+/// Oneshot rendezvous between the transaction task and the poller: the task
+/// publishes the result, then latches the cell; the poller re-checks the
+/// result whenever registration observes the latch (the waker-backend
+/// analogue of the epoch-token protocol in `rtf_txbase::wait`).
+struct RunShared<R> {
+    result: Mutex<Option<Result<R, TxError>>>,
+    cell: WaitCell,
+}
+
+impl<R> RunShared<R> {
+    /// Publishes `r` (first writer wins) and fires the registered waker,
+    /// if any. Publish-before-latch ordering: a poller that observes the
+    /// latch must find the result on its re-check.
+    fn publish(&self, r: Result<R, TxError>, sink: &Arc<dyn rtf_txengine::EventSink>) {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            *slot = Some(r);
+        }
+        drop(slot);
+        if self.cell.notify() {
+            sink.event(Event::WakerFired);
+        }
+    }
+}
+
+/// Panic-safety for the pool task (mirrors the future lifecycle's drop
+/// guard): if the task dies before publishing — e.g. a fault injected at
+/// `taskpool.task.run` unwinds it before the transaction even starts — the
+/// guard publishes a structured failure so the awaiting task is woken
+/// instead of parked forever.
+struct PublishOnDrop<R> {
+    shared: Arc<RunShared<R>>,
+    sink: Arc<dyn rtf_txengine::EventSink>,
+}
+
+impl<R> Drop for PublishOnDrop<R> {
+    fn drop(&mut self) {
+        if self.shared.result.lock().is_none() {
+            self.shared.publish(
+                Err(TxError::FuturePanicked {
+                    message: "transaction task died before publishing a result".into(),
+                }),
+                &self.sink,
+            );
+        }
+    }
+}
+
+/// A top-level transaction in flight, as a [`Future`].
+///
+/// Created by [`Rtf::run_async`] / [`Rtf::run_ticketed_async`]. The
+/// transaction is spawned lazily on first poll (a `TxRun` that is never
+/// polled never runs), resolves to exactly what [`Rtf::run`] would have
+/// returned, and must not be polled again after completion.
+pub struct TxRun<R> {
+    shared: Arc<RunShared<R>>,
+    /// The whole transaction as one pool task; taken on first poll.
+    task: Option<Box<dyn FnOnce() + Send + 'static>>,
+    tm: Rtf,
+    watch: StallWatch,
+    done: bool,
+}
+
+impl<R: Send + 'static> TxRun<R> {
+    fn new(
+        tm: Rtf,
+        ticket: Option<OrderedTicket>,
+        body: Box<dyn Fn(&mut Tx) -> R + Send + 'static>,
+    ) -> TxRun<R> {
+        let shared = Arc::new(RunShared { result: Mutex::new(None), cell: WaitCell::new() });
+        let sink = Arc::clone(&tm.env().sink);
+        // Armed now — registration time — so wait time accrues even while
+        // the future sits unpolled in an executor (see module docs).
+        let watch =
+            StallWatch::warn_only(StallKind::AsyncWait, 0, 0, Arc::clone(&sink), tm.env().stall);
+        let task = {
+            // The guard is a *capture*, constructed before the closure: a
+            // task dropped without ever running (pool teardown, or a fault
+            // injected ahead of the task body) still destroys its captures,
+            // which is the only signal an unrun task leaves behind.
+            let guard = PublishOnDrop { shared: Arc::clone(&shared), sink: Arc::clone(&sink) };
+            let tm = tm.clone();
+            Box::new(move || {
+                let r = match ticket {
+                    Some(t) => tm.run_ticketed(t, &*body),
+                    None => tm.run(&*body),
+                };
+                guard.shared.publish(r, &guard.sink);
+            })
+        };
+        TxRun { shared, task: Some(task), tm, watch, done: false }
+    }
+}
+
+impl<R: Send + 'static> Future for TxRun<R> {
+    type Output = Result<R, TxError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "TxRun polled after completion");
+        // Chaos hook: pretend a stray wakeup scheduled this poll for
+        // nothing, and require the poller to survive an immediate re-poll.
+        if rtf_txfault::fail_point!("core.async.poll") == Outcome::SpuriousWake {
+            cx.waker().wake_by_ref();
+        }
+        let _ = this.watch.tick();
+        if let Some(task) = this.task.take() {
+            this.tm.env().pool.spawn(task);
+        }
+        loop {
+            if let Some(r) = this.shared.result.lock().take() {
+                this.done = true;
+                return Poll::Ready(r);
+            }
+            // Help-first: run queued pool work while any exists — the
+            // queue may hold this very transaction (zero-worker pools run
+            // it entirely inside this step) or work its predecessors are
+            // blocked on.
+            if this.tm.env().pool.help_one(None) {
+                continue;
+            }
+            // Idle: park the task. Re-registration replaces the previous
+            // waker, so polls migrating across executor threads stay
+            // current. A refused registration means the cell latched since
+            // the result check — loop once more and take it.
+            if this.shared.cell.register(WaiterHandle::Waker(cx.waker().clone())) {
+                this.tm.env().sink.event(Event::WakerRegistered);
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+impl Rtf {
+    /// Runs `body` as a top-level transaction, asynchronously: the returned
+    /// future resolves to exactly what [`Rtf::run`] would return, but the
+    /// awaiting task never blocks an OS thread — it registers its waker and
+    /// yields, helping the pool along on every poll.
+    ///
+    /// The transaction is spawned lazily on first poll. `body` may execute
+    /// several times (aborts, re-executions); keep non-transactional side
+    /// effects idempotent.
+    pub fn run_async<R>(
+        &self,
+        body: impl Fn(&mut Tx) -> R + Send + 'static,
+    ) -> impl Future<Output = Result<R, TxError>> + Send
+    where
+        R: Send + 'static,
+    {
+        TxRun::new(self.clone(), None, Box::new(body))
+    }
+
+    /// Like [`Rtf::run_async`], but committing at the position of a ticket
+    /// drawn earlier with [`Rtf::ticket`] — the async form of
+    /// [`Rtf::run_ticketed`]. On error the ticket is abandoned and the lane
+    /// skips over it.
+    pub fn run_ticketed_async<R>(
+        &self,
+        ticket: OrderedTicket,
+        body: impl Fn(&mut Tx) -> R + Send + 'static,
+    ) -> impl Future<Output = Result<R, TxError>> + Send
+    where
+        R: Send + 'static,
+    {
+        TxRun::new(self.clone(), Some(ticket), Box::new(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VBox;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::task::{Wake, Waker};
+
+    struct Flag(AtomicUsize);
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Drives a future on this thread alone, without parking: polls, and
+    /// between polls spins until the waker fires (test-only busy loop).
+    fn drive<F: Future>(fut: F) -> F::Output {
+        let mut fut = std::pin::pin!(fut);
+        let flag = Arc::new(Flag(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        let mut seen = 0;
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(r) => return r,
+                Poll::Pending => {
+                    while flag.0.load(Ordering::SeqCst) == seen {
+                        std::hint::spin_loop();
+                    }
+                    seen = flag.0.load(Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_async_resolves_on_a_zero_worker_pool() {
+        // No workers: the transaction can only run inside the poll path's
+        // helping step — the property the acceptance criterion pins.
+        let tm = Rtf::builder().workers(0).build();
+        let x = VBox::new(5u64);
+        let got = drive(tm.run_async({
+            let x = x.clone();
+            move |tx| {
+                let f = tx.submit({
+                    let x = x.clone();
+                    move |tx| *tx.read(&x) * 2
+                });
+                *tx.eval(&f) + 1
+            }
+        }));
+        assert_eq!(got.unwrap(), 11);
+        assert_eq!(tm.stats().commits(), 1);
+    }
+
+    #[test]
+    fn run_async_is_lazy_until_first_poll() {
+        let tm = Rtf::builder().workers(2).build();
+        let x = VBox::new(0u64);
+        let fut = tm.run_async({
+            let x = x.clone();
+            move |tx| tx.write(&x, 1)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(tm.stats().top_commits, 0, "unpolled TxRun must not have run");
+        drive(fut).unwrap();
+        assert_eq!(*x.read_committed(), 1);
+    }
+
+    #[test]
+    fn run_ticketed_async_commits_at_the_ticket_position() {
+        let tm = Rtf::builder().workers(0).ordered(1).build();
+        let x = VBox::new(0u64);
+        let t0 = tm.ticket();
+        let t1 = tm.ticket();
+        // Resolve out of submission order: the second ticket's transaction
+        // runs first but must commit second.
+        let f1 = tm.run_ticketed_async(t1, {
+            let x = x.clone();
+            move |tx| {
+                let v = *tx.read(&x);
+                tx.write(&x, v + 10);
+            }
+        });
+        let f0 = tm.run_ticketed_async(t0, {
+            let x = x.clone();
+            move |tx| tx.write(&x, 1)
+        });
+        let (r1, r0) = std::thread::scope(|s| {
+            let h = s.spawn(|| drive(f1));
+            let r0 = drive(f0);
+            (h.join().unwrap(), r0)
+        });
+        r0.unwrap();
+        r1.unwrap();
+        assert_eq!(*x.read_committed(), 11, "t0 (write 1) then t1 (+10)");
+        assert_eq!(tm.stats().ordered_commits, 2);
+    }
+
+    #[test]
+    fn dropping_the_unrun_task_publishes_a_structured_failure() {
+        // The pool may destroy a queued task without ever calling it (a
+        // fault injected ahead of the task body does exactly this). The
+        // drop guard travels as a closure *capture*, so the destruction
+        // itself publishes the failure — the awaiting task must resolve,
+        // not park forever.
+        let tm = Rtf::builder().workers(0).build();
+        let mut run = TxRun::new(tm, None, Box::new(|_tx| 1u64));
+        drop(run.task.take());
+        let got = drive(run);
+        assert!(
+            matches!(got, Err(TxError::FuturePanicked { .. })),
+            "expected FuturePanicked, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn waker_counters_balance_under_worker_execution() {
+        let tm = Rtf::builder().workers(1).build();
+        let x = VBox::new(0u64);
+        for _ in 0..8 {
+            drive(tm.run_async({
+                let x = x.clone();
+                move |tx| {
+                    let v = *tx.read(&x);
+                    tx.write(&x, v + 1);
+                }
+            }))
+            .unwrap();
+        }
+        assert_eq!(*x.read_committed(), 8);
+        let s = tm.stats();
+        // Every fired waker was first registered (registrations may exceed
+        // fires: a poll can re-register, and results can beat the park).
+        assert!(s.wakers_fired <= s.wakers_registered);
+    }
+}

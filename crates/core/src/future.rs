@@ -20,10 +20,12 @@
 // every one is caught or surfaced at the `Rtf` boundary, never a bug trap.
 #![allow(clippy::panic)]
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Duration;
 
+use rtf_txbase::{WaitQueue, WakerReg};
 use rtf_txengine::TxData;
 
 use crate::error::{FutureError, TxError};
@@ -38,7 +40,10 @@ enum FutState<A> {
 
 struct Shared<A> {
     state: Mutex<FutState<A>>,
-    cv: Condvar,
+    /// Settlement waiters — parked threads (sync `wait*`) and registered
+    /// wakers (`IntoFuture`) share this queue; see `rtf_txbase::wait` for
+    /// the epoch protocol that keeps both backends lost-wakeup-free.
+    waiters: WaitQueue,
 }
 
 /// A handle to a transactional future's result.
@@ -58,7 +63,10 @@ impl<A: TxData> Clone for TxFuture<A> {
 impl<A: TxData> TxFuture<A> {
     pub(crate) fn new_pending() -> Self {
         TxFuture {
-            shared: Arc::new(Shared { state: Mutex::new(FutState::Pending), cv: Condvar::new() }),
+            shared: Arc::new(Shared {
+                state: Mutex::new(FutState::Pending),
+                waiters: WaitQueue::new(),
+            }),
         }
     }
 
@@ -68,15 +76,17 @@ impl<A: TxData> TxFuture<A> {
         TxFuture {
             shared: Arc::new(Shared {
                 state: Mutex::new(FutState::Committed(value)),
-                cv: Condvar::new(),
+                waiters: WaitQueue::new(),
             }),
         }
     }
 
     pub(crate) fn complete(&self, value: Arc<A>) {
-        let mut st = self.shared.state.lock();
-        *st = FutState::Committed(value);
-        self.shared.cv.notify_all();
+        {
+            let mut st = self.shared.state.lock();
+            *st = FutState::Committed(value);
+        }
+        self.shared.waiters.notify_all();
     }
 
     /// Marks the handle stale (tree teardown / re-execution).
@@ -91,10 +101,17 @@ impl<A: TxData> TxFuture<A> {
 
     fn fail(&self, reason: FutureError) {
         debug_assert!(reason != FutureError::Pending, "Pending is not a failure");
-        let mut st = self.shared.state.lock();
-        if matches!(*st, FutState::Pending) {
-            *st = FutState::Failed(reason);
-            self.shared.cv.notify_all();
+        let failed = {
+            let mut st = self.shared.state.lock();
+            if matches!(*st, FutState::Pending) {
+                *st = FutState::Failed(reason);
+                true
+            } else {
+                false
+            }
+        };
+        if failed {
+            self.shared.waiters.notify_all();
         }
     }
 
@@ -133,15 +150,15 @@ impl<A: TxData> TxFuture<A> {
     /// `Err` carries the failure reason ([`FutureError::Cancelled`] or
     /// [`FutureError::Panicked`]).
     pub fn wait_result(&self) -> Result<Arc<A>, FutureError> {
-        let mut st = self.shared.state.lock();
         loop {
-            match &*st {
-                FutState::Committed(v) => return Ok(Arc::clone(v)),
-                FutState::Failed(reason) => return Err(*reason),
-                FutState::Pending => {
-                    self.shared.cv.wait_for(&mut st, Duration::from_millis(1));
-                }
+            // Token before predicate: a settle landing after the probe
+            // bumps the epoch, so the park below cannot sleep through it.
+            let token = self.shared.waiters.epoch();
+            match self.try_wait() {
+                Err(FutureError::Pending) => {}
+                settled => return settled,
             }
+            let _ = self.shared.waiters.park(token, 0, Duration::from_millis(1));
         }
     }
 
@@ -185,22 +202,84 @@ impl<A: TxData> TxFuture<A> {
         mut help: impl FnMut() -> bool,
     ) -> Result<Arc<A>, FutureError> {
         loop {
-            {
-                let mut st = self.shared.state.lock();
-                match &*st {
-                    FutState::Committed(v) => return Ok(Arc::clone(v)),
-                    FutState::Failed(reason) => return Err(*reason),
-                    FutState::Pending => {
-                        // Help with the lock released; park briefly only
-                        // when there is nothing to help with.
-                        let helped = parking_lot::MutexGuard::unlocked(&mut st, &mut help);
-                        if !helped {
-                            self.shared.cv.wait_for(&mut st, Duration::from_micros(200));
-                        }
-                    }
-                }
+            let token = self.shared.waiters.epoch();
+            match self.try_wait() {
+                Err(FutureError::Pending) => {}
+                settled => return settled,
+            }
+            // Help with no locks held; park briefly only when there was
+            // nothing to help with (the epoch token spans the helping
+            // step, so a settle during `help` still cancels the park).
+            if !help() {
+                let _ = self.shared.waiters.park(token, 0, Duration::from_micros(200));
             }
         }
+    }
+
+    /// Waker-backend probe: resolves like [`TxFuture::wait_result`] but
+    /// registers `cx`'s waker instead of parking. Drives the
+    /// [`IntoFuture`] adapter and [`crate::Rtf::run_async`]'s evaluation of
+    /// child futures.
+    pub(crate) fn poll_settled(
+        &self,
+        cx: &mut Context<'_>,
+        reg: &mut WakerReg,
+    ) -> Poll<Result<Arc<A>, FutureError>> {
+        loop {
+            let token = self.shared.waiters.epoch();
+            match self.try_wait() {
+                Err(FutureError::Pending) => {}
+                settled => {
+                    self.shared.waiters.deregister(reg);
+                    return Poll::Ready(settled);
+                }
+            }
+            if self.shared.waiters.register_waker(token, 0, cx.waker(), reg) {
+                return Poll::Pending;
+            }
+            // Epoch advanced between probe and registration: re-probe.
+        }
+    }
+
+    pub(crate) fn drop_registration(&self, reg: &mut WakerReg) {
+        self.shared.waiters.deregister(reg);
+    }
+}
+
+/// The pollable settlement wait created by `TxFuture`'s [`IntoFuture`]:
+/// resolves to the committed value or the terminal [`FutureError`] without
+/// ever blocking the polling thread.
+///
+/// Dropping it mid-wait withdraws the waker registration, so an abandoned
+/// `await` never leaves a dead entry on the handle's wait queue.
+pub struct FutureWait<A: TxData> {
+    fut: TxFuture<A>,
+    reg: WakerReg,
+}
+
+impl<A: TxData> std::future::Future for FutureWait<A> {
+    type Output = Result<Arc<A>, FutureError>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        this.fut.poll_settled(cx, &mut this.reg)
+    }
+}
+
+impl<A: TxData> Drop for FutureWait<A> {
+    fn drop(&mut self) {
+        self.fut.drop_registration(&mut self.reg);
+    }
+}
+
+impl<A: TxData> std::future::IntoFuture for TxFuture<A> {
+    type Output = Result<Arc<A>, FutureError>;
+    type IntoFuture = FutureWait<A>;
+
+    /// `handle.await` — the async equivalent of [`TxFuture::wait_result`]:
+    /// no panic channel, the `Err` carries the failure reason.
+    fn into_future(self) -> FutureWait<A> {
+        FutureWait { fut: self, reg: WakerReg::new() }
     }
 }
 
@@ -315,6 +394,72 @@ mod tests {
         f.complete(Arc::new(3));
         f.cancel();
         assert_eq!(*f.wait(), 3);
+    }
+
+    #[test]
+    fn into_future_wakes_and_resolves() {
+        use std::future::{Future, IntoFuture};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::task::{Wake, Waker};
+
+        struct CountWake(AtomicUsize);
+        impl Wake for CountWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        let mut wait = Box::pin(f.clone().into_future());
+        let cw = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&cw));
+        let mut cx = Context::from_waker(&waker);
+        assert!(wait.as_mut().poll(&mut cx).is_pending());
+        assert_eq!(cw.0.load(Ordering::SeqCst), 0);
+        f.complete(Arc::new(6));
+        assert_eq!(cw.0.load(Ordering::SeqCst), 1, "settle must fire the registered waker");
+        match wait.as_mut().poll(&mut cx) {
+            Poll::Ready(Ok(v)) => assert_eq!(*v, 6),
+            other => panic!("expected Ready(Ok(6)), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_future_surfaces_failure_as_err() {
+        use std::future::{Future, IntoFuture};
+        use std::task::{Wake, Waker};
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        f.cancel();
+        let mut wait = Box::pin(f.into_future());
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        match wait.as_mut().poll(&mut cx) {
+            Poll::Ready(Err(FutureError::Cancelled)) => {}
+            other => panic!("expected Ready(Err(Cancelled)), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_await_withdraws_its_waker() {
+        use std::future::{Future, IntoFuture};
+        use std::task::{Wake, Waker};
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let f: TxFuture<u32> = TxFuture::new_pending();
+        let mut wait = Box::pin(f.clone().into_future());
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        assert!(wait.as_mut().poll(&mut cx).is_pending());
+        drop(wait);
+        // The registration is gone: completing must not find a waiter.
+        f.complete(Arc::new(1));
+        assert_eq!(*f.wait(), 1);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!
 //! The node carries the metadata of §III-A:
 //!
-//! * `nclock` — incremented each time a direct child commits, with a condvar
-//!   so `waitTurn` waiters block instead of spinning;
+//! * `nclock` — incremented each time a direct child commits, with a keyed
+//!   `WaitQueue` so `waitTurn` waiters block instead of spinning and only
+//!   the waiters whose threshold was reached are woken;
 //! * `anc_ver` — for every ancestor, that ancestor's `nclock` value when
 //!   this node started; the visibility rule compares it against the
 //!   `txTreeVer` of ownership records (Fig 4);
@@ -19,11 +20,11 @@
 //!   `fork_count`, the number of completed submit points, which determines
 //!   the order key of the node's own writes.
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
-use rtf_txbase::{new_node_id, FxHashMap, NodeId, OrderKey, Orec, WriteToken};
+use rtf_txbase::{new_node_id, FxHashMap, NodeId, OrderKey, Orec, WaitQueue, WriteToken};
 use rtf_txengine::VBoxCell;
 
 /// Role of a node within its parent (the paper's future/continuation
@@ -77,9 +78,11 @@ pub struct Node {
     pub anc_ver: FxHashMap<NodeId, u64>,
     /// Ownership record of this attempt's writes.
     pub orec: Arc<Orec>,
-    /// Number of committed direct children, plus its waiters.
+    /// Number of committed direct children.
     nclock: Mutex<u64>,
-    nclock_cv: Condvar,
+    /// `waitTurn` waiters, keyed by the threshold they wait for, so a bump
+    /// wakes exactly the waiters whose turn arrived (`key <= new nclock`).
+    nclock_waiters: WaitQueue,
     /// Number of completed submit points of this node (its next write gets
     /// order key `path.write_key(fork_count)`).
     pub fork_count: AtomicU32,
@@ -102,7 +105,7 @@ impl Node {
             anc_ver: FxHashMap::default(),
             orec: Arc::new(Orec::new(id)),
             nclock: Mutex::new(0),
-            nclock_cv: Condvar::new(),
+            nclock_waiters: WaitQueue::new(),
             fork_count: AtomicU32::new(0),
             inbox: Mutex::new(Inbox::default()),
             cancelled: AtomicBool::new(false),
@@ -144,7 +147,7 @@ impl Node {
             anc_ver,
             orec: Arc::new(Orec::new(id)),
             nclock: Mutex::new(0),
-            nclock_cv: Condvar::new(),
+            nclock_waiters: WaitQueue::new(),
             fork_count: AtomicU32::new(0),
             inbox: Mutex::new(Inbox::default()),
             cancelled: AtomicBool::new(false),
@@ -164,7 +167,8 @@ impl Node {
         *g += 1;
         let v = *g;
         drop(g);
-        self.nclock_cv.notify_all();
+        // Successor-only wake: only waiters whose threshold is now met.
+        self.nclock_waiters.notify_where(|threshold| threshold <= v);
         v
     }
 
@@ -178,19 +182,23 @@ impl Node {
         poisoned: impl Fn() -> bool,
     ) -> bool {
         loop {
-            {
-                let mut g = self.nclock.lock();
-                if *g >= threshold {
-                    return true;
-                }
-                if poisoned() {
-                    return false;
-                }
-                // Help with the lock released; only park when idle.
-                let helped = parking_lot::MutexGuard::unlocked(&mut g, &mut help);
-                if !helped && *g < threshold {
-                    self.nclock_cv.wait_for(&mut g, std::time::Duration::from_micros(200));
-                }
+            // Token before predicate: a bump landing after the check bumps
+            // the epoch, so the park below returns Raced instead of
+            // sleeping through its own wakeup.
+            let token = self.nclock_waiters.epoch();
+            if *self.nclock.lock() >= threshold {
+                return true;
+            }
+            if poisoned() {
+                return false;
+            }
+            // Help with no locks held; only park when idle.
+            if !help() {
+                let _ = self.nclock_waiters.park(
+                    token,
+                    threshold,
+                    std::time::Duration::from_micros(200),
+                );
             }
         }
     }
@@ -198,8 +206,9 @@ impl Node {
     /// Marks this subtree cancelled (tree teardown).
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Release);
-        // Wake any waitTurn waiter parked on this node.
-        self.nclock_cv.notify_all();
+        // Wake every waitTurn waiter parked on this node, whatever its
+        // threshold: they must observe the poison flag and give up.
+        self.nclock_waiters.notify_all();
     }
 
     /// Whether this node (or, transitively via checks at each level, an

@@ -710,7 +710,7 @@ impl Rtf {
             inner.env.stall,
         );
         let mut stalled = None;
-        let ok = lane.wait_turn(
+        let wait = lane.wait_turn_counted(
             seq,
             || pool.help_one(None),
             || match watch.tick() {
@@ -722,7 +722,12 @@ impl Rtf {
             },
         );
         sink.event(Event::TicketWaitNs(obs_now_ns().saturating_sub(t0)));
-        if ok {
+        if wait.spurious_wakes > 0 {
+            // Flushed per wait, not per wakeup: spurious wakeups only exist
+            // under contention, exactly when per-event sink traffic hurts.
+            sink.event(Event::TicketSpuriousWakes(wait.spurious_wakes));
+        }
+        if wait.arrived {
             Ok(())
         } else {
             Err(stalled.unwrap_or(0))
@@ -860,6 +865,12 @@ impl Rtf {
         } else {
             RootCommit::Conflict
         }
+    }
+
+    /// Shared environment handle (pool, sink, stall thresholds) for the
+    /// async front-end.
+    pub(crate) fn env(&self) -> &Arc<TxEnv> {
+        &self.inner.env
     }
 
     /// Event counters of this runtime.

@@ -9,12 +9,12 @@
 //! counter (quiescence on whole-tree teardown) and the poison latch that
 //! broadcasts teardown to running sub-transactions.
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rtf_txbase::{new_tree_id, FxHashSet, TreeId, Version, WriteToken};
+use rtf_txbase::{new_tree_id, FxHashSet, TreeId, Version, WaitQueue, WriteToken};
 use rtf_txengine::{CellId, VBoxCell, Val, WriteEntry, WriteSet};
 
 use crate::node::Node;
@@ -108,7 +108,8 @@ pub struct TreeCtx {
     poison_flag: AtomicBool,
     poison: Mutex<Option<PoisonKind>>,
     tasks: Mutex<usize>,
-    tasks_cv: Condvar,
+    /// Quiescence waiters (teardown), woken when `tasks` reaches zero.
+    tasks_waiters: WaitQueue,
 }
 
 #[derive(Default)]
@@ -142,7 +143,7 @@ impl TreeCtx {
             poison_flag: AtomicBool::new(false),
             poison: Mutex::new(None),
             tasks: Mutex::new(0),
-            tasks_cv: Condvar::new(),
+            tasks_waiters: WaitQueue::new(),
         })
     }
 
@@ -241,7 +242,7 @@ impl TreeCtx {
         *g -= 1;
         if *g == 0 {
             drop(g);
-            self.tasks_cv.notify_all();
+            self.tasks_waiters.notify_all();
         }
     }
 
@@ -249,15 +250,14 @@ impl TreeCtx {
     /// while waiting (queued tasks of this very tree may need a thread).
     pub fn wait_quiescent(&self, mut help: impl FnMut() -> bool) {
         loop {
-            {
-                let mut g = self.tasks.lock();
-                if *g == 0 {
-                    return;
-                }
-                let helped = parking_lot::MutexGuard::unlocked(&mut g, &mut help);
-                if !helped && *g > 0 {
-                    self.tasks_cv.wait_for(&mut g, std::time::Duration::from_micros(200));
-                }
+            // Token before predicate (see `rtf_txbase::wait`): a final
+            // task_finished landing after the check cannot be slept through.
+            let token = self.tasks_waiters.epoch();
+            if *self.tasks.lock() == 0 {
+                return;
+            }
+            if !help() {
+                let _ = self.tasks_waiters.park(token, 0, std::time::Duration::from_micros(200));
             }
         }
     }

@@ -52,7 +52,14 @@ pub struct Conflict;
 /// turn actually arrived — `false` means the wait was abandoned (stall
 /// watchdog fired, cancellation) and the commit must not proceed. The
 /// closure lives in the caller (core) because waiting sensibly means
-/// *helping* through the task pool, which mvstm does not know about.
+/// *helping* through the task pool, which mvstm does not know about —
+/// and because how the thread actually blocks is a stack-wide policy:
+/// core routes the closure into `TicketLane::wait_turn`, whose parking
+/// runs on the unified `rtf_txbase::wait` primitives (epoch-token
+/// `WaitQueue`, successor-only wakes, thread-park or waker backend; see
+/// DESIGN.md §3.14 "Blocking model"). Keeping mvstm behind this closure
+/// boundary is what let the blocking core change backends without this
+/// crate noticing.
 pub struct TurnGate<'a> {
     /// Blocks for the turn; `false` abandons the commit.
     pub wait: &'a mut dyn FnMut() -> bool,

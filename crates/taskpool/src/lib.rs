@@ -26,8 +26,8 @@
 //!
 //! Design notes (following the Rayon/crossbeam idiom from the HPC guides):
 //! a global [`Injector`] feeds per-worker [`Worker`] deques with batch
-//! stealing; parked workers are woken through a `Mutex`/`Condvar` pair kept
-//! off the fast path.
+//! stealing; parked workers sleep on the stack-wide `WaitQueue` primitive
+//! (`rtf_txbase::wait`), kept off the fast path by an atomic waiter count.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -37,7 +37,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::panic))]
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use rtf_txbase::WaitQueue;
 use rtf_txengine::{obs_now_ns, Event, EventSink, NullSink, SpanKind, SpanRec};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -132,9 +132,10 @@ impl Drop for FenceGuard {
 struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
-    sleep_lock: Mutex<()>,
-    wake: Condvar,
-    sleepers: AtomicUsize,
+    /// Idle workers park here (epoch-token protocol, see
+    /// `rtf_txbase::wait`); `has_waiters` keeps the spawn path lock-free
+    /// when every worker is busy.
+    idle: WaitQueue,
     pending: AtomicUsize,
     shutdown: AtomicBool,
     sink: Arc<dyn EventSink>,
@@ -180,9 +181,7 @@ impl Pool {
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
-            sleep_lock: Mutex::new(()),
-            wake: Condvar::new(),
-            sleepers: AtomicUsize::new(0),
+            idle: WaitQueue::new(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             sink,
@@ -217,11 +216,11 @@ impl Pool {
     fn push_job(&self, job: Job) {
         self.shared.pending.fetch_add(1, Ordering::Release);
         self.shared.injector.push(job);
-        // Wake one parked worker, if any. The counter check keeps the
-        // common (all-workers-busy) path lock-free.
-        if self.shared.sleepers.load(Ordering::Acquire) > 0 {
-            let _g = self.shared.sleep_lock.lock();
-            self.shared.wake.notify_one();
+        // Wake one parked worker, if any. The waiter check keeps the
+        // common (all-workers-busy) path lock-free; the residual
+        // probe-then-park race is bounded by the workers' park timeout.
+        if self.shared.idle.has_waiters() {
+            self.shared.idle.notify_one();
         }
     }
 
@@ -303,10 +302,7 @@ impl PoolRunner {
 impl Drop for PoolRunner {
     fn drop(&mut self) {
         self.pool.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _g = self.pool.shared.sleep_lock.lock();
-            self.pool.shared.wake.notify_all();
-        }
+        self.pool.shared.idle.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -389,6 +385,10 @@ impl Drop for WorkerRespawn {
 fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
     let _respawn = WorkerRespawn { shared: Arc::clone(&shared) };
     loop {
+        // Token before the queue probe: a push (notify) landing between the
+        // probe and the park advances the queue epoch, so the park returns
+        // immediately instead of sleeping through the wakeup.
+        let token = shared.idle.epoch();
         // Workers run any task unconditionally: an idle worker's stack holds
         // no suspended frames, so no fence applies.
         if let Some(job) = find_task(&shared, Some(&local)) {
@@ -399,16 +399,12 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        // Park until new work arrives. Re-check under the lock to avoid a
-        // lost wakeup between the queue probe and the wait.
-        let mut guard = shared.sleep_lock.lock();
-        if shared.pending.load(Ordering::Acquire) > 0 || shared.shutdown.load(Ordering::Acquire) {
+        if shared.pending.load(Ordering::Acquire) > 0 {
             continue;
         }
-        shared.sleepers.fetch_add(1, Ordering::Release);
-        // A timeout bounds the cost of any missed wakeup to a few ms.
-        shared.wake.wait_for(&mut guard, Duration::from_millis(5));
-        shared.sleepers.fetch_sub(1, Ordering::Release);
+        // A timeout bounds the cost of the one unguarded race (a pusher
+        // probing `has_waiters` before this entry appears) to a few ms.
+        let _ = shared.idle.park(token, 0, Duration::from_millis(5));
     }
 }
 

@@ -1,0 +1,295 @@
+//! Async front-end for the `rtf` transactional-futures runtime.
+//!
+//! Three pieces, all executor-agnostic (no tokio — the stack vendors its
+//! own dependencies, and transactions only need `Waker` semantics):
+//!
+//! * re-exports of the core async entry points ([`Rtf::run_async`],
+//!   [`Rtf::run_ticketed_async`], [`TxRun`], and `TxFuture`'s `IntoFuture`)
+//!   so async callers depend on one crate;
+//! * a minimal single-threaded executor — [`block_on`] and
+//!   [`block_on_all`] — built on `std::task::Wake` + thread park/unpark,
+//!   used by the tests, the equivalence suite and the chaos harness;
+//! * [`AsyncStm`], a findex-style adapter (`batch_read` /
+//!   `guarded_write`) exposing a word-addressed transactional memory as
+//!   plain async atomic operations.
+//!
+//! The executor matters more than it looks: the acceptance property of the
+//! async front-end is that a multi-future transaction tree completes on a
+//! *single-threaded* executor over a *zero-worker* pool — every poll helps
+//! the pool instead of blocking, so no OS thread ever parks on transaction
+//! state. [`block_on`] is deliberately the simplest executor that can
+//! demonstrate this.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+pub use rtf::{Rtf, TxError, TxRun};
+pub use rtf_txengine::{TxData, VBox};
+
+/// Park-based waker: `wake` latches a flag and unparks the executor
+/// thread. The flag distinguishes real wakeups from the spurious unparks
+/// `std::thread::park` permits.
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+impl ThreadWaker {
+    fn pair() -> (Arc<ThreadWaker>, Waker) {
+        let tw = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        });
+        let waker = Waker::from(Arc::clone(&tw));
+        (tw, waker)
+    }
+
+    /// Parks until the next `wake` since the last call (consumes the flag).
+    fn wait(&self) {
+        while !self.notified.swap(false, Ordering::Acquire) {
+            std::thread::park();
+        }
+    }
+}
+
+/// Drives `fut` to completion on the calling thread.
+///
+/// Between polls the thread parks on the waker — it holds no locks and
+/// spins on nothing, so a future that needs another thread's progress
+/// (e.g. a worker-pool transaction) costs nothing while pending.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let (tw, waker) = ThreadWaker::pair();
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => tw.wait(),
+        }
+    }
+}
+
+/// Drives a batch of futures concurrently on the calling thread, returning
+/// their outputs in input order.
+///
+/// All futures share one waker; each wakeup round re-polls every
+/// unfinished future (a spurious poll is always legal). Rounds poll in
+/// input order, so ordered-lane batches whose commit order matches their
+/// input order resolve without any worker threads at all.
+pub fn block_on_all<F: Future>(futs: Vec<F>) -> Vec<F::Output> {
+    /// One future in flight plus its output slot.
+    type Slot<F> = (Pin<Box<F>>, Option<<F as Future>::Output>);
+    let (tw, waker) = ThreadWaker::pair();
+    let mut cx = Context::from_waker(&waker);
+    let mut slots: Vec<Slot<F>> = futs.into_iter().map(|f| (Box::pin(f), None)).collect();
+    loop {
+        let mut pending = false;
+        for (fut, out) in slots.iter_mut() {
+            if out.is_none() {
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(r) => *out = Some(r),
+                    Poll::Pending => pending = true,
+                }
+            }
+        }
+        if !pending {
+            return slots
+                .into_iter()
+                .map(|(_, out)| out.expect("finished future lost its output"))
+                .collect();
+        }
+        tw.wait();
+    }
+}
+
+/// A findex-style async word store over the transactional runtime: a fixed
+/// array of optional words addressed by index, with the two operations the
+/// Cosmian findex `Stm` trait shapes its protocol around — a snapshot
+/// batch read and a compare-guarded batch write. Every operation is one
+/// top-level transaction.
+pub struct AsyncStm<V: TxData + Clone + PartialEq> {
+    tm: Rtf,
+    slots: Arc<Vec<VBox<Option<V>>>>,
+}
+
+impl<V: TxData + Clone + PartialEq> AsyncStm<V> {
+    /// An empty store with `len` addressable words on runtime `tm`.
+    pub fn new(tm: Rtf, len: usize) -> AsyncStm<V> {
+        let slots = Arc::new((0..len).map(|_| VBox::new(None)).collect::<Vec<_>>());
+        AsyncStm { tm, slots }
+    }
+
+    /// Number of addressable words.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no addressable words.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Reads the words at `addrs` in one atomic snapshot.
+    ///
+    /// # Panics
+    ///
+    /// The returned transaction panics when polled if any address is out
+    /// of bounds.
+    pub fn batch_read(
+        &self,
+        addrs: Vec<usize>,
+    ) -> impl Future<Output = Result<Vec<Option<V>>, TxError>> + Send {
+        let slots = Arc::clone(&self.slots);
+        self.tm.run_async(move |tx| {
+            addrs.iter().map(|&a| tx.read(&slots[a]).as_ref().clone()).collect()
+        })
+    }
+
+    /// Writes `tasks` atomically iff the word currently stored at the
+    /// guard address equals the guard word; always returns the guard
+    /// address's current word (so a loser learns what beat it).
+    ///
+    /// # Panics
+    ///
+    /// The returned transaction panics when polled if any address is out
+    /// of bounds.
+    pub fn guarded_write(
+        &self,
+        guard: (usize, Option<V>),
+        tasks: Vec<(usize, V)>,
+    ) -> impl Future<Output = Result<Option<V>, TxError>> + Send {
+        let slots = Arc::clone(&self.slots);
+        self.tm.run_async(move |tx| {
+            let current = tx.read(&slots[guard.0]).as_ref().clone();
+            if current == guard.1 {
+                for (a, w) in &tasks {
+                    tx.write(&slots[*a], Some(w.clone()));
+                }
+            }
+            current
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_drives_a_plain_future() {
+        assert_eq!(block_on(async { 2 + 2 }), 4);
+    }
+
+    #[test]
+    fn multi_future_tree_completes_on_one_thread_with_no_workers() {
+        // The acceptance property: zero workers means nothing but the
+        // poll path's helping can ever run the transaction or its
+        // futures, and block_on never busy-blocks an OS thread on
+        // transaction state.
+        let tm = Rtf::builder().workers(0).build();
+        let xs: Vec<VBox<u64>> = (0..4u64).map(VBox::new).collect();
+        let got = block_on(tm.run_async({
+            let xs = xs.clone();
+            move |tx| {
+                let futs: Vec<_> = xs
+                    .iter()
+                    .map(|x| {
+                        tx.submit({
+                            let x = x.clone();
+                            move |tx| *tx.read(&x) * 10
+                        })
+                    })
+                    .collect();
+                futs.iter().map(|f| *tx.eval(f)).sum::<u64>()
+            }
+        }))
+        .unwrap();
+        assert_eq!(got, (1 + 2 + 3) * 10);
+    }
+
+    #[test]
+    fn block_on_all_resolves_a_batch_in_input_order() {
+        let tm = Rtf::builder().workers(0).build();
+        let x = VBox::new(0u64);
+        let futs: Vec<_> = (0..8u64)
+            .map(|i| {
+                tm.run_async({
+                    let x = x.clone();
+                    move |tx| {
+                        let v = *tx.read(&x);
+                        tx.write(&x, v + i);
+                        i
+                    }
+                })
+            })
+            .collect();
+        let outs = block_on_all(futs);
+        assert_eq!(
+            outs.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        assert_eq!(*x.read_committed(), (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn ticketed_batch_commits_in_ticket_order_on_one_thread() {
+        let tm = Rtf::builder().workers(0).ordered(1).build();
+        let x = VBox::new(1u64);
+        // Each transaction multiplies then adds its index; the result is
+        // order-sensitive, so a wrong commit order shows in the value.
+        let futs: Vec<_> = (1..=4u64)
+            .map(|i| {
+                let ticket = tm.ticket();
+                tm.run_ticketed_async(ticket, {
+                    let x = x.clone();
+                    move |tx| {
+                        let v = *tx.read(&x);
+                        tx.write(&x, v * 2 + i);
+                    }
+                })
+            })
+            .collect();
+        for r in block_on_all(futs) {
+            r.unwrap();
+        }
+        // ((((1*2+1)*2+2)*2+3)*2+4 = 42
+        assert_eq!(*x.read_committed(), 42);
+        assert_eq!(tm.stats().ordered_commits, 4);
+    }
+
+    #[test]
+    fn async_stm_guarded_write_is_compare_and_batch() {
+        let tm = Rtf::builder().workers(0).build();
+        let stm: AsyncStm<u64> = AsyncStm::new(tm, 8);
+        // Guard matches (empty slot): the batch lands.
+        let prev = block_on(stm.guarded_write((0, None), vec![(0, 10), (1, 11)])).unwrap();
+        assert_eq!(prev, None);
+        // Stale guard: nothing lands, the winner's word comes back.
+        let prev = block_on(stm.guarded_write((0, None), vec![(2, 99)])).unwrap();
+        assert_eq!(prev, Some(10));
+        let words = block_on(stm.batch_read(vec![0, 1, 2, 7])).unwrap();
+        assert_eq!(words, vec![Some(10), Some(11), None, None]);
+    }
+
+    #[test]
+    fn txfuture_into_future_awaits_inside_an_async_block() {
+        let tm = Rtf::builder().workers(1).build();
+        let fut = tm.spawn_future(|_tx| 7u64);
+        let got = block_on(async move { fut.await });
+        assert_eq!(*got.unwrap(), 7);
+    }
+}

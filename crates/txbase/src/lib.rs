@@ -10,7 +10,10 @@
 //!   ordering semantics* (a future serializes at its submission point), and
 //!   the `follows()` comparison of §IV-A;
 //! * [`orec`] — ownership records attached to tentative versions (Fig 3b);
-//! * [`stats`] — cache-padded counters for commits, aborts and re-executions.
+//! * [`stats`] — cache-padded counters for commits, aborts and re-executions;
+//! * [`wait`] — the unified blocking primitives ([`WaitCell`]/[`WaitQueue`])
+//!   every wait/park point in the stack is built on, able to hold either a
+//!   parked thread or an async task's waker.
 //!
 //! Nothing in this crate touches user values; it is pure metadata and is
 //! reused by the `rtf-mvstm` substrate and the `rtf` core library.
@@ -24,10 +27,12 @@ pub mod ids;
 pub mod order;
 pub mod orec;
 pub mod stats;
+pub mod wait;
 
 pub use clock::{ActiveTxnRegistry, GlobalClock};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use ids::{new_node_id, new_tree_id, new_write_token, NodeId, TreeId, Version, WriteToken};
-pub use order::{follows, OrderKey, Ticket, TicketDispenser, TicketLane};
+pub use order::{follows, OrderKey, Ticket, TicketDispenser, TicketLane, TurnWait};
 pub use orec::{Orec, OrecStatus};
 pub use stats::{StatSnapshot, TmStats};
+pub use wait::{Parked, WaitCell, WaitQueue, WaiterHandle, WakerReg};

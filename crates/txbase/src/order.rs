@@ -23,12 +23,14 @@
 //! trees are strictly binary; our `fork` API returns control to the parent
 //! after the subtree commits, which is semantically a fresh continuation.
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Duration;
+
+use crate::wait::{Parked, WaitQueue};
 
 /// A position in the serialization order of one transaction tree.
 ///
@@ -145,16 +147,32 @@ struct LaneState {
     retired: BTreeSet<u64>,
 }
 
+/// Outcome of one counted turn wait ([`TicketLane::wait_turn_counted`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TurnWait {
+    /// `true` when the turn arrived, `false` when `keep` abandoned the wait.
+    pub arrived: bool,
+    /// Wakeups this waiter received whose turn had *not* arrived — with the
+    /// successor-only `notify_where` wake this should stay at (or very
+    /// near) zero, and the exported `ticket_spurious_wakes` counter proves
+    /// it.
+    pub spurious_wakes: u64,
+}
+
 /// One FIFO commit lane: a monotone issue counter plus a turn pointer.
 ///
 /// `wait_turn` mirrors the intra-tree waitTurn (Alg 3) shape: the waiter
 /// alternates between *helping* (running queued work so the predecessor can
-/// finish) and a bounded condvar sleep, and a `keep` callback lets the caller
-/// abandon the wait (stall watchdog, cancellation).
+/// finish) and a bounded park on the lane's [`WaitQueue`], and a `keep`
+/// callback lets the caller abandon the wait (stall watchdog,
+/// cancellation). Waiters queue keyed by their seq; `retire` wakes only the
+/// successors whose turn actually arrived (`key <= next_commit`) instead of
+/// the old condvar's whole-herd `notify_all`.
 pub struct TicketLane {
     issue: AtomicU64,
     state: Mutex<LaneState>,
-    cv: Condvar,
+    waiters: WaitQueue,
+    spurious: AtomicU64,
 }
 
 impl Default for TicketLane {
@@ -162,7 +180,8 @@ impl Default for TicketLane {
         TicketLane {
             issue: AtomicU64::new(0),
             state: Mutex::new(LaneState { next_commit: 0, retired: BTreeSet::new() }),
-            cv: Condvar::new(),
+            waiters: WaitQueue::new(),
+            spurious: AtomicU64::new(0),
         }
     }
 }
@@ -186,47 +205,91 @@ impl TicketLane {
     /// Blocks until it is `seq`'s turn to commit. Returns `true` when the
     /// turn arrived, `false` when `keep` asked to abandon the wait.
     ///
-    /// While waiting, `help` is invoked *outside* the lane lock; it should
+    /// While waiting, `help` is invoked with no lane lock held; it should
     /// try to execute one unit of pending work (e.g. a task-pool job that the
     /// predecessor is blocked on) and return whether it did anything. When
-    /// nothing could be helped the waiter sleeps briefly on the lane condvar
-    /// instead of spinning.
+    /// nothing could be helped the waiter parks briefly on the lane's wait
+    /// queue instead of spinning. See [`TicketLane::wait_turn_counted`] for
+    /// the variant that reports spurious wakeups.
     pub fn wait_turn(
+        &self,
+        seq: u64,
+        help: impl FnMut() -> bool,
+        keep: impl FnMut() -> bool,
+    ) -> bool {
+        self.wait_turn_counted(seq, help, keep).arrived
+    }
+
+    /// [`TicketLane::wait_turn`], additionally reporting how many wakeups
+    /// this waiter received before its turn actually arrived (spurious for
+    /// it). The count also accumulates into [`TicketLane::spurious_wakes`].
+    pub fn wait_turn_counted(
         &self,
         seq: u64,
         mut help: impl FnMut() -> bool,
         mut keep: impl FnMut() -> bool,
-    ) -> bool {
-        let mut g = self.state.lock();
-        loop {
-            if g.next_commit >= seq {
-                return true;
+    ) -> TurnWait {
+        let mut spurious = 0u64;
+        let arrived = loop {
+            // Epoch before predicate: a retire landing after the check but
+            // before the park bumps the epoch, so the park returns Raced
+            // instead of sleeping through its own wakeup.
+            let token = self.waiters.epoch();
+            if self.state.lock().next_commit >= seq {
+                break true;
             }
             if !keep() {
-                return false;
+                break false;
             }
-            let helped = MutexGuard::unlocked(&mut g, &mut help);
-            if !helped && g.next_commit < seq {
-                self.cv.wait_for(&mut g, Duration::from_micros(200));
+            if help() {
+                continue;
             }
+            if self.waiters.park(token, seq, Duration::from_micros(200)) == Parked::Notified
+                && self.state.lock().next_commit < seq
+            {
+                spurious += 1;
+            }
+        };
+        if spurious > 0 {
+            self.spurious.fetch_add(spurious, AtomicOrdering::Relaxed);
         }
+        TurnWait { arrived, spurious_wakes: spurious }
+    }
+
+    /// Total wakeups delivered to waiters whose turn had not arrived. The
+    /// successor-only wake keeps this at zero in steady state; the counter
+    /// exists to prove that (and to surface regressions).
+    pub fn spurious_wakes(&self) -> u64 {
+        self.spurious.load(AtomicOrdering::Relaxed)
     }
 
     /// Retires `seq`: if it held the turn, the turn advances past it and past
     /// any already-retired successors (hole skipping); if it retires early
     /// (abandoned before its turn) it is remembered so the turn can later
     /// skip over it. Idempotent for already-passed seqs.
+    ///
+    /// Wakes only the waiters whose turn arrived (`key <= next_commit`,
+    /// covering successors reached across swept holes) — never the whole
+    /// queue.
     pub fn retire(&self, seq: u64) {
-        let mut g = self.state.lock();
-        let st = &mut *g;
-        if seq == st.next_commit {
-            st.next_commit += 1;
-            while st.retired.remove(&st.next_commit) {
+        let next = {
+            let mut g = self.state.lock();
+            let st = &mut *g;
+            if seq == st.next_commit {
                 st.next_commit += 1;
+                while st.retired.remove(&st.next_commit) {
+                    st.next_commit += 1;
+                }
+                Some(st.next_commit)
+            } else {
+                if seq > st.next_commit {
+                    st.retired.insert(seq);
+                }
+                None
             }
-            self.cv.notify_all();
-        } else if seq > st.next_commit {
-            st.retired.insert(seq);
+        };
+        if let Some(next) = next {
+            self.waiters.notify_where(|key| key <= next);
         }
     }
 }
@@ -556,6 +619,34 @@ mod tests {
             },
             || true,
         ));
+    }
+
+    #[test]
+    fn retire_wakes_only_the_successor_not_the_herd() {
+        use std::sync::Arc;
+        let lane = Arc::new(TicketLane::default());
+        let seqs: Vec<u64> = (0..5).map(|_| lane.issue()).collect();
+        let hs: Vec<_> = seqs[1..]
+            .iter()
+            .map(|&s| {
+                let lane = Arc::clone(&lane);
+                std::thread::spawn(move || {
+                    let w = lane.wait_turn_counted(s, || false, || true);
+                    assert!(w.arrived);
+                    lane.retire(s);
+                    w.spurious_wakes
+                })
+            })
+            .collect();
+        // Let the herd queue up, then release the chain.
+        std::thread::sleep(Duration::from_millis(10));
+        lane.retire(seqs[0]);
+        let spurious: u64 = hs.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(lane.turn(), 5);
+        // Keyed notify_where(key <= next) never wakes a waiter before its
+        // turn, so nobody observes a wakeup with the predicate still false.
+        assert_eq!(spurious, 0, "successor-only wake must not produce spurious wakeups");
+        assert_eq!(lane.spurious_wakes(), 0);
     }
 
     #[test]

@@ -80,6 +80,13 @@ macro_rules! counters {
                 self.ticket_wait_ns.fetch_add(ns, Ordering::Relaxed);
             }
 
+            /// Adds one wait's batch of spurious ordered-lane wakeups
+            /// (counted per wait, flushed once when the turn arrives).
+            #[inline]
+            pub fn add_ticket_spurious_wakes(&self, n: u64) {
+                self.ticket_spurious_wakes.fetch_add(n, Ordering::Relaxed);
+            }
+
             /// Adds a transaction's batch of `orec_snapshot` retries (full
             /// re-reads forced by a racing ownership propagation). Batched
             /// like the read-path counters: the snapshot sits on the
@@ -183,6 +190,15 @@ counters! {
     /// Nanoseconds spent waiting for a ticket's turn in the ordered lane
     /// (the cross-transaction analogue of `wait_turn_ns`).
     ticket_wait_ns,
+    /// Ordered-lane waiters woken by a `notify` whose turn had still not
+    /// arrived (successor-only wakeups should keep this near zero; a herd
+    /// shows up here).
+    ticket_spurious_wakes,
+    /// Async task wakers registered at a blocking site (the waker backend
+    /// of the unified wait layer).
+    wakers_registered,
+    /// Registered wakers fired by a completion/notify path.
+    wakers_fired,
 }
 
 impl StatSnapshot {

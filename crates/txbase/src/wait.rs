@@ -1,0 +1,562 @@
+//! Unified blocking primitives: every wait/park point in the stack funnels
+//! through one of two abstractions, each able to hold either a parked OS
+//! thread or an async task's [`Waker`]:
+//!
+//! * [`WaitCell`] — a single-waiter oneshot slot with the atomic state
+//!   machine `Empty → Registered(waker-or-thread) → Notified`. Used where
+//!   exactly one waiter awaits exactly one completion (the async
+//!   front-end's per-transaction completion cell).
+//! * [`WaitQueue`] — a keyed multi-waiter queue with an *epoch* protocol
+//!   that makes the registered/notified race lost-wakeup-free without
+//!   holding any lock across the caller's predicate check. Used by the
+//!   ticket lane, intra-tree `waitTurn`, future settlement, teardown
+//!   quiescence and the task-pool idle park.
+//!
+//! ## The epoch protocol (lost-wakeup freedom)
+//!
+//! A condvar couples the predicate's mutex to the wait; [`WaitQueue`]
+//! decouples them so wakers (which cannot block) fit the same shape. The
+//! waiter side is:
+//!
+//! ```text
+//! loop {
+//!     let token = q.epoch();          // 1. sample BEFORE the predicate
+//!     if predicate() { break }        // 2. check under the caller's lock
+//!     q.park(token, key, timeout);    // 3. sleeps only if epoch unchanged
+//! }
+//! ```
+//!
+//! Every notifier bumps the epoch under the waiters lock *before* waking —
+//! even when no waiter matched. A notification that lands between steps 2
+//! and 3 therefore changes the epoch, `park` observes the mismatch under
+//! the waiters lock and returns [`Parked::Raced`] without sleeping, and the
+//! loop re-checks the predicate. The same token check guards
+//! [`WaitQueue::register_waker`], so an async waiter can never park a waker
+//! against a notification that already happened.
+//!
+//! ## Help-before-register
+//!
+//! These types deliberately do **not** run helping closures themselves: the
+//! caller attempts its bounded helping step between the failed predicate
+//! check and the park/register (see `TicketLane::wait_turn`,
+//! `Node::wait_nclock_at_least`). Work executed while helping may retire
+//! the predecessor and notify; the epoch token spans the helping step, so
+//! the subsequent park still cannot lose that wakeup.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::task::Waker;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One registered waiter: a parked thread or an async task.
+///
+/// Both wake paths are non-blocking and safe to invoke from any context
+/// (`Thread::unpark` and `Waker::wake` never block), so notifiers may hold
+/// unrelated locks.
+#[derive(Debug)]
+pub enum WaiterHandle {
+    /// A thread parked via `std::thread::park_timeout`.
+    Thread(std::thread::Thread),
+    /// An async task; waking schedules its executor to re-poll.
+    Waker(Waker),
+}
+
+impl WaiterHandle {
+    /// Handle for the calling thread (the thread-park backend).
+    pub fn current_thread() -> WaiterHandle {
+        WaiterHandle::Thread(std::thread::current())
+    }
+
+    fn wake(self) {
+        match self {
+            WaiterHandle::Thread(t) => t.unpark(),
+            WaiterHandle::Waker(w) => w.wake(),
+        }
+    }
+}
+
+const EMPTY: u8 = 0;
+const REGISTERED: u8 = 1;
+const NOTIFIED: u8 = 2;
+
+/// Single-waiter oneshot notification cell.
+///
+/// State machine: `Empty → Registered → Notified`, with `Notified` latched
+/// (a late [`WaitCell::register`] observes it and refuses to park) until
+/// explicitly consumed by [`WaitCell::take_notified`]. The registered
+/// handle lives in a small mutex-protected slot; the state byte is the
+/// lock-free fast path ([`WaitCell::is_notified`]).
+#[derive(Debug, Default)]
+pub struct WaitCell {
+    state: AtomicU8,
+    slot: Mutex<Option<WaiterHandle>>,
+}
+
+impl WaitCell {
+    /// A fresh, empty cell.
+    pub fn new() -> WaitCell {
+        WaitCell::default()
+    }
+
+    /// Registers `handle` to be woken by the next [`WaitCell::notify`].
+    ///
+    /// Returns `false` when the cell is already notified — the caller must
+    /// not park; its predicate is ready. Re-registering replaces the
+    /// previous handle (an async task re-polling with a new waker).
+    pub fn register(&self, handle: WaiterHandle) -> bool {
+        let mut slot = self.slot.lock();
+        if self.state.load(Ordering::Acquire) == NOTIFIED {
+            return false;
+        }
+        *slot = Some(handle);
+        self.state.store(REGISTERED, Ordering::Release);
+        true
+    }
+
+    /// Transitions to `Notified` and wakes the registered waiter, if any.
+    ///
+    /// Returns whether a waiter was actually woken (used to report
+    /// `WakerFired` only for real handoffs). Idempotent: later notifies
+    /// find the state latched and no handle to wake.
+    pub fn notify(&self) -> bool {
+        let handle = {
+            let mut slot = self.slot.lock();
+            let prev = self.state.swap(NOTIFIED, Ordering::AcqRel);
+            if prev == REGISTERED {
+                slot.take()
+            } else {
+                None
+            }
+        };
+        match handle {
+            Some(h) => {
+                h.wake();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lock-free check for a pending notification.
+    pub fn is_notified(&self) -> bool {
+        self.state.load(Ordering::Acquire) == NOTIFIED
+    }
+
+    /// Consumes a pending notification, returning whether there was one
+    /// (resets `Notified → Empty` so the cell can be reused).
+    pub fn take_notified(&self) -> bool {
+        let mut _slot = self.slot.lock();
+        self.state.compare_exchange(NOTIFIED, EMPTY, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    /// Withdraws a registration that was never notified (waiter dropped or
+    /// gave up). A concurrent notify that already took the handle wins; the
+    /// latched `Notified` state is left untouched.
+    pub fn unregister(&self) {
+        let mut slot = self.slot.lock();
+        if self.state.load(Ordering::Acquire) == REGISTERED {
+            *slot = None;
+            self.state.store(EMPTY, Ordering::Release);
+        }
+    }
+}
+
+/// How a [`WaitQueue::park`] call ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Parked {
+    /// A notifier removed and woke this waiter. If the caller's predicate
+    /// is still false afterwards, the wakeup was *spurious* for it (e.g. a
+    /// broad `notify_all` on a keyed queue).
+    Notified,
+    /// The bounded sleep elapsed (or the OS unparked spuriously) with the
+    /// entry still queued; the waiter removed itself.
+    TimedOut,
+    /// The epoch advanced between the caller's predicate check and the
+    /// park: a notification raced in, so the waiter never slept. Re-check
+    /// the predicate.
+    Raced,
+}
+
+struct QueueWaiter {
+    id: u64,
+    key: u64,
+    handle: WaiterHandle,
+}
+
+/// An async waiter's registration in a [`WaitQueue`], enabling in-place
+/// waker replacement across polls and removal on drop/give-up via
+/// [`WaitQueue::deregister`].
+#[derive(Debug, Default)]
+pub struct WakerReg {
+    id: Option<u64>,
+}
+
+impl WakerReg {
+    /// A registration that is not (yet) enqueued anywhere.
+    pub fn new() -> WakerReg {
+        WakerReg::default()
+    }
+
+    /// Whether this registration currently sits in a queue.
+    pub fn is_registered(&self) -> bool {
+        self.id.is_some()
+    }
+}
+
+/// Keyed multi-waiter wait queue with epoch-based lost-wakeup freedom.
+///
+/// Each waiter carries a `u64` key with caller-defined meaning (ticket seq,
+/// nclock threshold, 0 for unkeyed queues); notifiers can wake everyone
+/// ([`WaitQueue::notify_all`]), one waiter ([`WaitQueue::notify_one`]), or
+/// exactly the keys whose predicate became true
+/// ([`WaitQueue::notify_where`]) — the targeted wake that fixes the ticket
+/// lane's thundering herd.
+pub struct WaitQueue {
+    /// Bumped by every notifier under the waiters lock; sampled lock-free
+    /// by waiters before their predicate check (see module docs).
+    epoch: AtomicU64,
+    /// Mirror of `waiters.len()`, maintained under the lock, so hot paths
+    /// (task-pool spawn) can skip the lock when nobody is parked.
+    len: AtomicUsize,
+    next_id: AtomicU64,
+    waiters: Mutex<Vec<QueueWaiter>>,
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        WaitQueue {
+            epoch: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitQueue")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .field("waiters", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WaitQueue {
+    /// A fresh, empty queue.
+    pub fn new() -> WaitQueue {
+        WaitQueue::default()
+    }
+
+    /// The current notification epoch. Sample **before** checking the wait
+    /// predicate and pass the sample to [`WaitQueue::park`] /
+    /// [`WaitQueue::register_waker`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether any waiter is currently enqueued (lock-free; racy by
+    /// nature — callers use it only as a fast-path gate before an optional
+    /// notify, never for correctness).
+    pub fn has_waiters(&self) -> bool {
+        self.len.load(Ordering::Acquire) > 0
+    }
+
+    /// Parks the calling thread for at most `timeout`, keyed by `key`,
+    /// unless the epoch moved past `token` since the caller's predicate
+    /// check (in which case it returns [`Parked::Raced`] immediately).
+    pub fn park(&self, token: u64, key: u64, timeout: Duration) -> Parked {
+        let id = {
+            let mut q = self.waiters.lock();
+            if self.epoch.load(Ordering::Relaxed) != token {
+                return Parked::Raced;
+            }
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            q.push(QueueWaiter { id, key, handle: WaiterHandle::current_thread() });
+            self.len.store(q.len(), Ordering::Release);
+            id
+        };
+        std::thread::park_timeout(timeout);
+        let mut q = self.waiters.lock();
+        match q.iter().position(|w| w.id == id) {
+            Some(i) => {
+                // Still enqueued: the sleep ended on its own (timeout or a
+                // stray OS unpark); withdraw the entry ourselves.
+                q.swap_remove(i);
+                self.len.store(q.len(), Ordering::Release);
+                Parked::TimedOut
+            }
+            // A notifier removed (and woke) us.
+            None => Parked::Notified,
+        }
+    }
+
+    /// Registers `waker` to be woken by the next matching notify, unless
+    /// the epoch moved past `token` (returns `false`: re-check the
+    /// predicate and re-register with a fresh token).
+    ///
+    /// `reg` carries the waiter's identity across polls: while the entry is
+    /// still queued, the waker and key are replaced in place; once a
+    /// notifier consumed it, a fresh entry is created. The caller owns the
+    /// registration's lifetime and must [`WaitQueue::deregister`] on
+    /// drop/give-up so an abandoned task never accumulates dead entries.
+    pub fn register_waker(&self, token: u64, key: u64, waker: &Waker, reg: &mut WakerReg) -> bool {
+        let mut q = self.waiters.lock();
+        if self.epoch.load(Ordering::Relaxed) != token {
+            return false;
+        }
+        if let Some(id) = reg.id {
+            if let Some(w) = q.iter_mut().find(|w| w.id == id) {
+                w.key = key;
+                w.handle = WaiterHandle::Waker(waker.clone());
+                return true;
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        q.push(QueueWaiter { id, key, handle: WaiterHandle::Waker(waker.clone()) });
+        self.len.store(q.len(), Ordering::Release);
+        reg.id = Some(id);
+        true
+    }
+
+    /// Withdraws `reg`'s entry if it is still queued (waiter dropped or
+    /// settled through another path). Safe to call redundantly.
+    pub fn deregister(&self, reg: &mut WakerReg) {
+        if let Some(id) = reg.id.take() {
+            let mut q = self.waiters.lock();
+            if let Some(i) = q.iter().position(|w| w.id == id) {
+                q.swap_remove(i);
+                self.len.store(q.len(), Ordering::Release);
+            }
+        }
+    }
+
+    /// Wakes every waiter whose key satisfies `pred`, returning how many
+    /// were woken. Always advances the epoch — even with zero matches — so
+    /// racing parkers re-check their predicate instead of sleeping.
+    pub fn notify_where(&self, mut pred: impl FnMut(u64) -> bool) -> usize {
+        let woken = {
+            let mut q = self.waiters.lock();
+            self.epoch.fetch_add(1, Ordering::Release);
+            let mut woken = Vec::new();
+            let mut i = 0;
+            while i < q.len() {
+                if pred(q[i].key) {
+                    woken.push(q.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            self.len.store(q.len(), Ordering::Release);
+            woken
+        };
+        let n = woken.len();
+        for w in woken {
+            w.handle.wake();
+        }
+        n
+    }
+
+    /// Wakes every waiter. Returns how many were woken.
+    pub fn notify_all(&self) -> usize {
+        self.notify_where(|_| true)
+    }
+
+    /// Wakes one arbitrary waiter (task-pool idle wake). Returns whether
+    /// anyone was woken; the epoch advances either way.
+    pub fn notify_one(&self) -> bool {
+        let woken = {
+            let mut q = self.waiters.lock();
+            self.epoch.fetch_add(1, Ordering::Release);
+            let w = if q.is_empty() { None } else { Some(q.swap_remove(0)) };
+            self.len.store(q.len(), Ordering::Release);
+            w
+        };
+        match woken {
+            Some(w) => {
+                w.handle.wake();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct CountWake(AtomicUsize);
+    impl Wake for CountWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    fn count_waker() -> (Arc<CountWake>, Waker) {
+        let cw = Arc::new(CountWake(AtomicUsize::new(0)));
+        (Arc::clone(&cw), Waker::from(Arc::clone(&cw)))
+    }
+
+    #[test]
+    fn cell_notify_before_register_refuses_to_park() {
+        let cell = WaitCell::new();
+        assert!(!cell.notify(), "nobody to wake yet");
+        assert!(cell.is_notified());
+        assert!(!cell.register(WaiterHandle::current_thread()), "latched notify must refuse");
+        assert!(cell.take_notified());
+        assert!(!cell.take_notified(), "consumed exactly once");
+        assert!(cell.register(WaiterHandle::current_thread()), "reusable after take");
+    }
+
+    #[test]
+    fn cell_notify_wakes_registered_waker_once() {
+        let cell = WaitCell::new();
+        let (cw, waker) = count_waker();
+        assert!(cell.register(WaiterHandle::Waker(waker)));
+        assert!(cell.notify(), "first notify hands off to the waiter");
+        assert!(!cell.notify(), "second notify finds nobody");
+        assert_eq!(cw.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cell_reregister_replaces_the_handle() {
+        let cell = WaitCell::new();
+        let (cw1, w1) = count_waker();
+        let (cw2, w2) = count_waker();
+        assert!(cell.register(WaiterHandle::Waker(w1)));
+        assert!(cell.register(WaiterHandle::Waker(w2)));
+        assert!(cell.notify());
+        assert_eq!(cw1.0.load(Ordering::SeqCst), 0, "stale waker must not fire");
+        assert_eq!(cw2.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cell_unregister_withdraws_quietly() {
+        let cell = WaitCell::new();
+        let (cw, w) = count_waker();
+        assert!(cell.register(WaiterHandle::Waker(w)));
+        cell.unregister();
+        assert!(!cell.notify(), "withdrawn waiter must not count as woken");
+        assert_eq!(cw.0.load(Ordering::SeqCst), 0);
+        assert!(cell.is_notified(), "the notification itself still latches");
+    }
+
+    #[test]
+    fn cell_thread_roundtrip() {
+        let cell = Arc::new(WaitCell::new());
+        let c2 = Arc::clone(&cell);
+        let t = std::thread::spawn(move || {
+            while !c2.is_notified() {
+                if c2.register(WaiterHandle::current_thread()) {
+                    std::thread::park_timeout(Duration::from_millis(50));
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        cell.notify();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn queue_park_races_with_notify_without_losing_wakeups() {
+        // The module-doc protocol end to end: a notify landing between the
+        // predicate check and the park must surface as Raced, not a sleep.
+        let q = WaitQueue::new();
+        let token = q.epoch();
+        assert_eq!(q.notify_all(), 0, "epoch bumps even with no waiters");
+        let begin = std::time::Instant::now();
+        let outcome = q.park(token, 0, Duration::from_secs(5));
+        assert_eq!(outcome, Parked::Raced);
+        assert!(begin.elapsed() < Duration::from_secs(1), "Raced must not sleep");
+    }
+
+    #[test]
+    fn queue_notify_where_wakes_only_matching_keys() {
+        let q = Arc::new(WaitQueue::new());
+        let released = Arc::new(AtomicU64::new(0));
+        let exited = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = [3u64, 7, 9]
+            .into_iter()
+            .map(|key| {
+                let q = Arc::clone(&q);
+                let released = Arc::clone(&released);
+                let exited = Arc::clone(&exited);
+                std::thread::spawn(move || loop {
+                    let token = q.epoch();
+                    if released.load(Ordering::Acquire) >= key {
+                        exited.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                    let _ = q.park(token, key, Duration::from_secs(10));
+                })
+            })
+            .collect();
+        while q.len.load(Ordering::Acquire) < 3 {
+            std::thread::yield_now();
+        }
+        assert!(q.has_waiters());
+        // Release only keys <= 7: waiter 9 must stay parked however often
+        // the keyed notify repeats.
+        released.store(7, Ordering::Release);
+        while exited.load(Ordering::SeqCst) < 2 {
+            q.notify_where(|k| k <= 7);
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(exited.load(Ordering::SeqCst), 2, "keyed notify must not wake waiter 9");
+        released.store(9, Ordering::Release);
+        while exited.load(Ordering::SeqCst) < 3 {
+            q.notify_all();
+            std::thread::yield_now();
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn queue_register_waker_respects_epoch_and_replaces_in_place() {
+        let q = WaitQueue::new();
+        let (cw, waker) = count_waker();
+        let mut reg = WakerReg::new();
+        let stale = q.epoch();
+        q.notify_all();
+        assert!(!q.register_waker(stale, 1, &waker, &mut reg), "stale token must refuse");
+        assert!(!reg.is_registered());
+        let token = q.epoch();
+        assert!(q.register_waker(token, 1, &waker, &mut reg));
+        assert!(reg.is_registered());
+        // Re-poll with a new waker: in-place replacement, still one entry.
+        let (cw2, waker2) = count_waker();
+        let token = q.epoch();
+        assert!(q.register_waker(token, 2, &waker2, &mut reg));
+        assert_eq!(q.notify_where(|k| k == 2), 1);
+        assert_eq!(cw.0.load(Ordering::SeqCst), 0, "replaced waker must not fire");
+        assert_eq!(cw2.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn queue_deregister_removes_the_entry() {
+        let q = WaitQueue::new();
+        let (cw, waker) = count_waker();
+        let mut reg = WakerReg::new();
+        let token = q.epoch();
+        assert!(q.register_waker(token, 0, &waker, &mut reg));
+        q.deregister(&mut reg);
+        assert!(!reg.is_registered());
+        assert_eq!(q.notify_all(), 0);
+        assert_eq!(cw.0.load(Ordering::SeqCst), 0);
+        q.deregister(&mut reg); // redundant deregister is a no-op
+    }
+
+    #[test]
+    fn queue_timeout_self_removes() {
+        let q = WaitQueue::new();
+        let token = q.epoch();
+        assert_eq!(q.park(token, 0, Duration::from_millis(1)), Parked::TimedOut);
+        assert!(!q.has_waiters(), "timed-out waiter must not leak its entry");
+    }
+}

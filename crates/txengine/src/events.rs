@@ -47,6 +47,10 @@ pub enum StallKind {
     /// An ordered-lane transaction blocked waiting for its commit ticket's
     /// turn past the threshold.
     TicketWait,
+    /// An async transaction future (`run_async`) outlived the threshold
+    /// between creation and resolution (warn-only; the inner blocking
+    /// waits own abort authority).
+    AsyncWait,
 }
 
 impl StallKind {
@@ -57,6 +61,7 @@ impl StallKind {
             StallKind::Quiescence => "quiescence",
             StallKind::FutureWait => "future_wait",
             StallKind::TicketWait => "ticket_wait",
+            StallKind::AsyncWait => "async_wait",
         }
     }
 }
@@ -181,6 +186,14 @@ pub enum Event {
     },
     /// Nanoseconds an ordered-lane commit spent waiting for its turn.
     TicketWaitNs(u64),
+    /// Spurious ordered-lane wakeups accumulated by one turn wait (woken
+    /// with the turn still pending; flushed once when the turn arrives).
+    TicketSpuriousWakes(u64),
+    /// An async task's waker was registered at a blocking site (the waker
+    /// backend of the unified wait layer).
+    WakerRegistered,
+    /// A registered waker was fired by a completion/notify path.
+    WakerFired,
 }
 
 /// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
@@ -370,6 +383,9 @@ impl EventSink for StatsSink {
             Event::TicketCommit { .. } => s.ordered_commits(),
             Event::TicketAbandoned { .. } => s.tickets_abandoned(),
             Event::TicketWaitNs(ns) => s.add_ticket_wait_ns(ns),
+            Event::TicketSpuriousWakes(n) => s.add_ticket_spurious_wakes(n),
+            Event::WakerRegistered => s.wakers_registered(),
+            Event::WakerFired => s.wakers_fired(),
             // Timing and attribution detail beyond the flat counters is the
             // observability layer's business (see `rtf-txobs`).
             Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}
@@ -495,6 +511,10 @@ mod tests {
         sink.event(Event::TicketCommit { lane: 0, seq: 0, tree: 9 });
         sink.event(Event::TicketAbandoned { lane: 0, seq: 1 });
         sink.event(Event::TicketWaitNs(40));
+        sink.event(Event::TicketSpuriousWakes(5));
+        sink.event(Event::WakerRegistered);
+        sink.event(Event::WakerRegistered);
+        sink.event(Event::WakerFired);
         // Detail-only events fall through without touching counters.
         sink.event(Event::TopCommitNs(999));
         sink.event(Event::FutureLifetimeNs(999));
@@ -509,6 +529,9 @@ mod tests {
         assert_eq!(snap.ordered_commits, 1);
         assert_eq!(snap.tickets_abandoned, 1);
         assert_eq!(snap.ticket_wait_ns, 40);
+        assert_eq!(snap.ticket_spurious_wakes, 5);
+        assert_eq!(snap.wakers_registered, 2);
+        assert_eq!(snap.wakers_fired, 1);
     }
 
     #[test]

@@ -146,6 +146,9 @@ impl MetricsSnapshot {
             ("ordered_commits".into(), Json::U64(c.ordered_commits)),
             ("tickets_abandoned".into(), Json::U64(c.tickets_abandoned)),
             ("ticket_wait_ns".into(), Json::U64(c.ticket_wait_ns)),
+            ("ticket_spurious_wakes".into(), Json::U64(c.ticket_spurious_wakes)),
+            ("wakers_registered".into(), Json::U64(c.wakers_registered)),
+            ("wakers_fired".into(), Json::U64(c.wakers_fired)),
         ]);
         let derived = Json::Obj(vec![
             ("commits".into(), Json::U64(c.commits())),

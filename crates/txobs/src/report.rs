@@ -65,11 +65,19 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
     if c.tickets_issued > 0 {
         out.push_str("ordered lane:\n");
         out.push_str(&format!(
-            "  tickets issued {}  ordered commits {}  abandoned {}  turn wait {}\n",
+            "  tickets issued {}  ordered commits {}  abandoned {}  turn wait {}  \
+             spurious wakes {}\n",
             c.tickets_issued,
             c.ordered_commits,
             c.tickets_abandoned,
-            fmt_ns(c.ticket_wait_ns)
+            fmt_ns(c.ticket_wait_ns),
+            c.ticket_spurious_wakes
+        ));
+    }
+    if c.wakers_registered > 0 {
+        out.push_str(&format!(
+            "async: wakers registered {}  fired {}\n",
+            c.wakers_registered, c.wakers_fired
         ));
     }
     let reads_total = c.read_fast + c.read_slow;
