@@ -24,7 +24,15 @@
 //! * `--require-async` — the waker backend of the unified wait layer ran:
 //!   wakers were registered at blocking sites and fired by completions
 //!   (`counters.wakers_registered > 0 && counters.wakers_fired > 0`), with
-//!   no more fires than registrations.
+//!   no more fires than registrations;
+//! * `--require-live STREAM.jsonl` — validates a live telemetry stream
+//!   (`RTF_METRICS_STREAM`) against the final snapshot: every line parses
+//!   with the `rtf-metrics-stream-v1` schema, sequence numbers are dense
+//!   from 0, timestamps and every counter are monotone non-decreasing, the
+//!   stream holds at least three snapshots, and the last line's counters
+//!   and histogram counts equal the final `metrics.json` *exactly* (the
+//!   sampler's final tick runs after the workload quiesced and before the
+//!   export was written, so any difference is a lost update).
 //!
 //! Exits non-zero with a message naming the first failed assertion.
 
@@ -67,6 +75,8 @@ struct Requirements {
     stall_probe: bool,
     ordered: bool,
     async_wakers: bool,
+    /// Path of a live JSONL stream to reconcile against the final snapshot.
+    live_stream: Option<String>,
 }
 
 fn check_metrics(doc: &Json, req: &Requirements) {
@@ -165,6 +175,97 @@ fn check_metrics(doc: &Json, req: &Requirements) {
     );
 }
 
+/// Validates a live JSONL stream (`rtf-metrics-stream-v1`) and reconciles
+/// its last line against the final exported snapshot. See the module docs
+/// for the exact contract.
+fn check_live(stream_path: &str, final_doc: &Json) {
+    let text = std::fs::read_to_string(stream_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {stream_path}: {e}")));
+    let lines: Vec<Json> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            Json::parse(line)
+                .unwrap_or_else(|e| fail(&format!("{stream_path} line {}: {e}", i + 1)))
+        })
+        .collect();
+    if lines.len() < 3 {
+        fail(&format!(
+            "live stream holds {} snapshots — need at least 3 (start, interval, final)",
+            lines.len()
+        ));
+    }
+    let mut prev_t = 0u64;
+    let mut prev_counters: Vec<(String, u64)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.path(&["schema"]).and_then(Json::as_str) != Some("rtf-metrics-stream-v1") {
+            fail(&format!("line {} schema is not rtf-metrics-stream-v1", i + 1));
+        }
+        let seq = u64_at(line, &["seq"]);
+        if seq != i as u64 {
+            fail(&format!("line {} has seq {seq} — sequence numbers must be dense from 0", i + 1));
+        }
+        let t = u64_at(line, &["t_ns"]);
+        if t < prev_t {
+            fail(&format!("line {} timestamp went backwards: {t} < {prev_t}", i + 1));
+        }
+        prev_t = t;
+        let counters = line
+            .path(&["metrics", "counters"])
+            .and_then(Json::as_obj)
+            .unwrap_or_else(|| fail(&format!("line {} has no metrics.counters", i + 1)));
+        let counters: Vec<(String, u64)> = counters
+            .iter()
+            .map(|(name, v)| {
+                let v = v.as_u64().unwrap_or_else(|| {
+                    fail(&format!("line {} counter {name} is not an integer", i + 1))
+                });
+                (name.clone(), v)
+            })
+            .collect();
+        for ((name, now), (pname, before)) in counters.iter().zip(prev_counters.iter()) {
+            if name != pname {
+                fail(&format!("line {} counter order changed at {name} vs {pname}", i + 1));
+            }
+            if now < before {
+                fail(&format!("counter {name} went backwards at line {}: {now} < {before}", i + 1));
+            }
+        }
+        prev_counters = counters;
+    }
+    // The final tick ran after the workload quiesced and before the export
+    // was written, so the last streamed snapshot must equal the export.
+    let last = lines.last().expect("at least 3 lines");
+    let final_counters = final_doc
+        .path(&["counters"])
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail("final snapshot has no counters"));
+    for (name, v) in final_counters {
+        let final_v = v.as_u64().unwrap_or(0);
+        let streamed = u64_at(last, &["metrics", "counters", name]);
+        if streamed != final_v {
+            fail(&format!(
+                "last streamed counter {name} = {streamed} but final export has {final_v} — \
+                 stream and export do not reconcile"
+            ));
+        }
+    }
+    for hist in ["commit", "wait_turn", "validation", "future_lifetime"] {
+        let streamed = u64_at(last, &["metrics", "histograms_ns", hist, "count"]);
+        let final_v = u64_at(final_doc, &["histograms_ns", hist, "count"]);
+        if streamed != final_v {
+            fail(&format!(
+                "last streamed {hist} histogram count {streamed} != final export {final_v}"
+            ));
+        }
+    }
+    println!(
+        "live stream ok: {} snapshots over {:.2}s, last reconciles with the final export",
+        lines.len(),
+        prev_t.saturating_sub(u64_at(&lines[0], &["t_ns"])) as f64 / 1e9,
+    );
+}
+
 fn check_trace(doc: &Json) {
     let events = doc
         .path(&["traceEvents"])
@@ -223,7 +324,8 @@ fn load(path: &str) -> Json {
 fn main() {
     let mut req = Requirements::default();
     let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--require-reads" => req.reads = true,
             "--require-gc" => req.gc = true,
@@ -231,6 +333,12 @@ fn main() {
             "--require-stall-probe" => req.stall_probe = true,
             "--require-ordered" => req.ordered = true,
             "--require-async" => req.async_wakers = true,
+            "--require-live" => {
+                req.live_stream = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("metrics_check: --require-live needs a STREAM.jsonl path");
+                    std::process::exit(2);
+                }));
+            }
             _ if arg.starts_with("--") => {
                 eprintln!("metrics_check: unknown flag {arg}");
                 std::process::exit(2);
@@ -243,7 +351,11 @@ fn main() {
         eprintln!("usage: metrics_check [flags] <metrics.json> [chrome_trace.json]");
         std::process::exit(2);
     });
-    check_metrics(&load(&metrics), &req);
+    let metrics_doc = load(&metrics);
+    check_metrics(&metrics_doc, &req);
+    if let Some(stream) = &req.live_stream {
+        check_live(stream, &metrics_doc);
+    }
     if let Some(trace) = positional.next() {
         check_trace(&load(&trace));
     }

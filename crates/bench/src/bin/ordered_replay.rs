@@ -34,7 +34,8 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use rtf::{state_hash, CommitLog, ObsConfig, ReplayArtifact, Rtf, TxObs, VBox};
+use rtf::{state_hash, CommitLog, ReplayArtifact, Rtf, TxObs, VBox};
+use rtf_benchkit::MetricsSidecar;
 use rtf_txfault::{decision_stream, FaultPlan, SiteRule};
 
 struct Config {
@@ -266,10 +267,8 @@ fn main() {
              recording fault-free runs"
         );
     }
-    let obs = cfg
-        .metrics
-        .as_ref()
-        .map(|_| TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() }));
+    let sidecar = cfg.metrics.as_ref().map(|_| MetricsSidecar::new("ordered_replay"));
+    let obs = sidecar.as_ref().map(|s| Arc::clone(s.obs()));
 
     // Determinism: same seed, varying thread counts, identical artifacts.
     let thread_plans: Vec<usize> = (0..cfg.repeat)
@@ -349,11 +348,9 @@ fn main() {
     }
     println!("ordered_replay: ordered and unordered agree on the commutative workload");
 
-    if let (Some(path), Some(obs)) = (&cfg.metrics, &obs) {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(path, obs.metrics().to_json().pretty())
+    if let (Some(path), Some(sidecar)) = (&cfg.metrics, &sidecar) {
+        sidecar
+            .write_to(path)
             .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
         println!("ordered_replay: metrics written to {}", path.display());
     }

@@ -1,57 +1,45 @@
-//! Metrics sidecars: every figure binary attaches one [`TxObs`] to all the
+//! Metrics sidecars: every figure binary attaches one observer to all the
 //! TMs its sweep builds and, when `--csv DIR` is given, writes
 //! `<DIR>/<figure>.metrics.json` next to the figure's CSVs — the raw
 //! material (histograms, abort hotspots, counters) behind each table.
+//!
+//! The implementation lives in [`rtf_benchkit::metrics_sidecar`] (shared
+//! with the non-`Args` binaries); this wrapper only wires the observer into
+//! [`Args`] so every `args.tm()` builder feeds it. Setting
+//! `RTF_METRICS_STREAM` / `RTF_PROM_TEXT` / `RTF_PROM_ADDR` additionally
+//! streams live snapshots while the sweep runs (see the benchkit docs).
 
 use std::path::Path;
 use std::sync::Arc;
 
-use rtf::{ObsConfig, TxObs};
+use rtf::TxObs;
 
 use crate::cli::Args;
 
-/// One observer shared by every TM a figure binary builds.
+/// One observer shared by every TM a figure binary builds. Thin wrapper
+/// over [`rtf_benchkit::MetricsSidecar`] that attaches it to [`Args`].
 pub struct MetricsSidecar {
-    obs: Arc<TxObs>,
-    figure: String,
+    inner: rtf_benchkit::MetricsSidecar,
 }
 
 impl MetricsSidecar {
     /// Creates the sidecar observer and attaches it to `args` so every
-    /// `args.tm()` builder feeds it. Spans stay off: the sidecar wants
-    /// aggregates, and the sweeps build hundreds of short-lived TMs.
+    /// `args.tm()` builder feeds it.
     pub fn install(args: &mut Args, figure: &str) -> MetricsSidecar {
-        let obs = TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() });
-        args.obs = Some(Arc::clone(&obs));
-        MetricsSidecar { obs, figure: figure.to_string() }
+        let inner = rtf_benchkit::MetricsSidecar::new(figure);
+        args.obs = Some(Arc::clone(inner.obs()));
+        MetricsSidecar { inner }
     }
 
     /// The shared observer.
     pub fn obs(&self) -> &Arc<TxObs> {
-        &self.obs
+        self.inner.obs()
     }
 
     /// Writes `<csv_dir>/<figure>.metrics.json` (when a CSV directory was
-    /// requested) and prints a one-line summary either way.
+    /// requested) and prints a one-line summary either way. Stops the live
+    /// exporter (final reconciling tick) first.
     pub fn write(&self, csv_dir: Option<&Path>) {
-        let snap = self.obs.metrics();
-        let c = &snap.counters;
-        eprintln!(
-            "{}: {} commits, {} top-level aborts (rate {:.3}), commit p50/p99 {}/{} ns",
-            self.figure,
-            c.commits(),
-            c.top_aborts(),
-            c.top_abort_rate(),
-            snap.commit.p50,
-            snap.commit.p99,
-        );
-        let Some(dir) = csv_dir else { return };
-        let path = dir.join(format!("{}.metrics.json", self.figure));
-        let write = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(&path, snap.to_json().pretty()));
-        match write {
-            Ok(()) => println!("(metrics sidecar written to {})\n", path.display()),
-            Err(e) => eprintln!("metrics sidecar {} not written: {e}", path.display()),
-        }
+        self.inner.write(csv_dir);
     }
 }

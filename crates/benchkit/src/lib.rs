@@ -10,17 +10,21 @@
 //!   and hot-spot-contended variants, with JTF-style transactional futures
 //!   or plain futures;
 //! * [`runner`] — thread-allocation strategies (the paper's `i*j` notation:
-//!   `i` top-level transactions, each parallelized across `j` threads).
+//!   `i` top-level transactions, each parallelized across `j` threads);
+//! * [`metrics_sidecar`] — the shared `<figure>.metrics.json` sidecar
+//!   observer, including the env-driven live telemetry exporter.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod measure;
+pub mod metrics_sidecar;
 pub mod runner;
 pub mod synthetic;
 pub mod table;
 
 pub use measure::{LatencyStats, RunMeasurement};
+pub use metrics_sidecar::MetricsSidecar;
 pub use runner::{run_clients, ClientReport};
 pub use synthetic::{SyntheticArray, SyntheticConfig};
 pub use table::Table;

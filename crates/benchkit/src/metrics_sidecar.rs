@@ -1,0 +1,109 @@
+//! The `<figure>.metrics.json` sidecar every harness binary writes next to
+//! its CSVs — one shared implementation instead of per-binary boilerplate.
+//!
+//! A sidecar is one [`TxObs`] observer attached to *every* TM a figure's
+//! sweep builds (hundreds of short-lived instances for the big sweeps), so
+//! the final JSON aggregates the whole figure: latency histograms, abort
+//! hotspots, raw counters.
+//!
+//! The sidecar is also where the **live telemetry pipeline** plugs into the
+//! harnesses: when the environment asks for it (`RTF_METRICS_STREAM` /
+//! `RTF_PROM_TEXT` / `RTF_PROM_ADDR`), [`MetricsSidecar::new`] starts a
+//! [`LiveExporter`] over the shared observer, streaming snapshots while the
+//! sweep runs. The exporter is stopped — emitting one final tick — *before*
+//! the sidecar file is written, which is what makes the last streamed line
+//! reconcile exactly with the final JSON (`metrics_check --require-live`
+//! enforces this). The exporter lives here and not per-TM because sweeps
+//! build a fresh TM per cell: a per-TM exporter would cover only the first
+//! cell and truncate the stream.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtf::{LiveConfig, LiveExporter, ObsConfig, TxObs};
+
+/// One observer (plus the optional env-driven live exporter) shared by
+/// every TM a figure binary builds.
+pub struct MetricsSidecar {
+    obs: Arc<TxObs>,
+    figure: String,
+    /// Env-driven live sampler; taken (and stopped, with a final
+    /// reconciling tick) by [`MetricsSidecar::finish_live`].
+    live: Mutex<Option<LiveExporter>>,
+}
+
+impl MetricsSidecar {
+    /// Creates the sidecar observer and, when the environment configures a
+    /// stream destination, starts the live exporter over it. Spans stay
+    /// off: the sidecar wants aggregates, and the sweeps build hundreds of
+    /// short-lived TMs.
+    pub fn new(figure: &str) -> MetricsSidecar {
+        let obs = TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() });
+        let live = LiveConfig::from_env().and_then(|cfg| {
+            match LiveExporter::start(Arc::clone(&obs), cfg) {
+                Ok(live) => Some(live),
+                Err(e) => {
+                    eprintln!("{figure}: live metrics exporter failed to start: {e}");
+                    None
+                }
+            }
+        });
+        MetricsSidecar { obs, figure: figure.to_string(), live: Mutex::new(live) }
+    }
+
+    /// The shared observer (attach to every TM the sweep builds).
+    pub fn obs(&self) -> &Arc<TxObs> {
+        &self.obs
+    }
+
+    /// The figure name (used as the sidecar file stem).
+    pub fn figure(&self) -> &str {
+        &self.figure
+    }
+
+    /// Stops the live exporter, if one is running: emits its final tick so
+    /// the stream's last line matches the snapshot the write paths export.
+    /// Idempotent; called implicitly by [`MetricsSidecar::write`] and
+    /// [`MetricsSidecar::write_to`].
+    pub fn finish_live(&self) {
+        if let Some(mut live) = self.live.lock().take() {
+            live.stop();
+        }
+    }
+
+    /// Writes `<csv_dir>/<figure>.metrics.json` (when a CSV directory was
+    /// requested) and prints a one-line summary either way.
+    pub fn write(&self, csv_dir: Option<&Path>) {
+        self.finish_live();
+        let snap = self.obs.metrics();
+        let c = &snap.counters;
+        eprintln!(
+            "{}: {} commits, {} top-level aborts (rate {:.3}), commit p50/p99 {}/{} ns",
+            self.figure,
+            c.commits(),
+            c.top_aborts(),
+            c.top_abort_rate(),
+            snap.commit.p50,
+            snap.commit.p99,
+        );
+        let Some(dir) = csv_dir else { return };
+        let path = dir.join(format!("{}.metrics.json", self.figure));
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, snap.to_json().pretty()));
+        match write {
+            Ok(()) => println!("(metrics sidecar written to {})\n", path.display()),
+            Err(e) => eprintln!("metrics sidecar {} not written: {e}", path.display()),
+        }
+    }
+
+    /// Writes the sidecar JSON to an explicit path (binaries with a
+    /// `--metrics FILE` flag rather than a CSV directory).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        self.finish_live();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.obs.metrics().to_json().pretty())
+    }
+}

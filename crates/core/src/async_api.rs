@@ -100,6 +100,10 @@ pub struct TxRun<R> {
     tm: Rtf,
     watch: StallWatch,
     done: bool,
+    /// Whether the previous poll parked with a registered waker — the next
+    /// poll is then wake-driven, and finding the result still pending makes
+    /// it a spurious poll ([`Event::AsyncSpuriousPoll`]).
+    registered: bool,
 }
 
 impl<R: Send + 'static> TxRun<R> {
@@ -129,7 +133,7 @@ impl<R: Send + 'static> TxRun<R> {
                 guard.shared.publish(r, &guard.sink);
             })
         };
-        TxRun { shared, task: Some(task), tm, watch, done: false }
+        TxRun { shared, task: Some(task), tm, watch, done: false, registered: false }
     }
 }
 
@@ -145,8 +149,15 @@ impl<R: Send + 'static> Future for TxRun<R> {
             cx.waker().wake_by_ref();
         }
         let _ = this.watch.tick();
+        this.tm.env().sink.event(Event::AsyncPoll);
         if let Some(task) = this.task.take() {
             this.tm.env().pool.spawn(task);
+        }
+        // A wake-driven poll that still finds no result was woken for
+        // nothing (executor spuriousness, or a wake raced by a helper that
+        // took the result path first).
+        if std::mem::take(&mut this.registered) && this.shared.result.lock().is_none() {
+            this.tm.env().sink.event(Event::AsyncSpuriousPoll);
         }
         loop {
             if let Some(r) = this.shared.result.lock().take() {
@@ -166,6 +177,7 @@ impl<R: Send + 'static> Future for TxRun<R> {
             // the result check — loop once more and take it.
             if this.shared.cell.register(WaiterHandle::Waker(cx.waker().clone())) {
                 this.tm.env().sink.event(Event::WakerRegistered);
+                this.registered = true;
                 return Poll::Pending;
             }
         }

@@ -107,7 +107,9 @@ pub use rtf_txengine::{TxData, VBox};
 // Observability layer (attach via [`RtfBuilder::observer`] or the
 // `RTF_METRICS` / `RTF_METRICS_TEXT` / `RTF_CHROME_TRACE` env vars).
 pub use rtf_txobs::{
-    state_hash, CommitLog, ExportPaths, MetricsSnapshot, ObsConfig, ReplayArtifact, TxObs,
+    render_prometheus, state_hash, CommitLog, ExportPaths, JsonlSink, LiveConfig, LiveExporter,
+    LiveSink, MetricsSnapshot, ObsConfig, PromTextSink, ReplayArtifact, SnapshotDiff, TxObs,
+    WaitEdge, STREAM_SCHEMA,
 };
 
 // Internal APIs for sibling crates (data structures, benches) and tests.

@@ -34,9 +34,9 @@ use rtf_taskpool::{Pool, PoolRunner};
 use rtf_txbase::{OrecStatus, StatSnapshot, TicketDispenser, TmStats};
 use rtf_txengine::{
     obs_now_ns, Event, EventSink, ReadRecord, ReadSet, RetryBudget, RetryDriver, Source, SpanKind,
-    SpanRec, StallKind, TraceSink, WriteEntry, WriteSet,
+    SpanRec, StallKind, TraceSink, WaitSiteGuard, WriteEntry, WriteSet,
 };
-use rtf_txobs::TxObs;
+use rtf_txobs::{LiveConfig, LiveExporter, ObsConfig, TxObs};
 
 use crate::error::{panic_message, TxError};
 use crate::future::TxFuture;
@@ -116,6 +116,10 @@ pub struct RtfConfig {
     /// commit-order recorder). Independent of `observer` and the env-driven
     /// sinks.
     pub extra_sinks: Vec<Arc<dyn EventSink>>,
+    /// Live telemetry: `Some` runs a background sampler streaming snapshots
+    /// of this runtime's observer for the lifetime of the runtime (stopped —
+    /// with one final reconciling tick — before the on-drop export).
+    pub live: Option<LiveConfig>,
 }
 
 impl Default for RtfConfig {
@@ -133,6 +137,7 @@ impl Default for RtfConfig {
             stall_abort: None,
             ordered: None,
             extra_sinks: Vec::new(),
+            live: None,
         }
     }
 }
@@ -154,6 +159,7 @@ impl std::fmt::Debug for RtfConfig {
             .field("stall_abort", &self.stall_abort)
             .field("ordered", &self.ordered)
             .field("extra_sinks", &self.extra_sinks.len())
+            .field("live", &self.live)
             .finish()
     }
 }
@@ -251,6 +257,18 @@ impl RtfBuilder {
         self
     }
 
+    /// Streams live metrics snapshots while the runtime runs: a background
+    /// sampler ticks the configured sinks (JSONL stream, Prometheus text
+    /// file, optional scrape endpoint) every `config.interval`, plus a final
+    /// tick at teardown so the last streamed line reconciles exactly with
+    /// the on-drop export. Attaches a default observer if none was
+    /// configured. Harnesses that sweep several runtimes over one shared
+    /// observer should instead run one [`LiveExporter`] themselves.
+    pub fn live_metrics(mut self, config: LiveConfig) -> Self {
+        self.config.live = Some(config);
+        self
+    }
+
     /// Builds the runtime (spawns the worker pool).
     pub fn build(self) -> Rtf {
         Rtf::with_config(self.config)
@@ -292,11 +310,19 @@ struct RtfInner {
     /// Ticket dispenser of the ordered-execution lane (`Some` iff the
     /// runtime was built with [`RtfBuilder::ordered`]).
     dispenser: Option<Arc<TicketDispenser>>,
+    /// Background live-metrics sampler ([`RtfBuilder::live_metrics`]).
+    live: Option<LiveExporter>,
     _pool_runner: PoolRunner,
 }
 
 impl Drop for RtfInner {
     fn drop(&mut self) {
+        // Stop the live sampler first: its stop() emits one final tick, and
+        // running it before the exports below is what makes the last
+        // streamed line reconcile exactly with the on-drop export.
+        if let Some(mut live) = self.live.take() {
+            live.stop();
+        }
         // Export whatever the environment (or an explicit `ExportPaths`)
         // asked for. The env-driven observer is a process-wide singleton,
         // so each runtime teardown overwrites the files with the cumulative
@@ -339,6 +365,10 @@ impl Rtf {
                 observers.push(Arc::clone(obs));
             }
         }
+        if config.live.is_some() && observers.is_empty() {
+            // Live metrics need something to sample.
+            observers.push(TxObs::new(ObsConfig::default()));
+        }
         extras.extend(observers.iter().map(TxObs::sink));
         extras.extend(config.extra_sinks.iter().cloned());
         let mvstm = MvStm::with_strategy_and_extras(config.commit_strategy, extras);
@@ -347,6 +377,34 @@ impl Rtf {
         let stall = StallThresholds::resolve(config.stall_warn, config.stall_abort);
         let dispenser = config.ordered.map(|shards| Arc::new(TicketDispenser::new(shards)));
         let env = Arc::new(TxEnv { pool: pool_runner.pool(), sink, ro_opt: config.ro_opt, stall });
+        // Structural depth gauges, sampled into every snapshot. The gauge
+        // registry replaces by name, so a sweep of runtimes over one shared
+        // observer always reports the newest instance.
+        for obs in &observers {
+            let pool = env.pool.clone();
+            obs.register_gauge("pool_queue_depth", move || pool.pending() as u64);
+            if let Some(d) = &dispenser {
+                let d = Arc::clone(d);
+                obs.register_gauge("ordered_lane_depth", move || {
+                    (0..d.shards() as u32)
+                        .map(|i| {
+                            let lane = d.lane(i);
+                            lane.issued().saturating_sub(lane.turn())
+                        })
+                        .sum()
+                });
+            }
+        }
+        let live = config.live.clone().and_then(|lc| {
+            let obs = Arc::clone(observers.first().expect("live metrics attach an observer"));
+            match LiveExporter::start(obs, lc) {
+                Ok(exporter) => Some(exporter),
+                Err(e) => {
+                    eprintln!("rtf: live metrics exporter failed to start: {e}");
+                    None
+                }
+            }
+        });
         Rtf {
             inner: Arc::new(RtfInner {
                 mvstm,
@@ -354,6 +412,7 @@ impl Rtf {
                 config,
                 observers,
                 dispenser,
+                live,
                 _pool_runner: pool_runner,
             }),
         }
@@ -558,6 +617,15 @@ impl Rtf {
                             Arc::clone(sink),
                             inner.env.stall,
                         );
+                        let _wait = (tree.tasks_in_flight() > 0).then(|| {
+                            WaitSiteGuard::enter(
+                                sink.as_ref(),
+                                StallKind::Quiescence,
+                                tree.tree_id.0,
+                                tree.tasks_in_flight() as u64,
+                                0,
+                            )
+                        });
                         tree.wait_quiescent(|| {
                             let _ = watch.tick();
                             pool.help_one(None)
@@ -669,6 +737,18 @@ impl Rtf {
             Arc::clone(&self.inner.env.sink),
             self.inner.env.stall,
         );
+        // Only publish a wait-graph edge when there genuinely is something
+        // to wait for — teardown runs on every abort and usually finds the
+        // tree already quiescent.
+        let _wait = (tree.tasks_in_flight() > 0).then(|| {
+            WaitSiteGuard::enter(
+                self.inner.env.sink.as_ref(),
+                StallKind::Quiescence,
+                tree.tree_id.0,
+                tree.tasks_in_flight() as u64,
+                0,
+            )
+        });
         tree.wait_quiescent(|| {
             let _ = watch.tick();
             pool.help_one(None)
@@ -702,6 +782,15 @@ impl Rtf {
         let sink = &inner.env.sink;
         let pool = inner.env.pool.clone();
         let t0 = obs_now_ns();
+        // Publish the blocked-on edge for the live wait-graph inspector:
+        // "this thread waits for lane/seq" (dropped when the wait resolves).
+        let _wait = WaitSiteGuard::enter(
+            sink.as_ref(),
+            StallKind::TicketWait,
+            tree.tree_id.0,
+            u64::from(ticket.ticket().lane),
+            seq,
+        );
         let mut watch = StallWatch::new(
             StallKind::TicketWait,
             tree.tree_id.0,

@@ -246,6 +246,12 @@ impl TreeCtx {
         }
     }
 
+    /// Future tasks of this tree currently in flight (instantaneous; used
+    /// by the wait-graph inspector to label quiescence waits).
+    pub fn tasks_in_flight(&self) -> usize {
+        *self.tasks.lock()
+    }
+
     /// Blocks until no task of this tree is in flight, running `help`
     /// while waiting (queued tasks of this very tree may need a thread).
     pub fn wait_quiescent(&self, mut help: impl FnMut() -> bool) {

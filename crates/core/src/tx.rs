@@ -41,7 +41,7 @@ use std::sync::Arc;
 use rtf_taskpool::{OrderTag, Pool};
 use rtf_txengine::{
     downcast, erase, obs_now_ns, read_pin, tx_trace, ConflictKind, Event, EventSink, ReadLog,
-    ReadPath, Source, SpanKind, SpanRec, StallKind, TxData, VBox, VBoxCell, Val,
+    ReadPath, Source, SpanKind, SpanRec, StallKind, TxData, VBox, VBoxCell, Val, WaitSiteGuard,
 };
 
 use crate::error::TxError;
@@ -461,6 +461,17 @@ impl Tx {
         // uncommitted frames beneath work that transitively waits on them
         // (see the taskpool module docs on the helping inversion).
         let bound = order_tag(&self.tree, &self.current().node.path);
+        // Publish the blocked-on edge only when the handle is actually
+        // unsettled — the common already-committed eval stays a probe.
+        let _wait = (!fut.is_settled()).then(|| {
+            WaitSiteGuard::enter(
+                self.env.sink.as_ref(),
+                StallKind::FutureWait,
+                self.tree.tree_id.0,
+                self.current().node.id.raw(),
+                0,
+            )
+        });
         match fut.wait_helping(move || {
             if tree.is_poisoned() {
                 std::panic::panic_any(PoisonSignal);
@@ -669,6 +680,17 @@ fn commit_frame(
                 Arc::clone(&env.sink),
                 env.stall,
             );
+            // Wait-graph edge: "this thread waits for `target`'s nClock to
+            // reach `threshold`" — skipped when the turn is already here.
+            let _wait = (target.nclock() < threshold).then(|| {
+                WaitSiteGuard::enter(
+                    env.sink.as_ref(),
+                    StallKind::WaitTurn,
+                    tree.tree_id.0,
+                    target.id.raw(),
+                    threshold,
+                )
+            });
             let ok = target.wait_nclock_at_least(
                 threshold,
                 || {

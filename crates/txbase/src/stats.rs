@@ -199,6 +199,13 @@ counters! {
     wakers_registered,
     /// Registered wakers fired by a completion/notify path.
     wakers_fired,
+    /// `Future::poll` calls on the async front-end's transaction futures
+    /// (`TxRun`).
+    async_polls,
+    /// Polls of an already-registered transaction future that found the
+    /// result still pending — the executor woke it for nothing (a spurious
+    /// wake, or a wake raced by another helper).
+    async_spurious_polls,
 }
 
 impl StatSnapshot {

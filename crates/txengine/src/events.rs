@@ -194,6 +194,32 @@ pub enum Event {
     WakerRegistered,
     /// A registered waker was fired by a completion/notify path.
     WakerFired,
+    /// The async front-end polled a transaction future (`TxRun::poll`).
+    AsyncPoll,
+    /// A poll of an already-registered transaction future found the result
+    /// still pending (the wake was spurious from the future's viewpoint).
+    AsyncSpuriousPoll,
+    /// The calling thread entered a registered blocking wait site and
+    /// published what it waits on — the raw material of the live wait-graph
+    /// inspector. `(a, b)` are kind-specific coordinates: `(lane, seq)` for
+    /// [`StallKind::TicketWait`], `(node, nclock target)` for
+    /// [`StallKind::WaitTurn`], `(waiting node, 0)` for
+    /// [`StallKind::FutureWait`] / [`StallKind::AsyncWait`], `(live tasks,
+    /// 0)` for [`StallKind::Quiescence`]. Always paired with a
+    /// [`Event::WaitEnd`] from the same thread (RAII at the wait site);
+    /// sites may nest (a waiter helping the pool can block again inside).
+    WaitBegin {
+        /// Which family of blocking wait.
+        kind: StallKind,
+        /// Raw id of the waiting tree (0 when not applicable).
+        tree: u64,
+        /// First kind-specific coordinate (see variant docs).
+        a: u64,
+        /// Second kind-specific coordinate (see variant docs).
+        b: u64,
+    },
+    /// The calling thread left its innermost registered wait site.
+    WaitEnd,
 }
 
 /// Phases of the transaction-tree lifecycle a [`SpanRec`] can cover.
@@ -326,6 +352,37 @@ pub trait EventSink: Send + Sync {
     fn span(&self, _rec: SpanRec) {}
 }
 
+/// RAII publication of one blocking wait for the live wait-graph inspector:
+/// emits [`Event::WaitBegin`] on construction and [`Event::WaitEnd`] on drop.
+/// Construct and drop on the waiting thread — the receiving sink attributes
+/// the pair to [`stable_thread_id`]. Guards may nest (a waiter that helps
+/// the pool and blocks again publishes an inner site); interested sinks keep
+/// a per-thread stack.
+pub struct WaitSiteGuard<'a> {
+    sink: &'a dyn EventSink,
+}
+
+impl<'a> WaitSiteGuard<'a> {
+    /// Publishes entry into a wait site through `sink`. `(a, b)` follow the
+    /// kind-specific coordinate conventions of [`Event::WaitBegin`].
+    pub fn enter(
+        sink: &'a dyn EventSink,
+        kind: StallKind,
+        tree: u64,
+        a: u64,
+        b: u64,
+    ) -> WaitSiteGuard<'a> {
+        sink.event(Event::WaitBegin { kind, tree, a, b });
+        WaitSiteGuard { sink }
+    }
+}
+
+impl Drop for WaitSiteGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.event(Event::WaitEnd);
+    }
+}
+
 /// Discards everything (the default sink).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullSink;
@@ -386,9 +443,16 @@ impl EventSink for StatsSink {
             Event::TicketSpuriousWakes(n) => s.add_ticket_spurious_wakes(n),
             Event::WakerRegistered => s.wakers_registered(),
             Event::WakerFired => s.wakers_fired(),
+            Event::AsyncPoll => s.async_polls(),
+            Event::AsyncSpuriousPoll => s.async_spurious_polls(),
             // Timing and attribution detail beyond the flat counters is the
-            // observability layer's business (see `rtf-txobs`).
-            Event::TopCommitNs(_) | Event::FutureLifetimeNs(_) | Event::Conflict { .. } => {}
+            // observability layer's business (see `rtf-txobs`), as is the
+            // live wait-site publication.
+            Event::TopCommitNs(_)
+            | Event::FutureLifetimeNs(_)
+            | Event::Conflict { .. }
+            | Event::WaitBegin { .. }
+            | Event::WaitEnd => {}
         }
     }
 }
@@ -515,9 +579,14 @@ mod tests {
         sink.event(Event::WakerRegistered);
         sink.event(Event::WakerRegistered);
         sink.event(Event::WakerFired);
+        sink.event(Event::AsyncPoll);
+        sink.event(Event::AsyncPoll);
+        sink.event(Event::AsyncPoll);
         // Detail-only events fall through without touching counters.
         sink.event(Event::TopCommitNs(999));
         sink.event(Event::FutureLifetimeNs(999));
+        sink.event(Event::WaitBegin { kind: StallKind::TicketWait, tree: 1, a: 0, b: 5 });
+        sink.event(Event::WaitEnd);
         let snap = stats.snapshot();
         assert_eq!(snap.top_commits, 2);
         assert_eq!(snap.sub_validation_aborts, 1);
@@ -532,6 +601,32 @@ mod tests {
         assert_eq!(snap.ticket_spurious_wakes, 5);
         assert_eq!(snap.wakers_registered, 2);
         assert_eq!(snap.wakers_fired, 1);
+        assert_eq!(snap.async_polls, 3);
+    }
+
+    #[test]
+    fn wait_site_guard_pairs_begin_and_end_lifo() {
+        struct Record(Mutex<Vec<Event>>);
+        impl EventSink for Record {
+            fn event(&self, e: Event) {
+                self.0.lock().unwrap().push(e);
+            }
+        }
+        let sink = Record(Mutex::new(Vec::new()));
+        {
+            let _outer = WaitSiteGuard::enter(&sink, StallKind::TicketWait, 7, 0, 42);
+            let _inner = WaitSiteGuard::enter(&sink, StallKind::WaitTurn, 7, 3, 9);
+        }
+        let got = sink.0.into_inner().unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Event::WaitBegin { kind: StallKind::TicketWait, tree: 7, a: 0, b: 42 },
+                Event::WaitBegin { kind: StallKind::WaitTurn, tree: 7, a: 3, b: 9 },
+                Event::WaitEnd,
+                Event::WaitEnd,
+            ]
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use cell::{
 };
 pub use events::{
     obs_now_ns, stable_thread_id, ConflictKind, Event, EventSink, NullSink, SpanKind, SpanRec,
-    StallKind, StatsSink, TeeSink, TraceSink,
+    StallKind, StatsSink, TeeSink, TraceSink, WaitSiteGuard,
 };
 pub use readset::{ReadLog, ReadRecord, ReadSet, Source, WriteEntry, WriteSet};
 pub use retry::{retry_backoff, ExpBackoff, RetryBudget, RetryDriver, RetryExhausted, RetryPolicy};

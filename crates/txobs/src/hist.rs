@@ -140,6 +140,73 @@ pub struct HistSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistSnapshot {
+    /// The histogram of samples recorded between `earlier` and `self`
+    /// (both snapshots of the *same* [`LogHist`]).
+    ///
+    /// Bucket counts only grow, so the per-bucket saturating difference is
+    /// exactly the interval's samples; `count` and `buckets` are exact and
+    /// never negative. Percentiles are re-resolved from the interval's own
+    /// distribution with the usual ≤ ~6% bucket-midpoint error. Two fields
+    /// are bounds rather than exact interval values: `mean` is recovered
+    /// from the running sums (float rounding only), and `max` is inherited
+    /// from `self` — the largest sample *ever* seen, an upper bound on the
+    /// interval's largest (exact whenever the interval contains it).
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        // Both bucket lists are sorted ascending by lower bound; merge with
+        // two cursors.
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        let mut count = 0u64;
+        let mut ei = earlier.buckets.iter().peekable();
+        for &(lo, c) in &self.buckets {
+            let mut prev = 0u64;
+            while let Some(&&(elo, ec)) = ei.peek() {
+                match elo.cmp(&lo) {
+                    std::cmp::Ordering::Less => {
+                        ei.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        prev = ec;
+                        ei.next();
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            let d = c.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((lo, d));
+                count += d;
+            }
+        }
+        let sum = (self.mean * self.count as f64 - earlier.mean * earlier.count as f64).max(0.0);
+        let max = self.max;
+        let pct = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+            let mut cum = 0u64;
+            for &(lower, c) in &buckets {
+                cum += c;
+                if cum >= target {
+                    return bucket_mid(bucket_of(lower)).min(max);
+                }
+            }
+            max
+        };
+        HistSnapshot {
+            count,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+            max,
+            buckets,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +302,34 @@ mod tests {
         h.record(1 << 20);
         let s = h.snapshot();
         assert_eq!(s.p99, 1 << 20);
+    }
+
+    #[test]
+    fn interval_since_is_exact_on_counts_and_buckets() {
+        let h = LogHist::new();
+        for v in [3u64, 3, 17, 1000] {
+            h.record(v);
+        }
+        let a = h.snapshot();
+        for v in [3u64, 42, 42, 1 << 20] {
+            h.record(v);
+        }
+        let b = h.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.count, 4);
+        // Reconciliation: earlier + interval == later, bucket by bucket.
+        let mut merged: std::collections::BTreeMap<u64, u64> = a.buckets.iter().copied().collect();
+        for (lo, c) in &d.buckets {
+            *merged.entry(*lo).or_insert(0) += c;
+        }
+        assert_eq!(merged.into_iter().collect::<Vec<_>>(), b.buckets);
+        // The interval's own distribution drives its percentiles.
+        assert!(d.p50 <= d.p95 && d.p95 <= d.p99 && d.p99 <= d.max);
+        // Interval mean recovered from the running sums.
+        assert!((d.mean - (3.0 + 42.0 + 42.0 + (1u64 << 20) as f64) / 4.0).abs() < 1e-6);
+        // Degenerate interval: nothing recorded.
+        assert_eq!(b.since(&b).count, 0);
+        assert!(b.since(&b).buckets.is_empty());
     }
 
     #[test]

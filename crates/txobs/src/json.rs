@@ -82,6 +82,14 @@ impl Json {
         }
     }
 
+    /// The value as an object's ordered field list.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Compact single-line rendering.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -17,7 +17,11 @@
 //!   writer tree, ranked into a hotspot report ([`conflicts`]);
 //! * **exports** — a dependency-free JSON snapshot ([`json`]), a
 //!   human-readable report ([`report`]), and a Chrome trace-event document
-//!   ([`chrome`]) that renders the transaction tree in Perfetto.
+//!   ([`chrome`]) that renders the transaction tree in Perfetto;
+//! * **live telemetry** — monotone snapshot deltas ([`snapshot`]), a
+//!   background sampler streaming JSONL and Prometheus documents while the
+//!   workload runs ([`live`]), and the exposition renderer plus optional
+//!   scrape endpoint ([`prom`]).
 //!
 //! Everything is opt-in: with no observer attached the runtime pays one
 //! virtual `spans_enabled()` call per potential span and nothing else.
@@ -29,19 +33,29 @@ pub mod chrome;
 pub mod conflicts;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod obs;
+pub mod prom;
 pub mod replay;
 pub mod report;
 pub mod ring;
+pub mod snapshot;
 
 pub use chrome::chrome_trace;
 pub use conflicts::{ConflictTable, Hotspot};
 pub use hist::{HistSnapshot, LogHist};
 pub use json::{Json, ParseError};
+pub use live::{JsonlSink, LiveConfig, LiveExporter, LiveSink, PromTextSink, STREAM_SCHEMA};
 pub use obs::{ExportPaths, MetricsSnapshot, ObsConfig, SpanObs, TxObs};
+pub use prom::render_prometheus;
+#[cfg(feature = "live-tcp")]
+pub use prom::PromServer;
 pub use replay::{state_hash, CommitLog, ReplayArtifact, ReplayCounters, REPLAY_SCHEMA};
 pub use ring::SpanRing;
+pub use snapshot::{SnapshotDiff, WaitEdge};
 
 // Re-exported so observer clients need not depend on the engine crate for
 // the sink vocabulary.
-pub use rtf_txengine::{obs_now_ns, stable_thread_id, Event, EventSink, SpanKind, SpanRec};
+pub use rtf_txengine::{
+    obs_now_ns, stable_thread_id, Event, EventSink, SpanKind, SpanRec, StallKind,
+};

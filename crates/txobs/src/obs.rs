@@ -22,8 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use rtf_txbase::{StatSnapshot, TmStats};
-use rtf_txengine::{stable_thread_id, Event, EventSink, SpanRec, StatsSink};
+use rtf_txbase::{FxHashMap, StatSnapshot, TmStats};
+use rtf_txengine::{obs_now_ns, stable_thread_id, Event, EventSink, SpanRec, StatsSink};
 
 use crate::chrome::chrome_trace;
 use crate::conflicts::{ConflictTable, Hotspot};
@@ -31,6 +31,7 @@ use crate::hist::{HistSnapshot, LogHist};
 use crate::json::Json;
 use crate::report;
 use crate::ring::SpanRing;
+use crate::snapshot::WaitEdge;
 
 /// Observer tunables.
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +91,15 @@ pub struct MetricsSnapshot {
     pub spans_recorded: u64,
     /// Spans shed because a ring was full.
     pub spans_dropped: u64,
+    /// Peak single-ring occupancy over the run — the ring-sizing signal
+    /// that predicts `spans_dropped` before drops happen.
+    pub span_ring_high_water: u64,
+    /// Instantaneous values of every registered gauge (`(name, value)`,
+    /// sorted by name), sampled when the snapshot was cut.
+    pub gauges: Vec<(String, u64)>,
+    /// Live blocked-on edges (who waits on whom), sorted by
+    /// `(thread, depth)`, as of when the snapshot was cut.
+    pub waits: Vec<WaitEdge>,
 }
 
 fn hist_json(h: &HistSnapshot) -> Json {
@@ -149,6 +159,8 @@ impl MetricsSnapshot {
             ("ticket_spurious_wakes".into(), Json::U64(c.ticket_spurious_wakes)),
             ("wakers_registered".into(), Json::U64(c.wakers_registered)),
             ("wakers_fired".into(), Json::U64(c.wakers_fired)),
+            ("async_polls".into(), Json::U64(c.async_polls)),
+            ("async_spurious_polls".into(), Json::U64(c.async_spurious_polls)),
         ]);
         let derived = Json::Obj(vec![
             ("commits".into(), Json::U64(c.commits())),
@@ -190,8 +202,14 @@ impl MetricsSnapshot {
                 Json::Obj(vec![
                     ("recorded".into(), Json::U64(self.spans_recorded)),
                     ("dropped".into(), Json::U64(self.spans_dropped)),
+                    ("high_water".into(), Json::U64(self.span_ring_high_water)),
                 ]),
             ),
+            (
+                "gauges".into(),
+                Json::Obj(self.gauges.iter().map(|(n, v)| (n.clone(), Json::U64(*v))).collect()),
+            ),
+            ("waits".into(), Json::Arr(self.waits.iter().map(WaitEdge::to_json).collect())),
         ])
     }
 
@@ -210,6 +228,20 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// What one thread published on entering a wait site (the live half of a
+/// [`WaitEdge`]; `waited_ns` is resolved at snapshot time).
+#[derive(Clone, Copy)]
+struct WaitStart {
+    kind: rtf_txengine::StallKind,
+    tree: u64,
+    a: u64,
+    b: u64,
+    since_ns: u64,
+}
+
+/// A registered live gauge: sampled (not accumulated) at snapshot time.
+type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
 /// The observability aggregate (see module docs). Create with
 /// [`TxObs::new`] and attach via [`TxObs::sink`]; it is an [`EventSink`].
 pub struct TxObs {
@@ -225,6 +257,11 @@ pub struct TxObs {
     conflicts: ConflictTable,
     rings: Mutex<Vec<Arc<SpanRing>>>,
     collected: Mutex<Vec<SpanObs>>,
+    // Wait sites and gauges are slow-path state (threads touch `waits` only
+    // when they are about to park; gauges only at snapshot time), so plain
+    // mutex-guarded maps are plenty — same reasoning as `ConflictTable`.
+    waits: Mutex<FxHashMap<u64, Vec<WaitStart>>>,
+    gauges: Mutex<Vec<(String, GaugeFn)>>,
 }
 
 impl fmt::Debug for TxObs {
@@ -255,6 +292,8 @@ impl TxObs {
             conflicts: ConflictTable::default(),
             rings: Mutex::new(Vec::new()),
             collected: Mutex::new(Vec::new()),
+            waits: Mutex::new(FxHashMap::default()),
+            gauges: Mutex::new(Vec::new()),
         })
     }
 
@@ -330,13 +369,59 @@ impl TxObs {
         collected.clone()
     }
 
+    /// Registers a live gauge sampled into every snapshot's `gauges` list.
+    /// Re-registering a name replaces the previous closure, so a sequence
+    /// of TM instances sharing one observer (a benchmark sweep) always
+    /// reports the newest instance and drops the stale capture.
+    pub fn register_gauge(
+        &self,
+        name: impl Into<String>,
+        sample: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        let mut gauges = self.gauges.lock();
+        if let Some(slot) = gauges.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = Box::new(sample);
+        } else {
+            gauges.push((name, Box::new(sample)));
+        }
+    }
+
+    /// The live blocked-on edges as of now (see [`WaitEdge`]), sorted by
+    /// `(thread, depth)`.
+    pub fn active_waits(&self) -> Vec<WaitEdge> {
+        let now = obs_now_ns();
+        let mut edges: Vec<WaitEdge> = self
+            .waits
+            .lock()
+            .iter()
+            .flat_map(|(&thread, stack)| {
+                stack.iter().enumerate().map(move |(depth, w)| WaitEdge {
+                    thread,
+                    depth: depth as u32,
+                    kind: w.kind,
+                    tree: w.tree,
+                    a: w.a,
+                    b: w.b,
+                    waited_ns: now.saturating_sub(w.since_ns),
+                })
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.thread, e.depth));
+        edges
+    }
+
     /// A point-in-time copy of all aggregates (does not drain spans).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let (mut recorded, mut dropped) = (0, 0);
+        let (mut recorded, mut dropped, mut high_water) = (0, 0, 0);
         for ring in self.rings.lock().iter() {
             recorded += ring.pushed();
             dropped += ring.dropped();
+            high_water = high_water.max(ring.high_water());
         }
+        let mut gauges: Vec<(String, u64)> =
+            self.gauges.lock().iter().map(|(n, f)| (n.clone(), f())).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot {
             counters: self.stats.snapshot(),
             commit: self.hist_commit.snapshot(),
@@ -346,6 +431,9 @@ impl TxObs {
             hotspots: self.conflicts.top_n(self.config.top_n),
             spans_recorded: recorded,
             spans_dropped: dropped,
+            span_ring_high_water: high_water,
+            gauges,
+            waits: self.active_waits(),
         }
     }
 
@@ -392,6 +480,25 @@ impl EventSink for TxObs {
             Event::FutureLifetimeNs(ns) => self.hist_future.record(ns),
             Event::Conflict { kind, cell, writer_tree } => {
                 self.conflicts.record(kind, cell.raw() as u64, writer_tree.0);
+            }
+            Event::WaitBegin { kind, tree, a, b } => {
+                self.waits.lock().entry(stable_thread_id()).or_default().push(WaitStart {
+                    kind,
+                    tree,
+                    a,
+                    b,
+                    since_ns: obs_now_ns(),
+                });
+            }
+            Event::WaitEnd => {
+                let mut waits = self.waits.lock();
+                let tid = stable_thread_id();
+                if let Some(stack) = waits.get_mut(&tid) {
+                    stack.pop();
+                    if stack.is_empty() {
+                        waits.remove(&tid);
+                    }
+                }
             }
             _ => {}
         }
@@ -502,6 +609,52 @@ mod tests {
         tids.sort_unstable();
         seen.sort_unstable();
         assert_eq!(seen, tids);
+    }
+
+    #[test]
+    fn wait_begin_end_maintains_a_per_thread_stack_of_edges() {
+        use rtf_txengine::StallKind;
+        let obs = TxObs::new(ObsConfig::default());
+        let sink = obs.sink();
+        sink.event(Event::WaitBegin { kind: StallKind::TicketWait, tree: 7, a: 0, b: 42 });
+        sink.event(Event::WaitBegin { kind: StallKind::WaitTurn, tree: 7, a: 3, b: 9 });
+        let m = obs.metrics();
+        assert_eq!(m.waits.len(), 2);
+        assert_eq!(m.waits[0].depth, 0);
+        assert_eq!(m.waits[0].kind, StallKind::TicketWait);
+        assert_eq!((m.waits[0].a, m.waits[0].b), (0, 42));
+        assert_eq!(m.waits[1].depth, 1);
+        assert_eq!(m.waits[1].kind, StallKind::WaitTurn);
+        assert_eq!(m.waits[0].thread, stable_thread_id());
+        // LIFO: the inner site clears first.
+        sink.event(Event::WaitEnd);
+        let m = obs.metrics();
+        assert_eq!(m.waits.len(), 1);
+        assert_eq!(m.waits[0].kind, StallKind::TicketWait);
+        sink.event(Event::WaitEnd);
+        assert!(obs.metrics().waits.is_empty());
+        // A stray WaitEnd with no open site is ignored.
+        sink.event(Event::WaitEnd);
+        assert!(obs.metrics().waits.is_empty());
+    }
+
+    #[test]
+    fn gauges_are_sampled_at_snapshot_time_and_replace_by_name() {
+        let obs = TxObs::new(ObsConfig::default());
+        let v = Arc::new(AtomicU64::new(5));
+        let v2 = Arc::clone(&v);
+        obs.register_gauge("queue_depth", move || v2.load(Ordering::Relaxed));
+        obs.register_gauge("lane_depth", || 3);
+        let m = obs.metrics();
+        // Sorted by name.
+        assert_eq!(m.gauges, vec![("lane_depth".into(), 3), ("queue_depth".into(), 5)]);
+        v.store(9, Ordering::Relaxed);
+        assert_eq!(obs.metrics().gauges[1], ("queue_depth".into(), 9));
+        // Re-registration replaces rather than duplicates.
+        obs.register_gauge("lane_depth", || 4);
+        let m = obs.metrics();
+        assert_eq!(m.gauges.len(), 2);
+        assert_eq!(m.gauges[0], ("lane_depth".into(), 4));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::hist::HistSnapshot;
 use crate::obs::MetricsSnapshot;
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -74,10 +74,11 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
             c.ticket_spurious_wakes
         ));
     }
-    if c.wakers_registered > 0 {
+    if c.wakers_registered > 0 || c.async_polls > 0 {
+        out.push_str("async:\n");
         out.push_str(&format!(
-            "async: wakers registered {}  fired {}\n",
-            c.wakers_registered, c.wakers_fired
+            "  polls {}  spurious polls {}  wakers registered {}  fired {}\n",
+            c.async_polls, c.async_spurious_polls, c.wakers_registered, c.wakers_fired
         ));
     }
     let reads_total = c.read_fast + c.read_slow;
@@ -96,7 +97,22 @@ pub fn text_report(m: &MetricsSnapshot) -> String {
     hist_row(&mut out, "wait_turn", &m.wait_turn);
     hist_row(&mut out, "validation", &m.validation);
     hist_row(&mut out, "future_lifetime", &m.future_lifetime);
-    out.push_str(&format!("spans: recorded {}  dropped {}\n", m.spans_recorded, m.spans_dropped));
+    out.push_str(&format!(
+        "spans: recorded {}  dropped {}  ring high-water {}\n",
+        m.spans_recorded, m.spans_dropped, m.span_ring_high_water
+    ));
+    if !m.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &m.gauges {
+            out.push_str(&format!("  {name} {value}\n"));
+        }
+    }
+    if !m.waits.is_empty() {
+        out.push_str("live waits (who waits on whom):\n");
+        for edge in &m.waits {
+            out.push_str(&format!("  {}\n", edge.describe()));
+        }
+    }
     if m.hotspots.is_empty() {
         out.push_str("abort hotspots: none attributed\n");
     } else {
@@ -129,8 +145,23 @@ mod tests {
         m.counters.read_slow = 2;
         m.counters.tickets_issued = 6;
         m.counters.ordered_commits = 5;
+        m.counters.async_polls = 11;
+        m.counters.async_spurious_polls = 2;
+        m.counters.wakers_registered = 4;
+        m.counters.wakers_fired = 4;
         m.commit.count = 5;
         m.commit.p99 = 1_500;
+        m.span_ring_high_water = 17;
+        m.gauges.push(("pool_queue_depth".into(), 3));
+        m.waits.push(crate::snapshot::WaitEdge {
+            thread: 2,
+            depth: 0,
+            kind: rtf_txengine::StallKind::TicketWait,
+            tree: 4,
+            a: 1,
+            b: 8,
+            waited_ns: 7_000,
+        });
         m.hotspots.push(Hotspot {
             cell: 0xff,
             top_validation: 1,
@@ -150,6 +181,13 @@ mod tests {
             "stalls detected",
             "ordered lane",
             "tickets issued 6",
+            "async:",
+            "polls 11  spurious polls 2  wakers registered 4  fired 4",
+            "ring high-water 17",
+            "gauges:",
+            "pool_queue_depth 3",
+            "live waits",
+            "t2 ticket_wait lane 1 seq 8 (tree 4, 7.00us)",
         ] {
             assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
         }

@@ -55,6 +55,7 @@ pub struct SpanRing {
     dequeue_pos: CachePadded<AtomicU64>,
     pushed: CachePadded<AtomicU64>,
     dropped: CachePadded<AtomicU64>,
+    high_water: CachePadded<AtomicU64>,
 }
 
 impl SpanRing {
@@ -73,6 +74,7 @@ impl SpanRing {
             dequeue_pos: CachePadded::new(AtomicU64::new(0)),
             pushed: CachePadded::new(AtomicU64::new(0)),
             dropped: CachePadded::new(AtomicU64::new(0)),
+            high_water: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -89,6 +91,15 @@ impl SpanRing {
     /// Records shed because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Peak occupancy (records resident at once) observed over the ring's
+    /// lifetime — the operator's ring-sizing signal: a high-water mark
+    /// approaching capacity predicts `dropped` before drops happen. Updated
+    /// at push time from relaxed position reads, so concurrent traffic may
+    /// under-report by a few slots; it never over-reports capacity.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Appends `rec`, or sheds it (bumping the drop counter) when the ring
@@ -113,6 +124,10 @@ impl SpanRing {
                         }
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         self.pushed.fetch_add(1, Ordering::Relaxed);
+                        let occupancy = pos
+                            .wrapping_add(1)
+                            .wrapping_sub(self.dequeue_pos.load(Ordering::Relaxed));
+                        self.high_water.fetch_max(occupancy.min(self.mask + 1), Ordering::Relaxed);
                         return true;
                     }
                     Err(now) => pos = now,
@@ -210,6 +225,28 @@ mod tests {
         // Space freed: pushes succeed again.
         assert!(ring.push(&rec(99)));
         assert_eq!(ring.pop(), Some(rec(99)));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy_not_current() {
+        let ring = SpanRing::new(8, 0);
+        assert_eq!(ring.high_water(), 0);
+        for i in 0..3 {
+            assert!(ring.push(&rec(i)));
+        }
+        assert_eq!(ring.high_water(), 3);
+        ring.pop();
+        ring.pop();
+        assert!(ring.push(&rec(9)));
+        // Occupancy dropped to 2; the mark remembers the peak.
+        assert_eq!(ring.high_water(), 3);
+        for i in 10..18 {
+            ring.push(&rec(i));
+        }
+        // Filled to capacity (2 resident + 6 accepted, 2 shed): the mark
+        // saturates at capacity and the shed pushes do not inflate it.
+        assert_eq!(ring.high_water(), 8);
+        assert_eq!(ring.dropped(), 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use rtf_txobs::{
     chrome_trace, ConflictTable, HistSnapshot, Json, MetricsSnapshot, SpanKind, SpanObs, SpanRec,
+    WaitEdge,
 };
 
 fn golden_path(name: &str) -> std::path::PathBuf {
@@ -43,6 +44,28 @@ fn fixed_snapshot() -> MetricsSnapshot {
         future_lifetime: fixed_hist(4),
         spans_recorded: 42,
         spans_dropped: 3,
+        span_ring_high_water: 17,
+        gauges: vec![("ordered_lane_depth".into(), 2), ("pool_queue_depth".into(), 5)],
+        waits: vec![
+            WaitEdge {
+                thread: 1,
+                depth: 0,
+                kind: rtf_txengine::StallKind::TicketWait,
+                tree: 7,
+                a: 0,
+                b: 42,
+                waited_ns: 1_200_000,
+            },
+            WaitEdge {
+                thread: 2,
+                depth: 0,
+                kind: rtf_txengine::StallKind::WaitTurn,
+                tree: 7,
+                a: 3,
+                b: 9,
+                waited_ns: 48_000,
+            },
+        ],
         ..MetricsSnapshot::default()
     };
     m.counters.top_commits = 100;
@@ -57,6 +80,10 @@ fn fixed_snapshot() -> MetricsSnapshot {
     m.counters.validation_ns = 65_432;
     m.counters.read_fast = 900;
     m.counters.read_slow = 100;
+    m.counters.wakers_registered = 12;
+    m.counters.wakers_fired = 12;
+    m.counters.async_polls = 30;
+    m.counters.async_spurious_polls = 4;
     let conflicts = ConflictTable::default();
     for _ in 0..3 {
         conflicts.record(rtf_txengine::ConflictKind::SubValidation, 0xbeef, 4);

@@ -22,8 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use rtf::{CommitLog, ReplayArtifact, Rtf, TxError, VBox};
+use rtf::{CommitLog, LiveConfig, ObsConfig, ReplayArtifact, Rtf, TxError, TxObs, VBox};
 use rtf_txfault::{FaultPlan, SiteRule};
+use rtf_txobs::Json;
 
 /// Serializes tests: installed fault plans are process-global.
 fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -203,65 +204,83 @@ fn seeded_chaos_preserves_counter_exactness() {
             .rule(SiteRule::at("taskpool.task.run").panic(5_000))
             .rule(SiteRule::at("txengine.cell.*").abort(30_000)),
     );
-    let outcome = bounded(120, || {
-        let tm = Arc::new(
-            Rtf::builder()
-                .workers(4)
-                // Backstop: a wedged wait fails the test as StallAborted
-                // instead of tripping the hang detector with no diagnosis.
-                .stall_warn(Duration::from_millis(200))
-                .stall_abort(Duration::from_secs(10))
-                .build(),
-        );
-        let counter = VBox::new(0u64);
-        let expected = Arc::new(AtomicU64::new(0));
-        let panicked = Arc::new(AtomicU64::new(0));
-        let handles: Vec<_> = (0..4)
-            .map(|_| {
-                let tm = Arc::clone(&tm);
-                let counter = counter.clone();
-                let expected = Arc::clone(&expected);
-                let panicked = Arc::clone(&panicked);
-                std::thread::spawn(move || {
-                    for _ in 0..250 {
-                        let r = tm.run({
-                            let counter = counter.clone();
-                            move |tx| {
-                                let f = tx.submit({
-                                    let counter = counter.clone();
-                                    move |tx| {
-                                        let v = *tx.read(&counter);
-                                        tx.write(&counter, v + 1);
-                                        1u64
-                                    }
-                                });
-                                let d = *tx.eval(&f);
-                                let v = *tx.read(&counter);
-                                tx.write(&counter, v + d);
+    // The live sampler streams snapshots *while* faults fire: exactness
+    // must survive concurrent observation, and the stream's last line must
+    // still reconcile with the observer's final totals.
+    let stream = std::env::temp_dir().join(format!("rtf-chaos-live-{}.jsonl", std::process::id()));
+    let obs = TxObs::new(ObsConfig { spans: false, ..ObsConfig::default() });
+    let outcome = bounded(120, {
+        let obs = Arc::clone(&obs);
+        let stream = stream.clone();
+        move || {
+            let tm = Arc::new(
+                Rtf::builder()
+                    .workers(4)
+                    .observer(obs)
+                    .live_metrics(LiveConfig {
+                        interval: Duration::from_millis(20),
+                        jsonl: Some(stream),
+                        prom_text: None,
+                        prom_addr: None,
+                    })
+                    // Backstop: a wedged wait fails the test as StallAborted
+                    // instead of tripping the hang detector with no diagnosis.
+                    .stall_warn(Duration::from_millis(200))
+                    .stall_abort(Duration::from_secs(10))
+                    .build(),
+            );
+            let counter = VBox::new(0u64);
+            let expected = Arc::new(AtomicU64::new(0));
+            let panicked = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let tm = Arc::clone(&tm);
+                    let counter = counter.clone();
+                    let expected = Arc::clone(&expected);
+                    let panicked = Arc::clone(&panicked);
+                    std::thread::spawn(move || {
+                        for _ in 0..250 {
+                            let r = tm.run({
+                                let counter = counter.clone();
+                                move |tx| {
+                                    let f = tx.submit({
+                                        let counter = counter.clone();
+                                        move |tx| {
+                                            let v = *tx.read(&counter);
+                                            tx.write(&counter, v + 1);
+                                            1u64
+                                        }
+                                    });
+                                    let d = *tx.eval(&f);
+                                    let v = *tx.read(&counter);
+                                    tx.write(&counter, v + d);
+                                }
+                            });
+                            match r {
+                                Ok(()) => {
+                                    expected.fetch_add(2, Ordering::Relaxed);
+                                }
+                                Err(TxError::FuturePanicked { .. }) => {
+                                    panicked.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => panic!("unexpected chaos failure: {e}"),
                             }
-                        });
-                        match r {
-                            Ok(()) => {
-                                expected.fetch_add(2, Ordering::Relaxed);
-                            }
-                            Err(TxError::FuturePanicked { .. }) => {
-                                panicked.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(e) => panic!("unexpected chaos failure: {e}"),
                         }
-                    }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("client thread crashed");
+                .collect();
+            for h in handles {
+                h.join().expect("client thread crashed");
+            }
+            let outcome = (
+                *counter.read_committed(),
+                expected.load(Ordering::Relaxed),
+                panicked.load(Ordering::Relaxed),
+                rtf_txfault::injected_total(),
+            );
+            drop(tm); // stop the sampler: final reconciling tick, flush batches
+            outcome
         }
-        (
-            *counter.read_committed(),
-            expected.load(Ordering::Relaxed),
-            panicked.load(Ordering::Relaxed),
-            rtf_txfault::injected_total(),
-        )
     });
     rtf_txfault::clear();
     let (committed, expected, panicked, injected) = outcome;
@@ -270,6 +289,20 @@ fn seeded_chaos_preserves_counter_exactness() {
     // With 1000 runs at these panic rates, some future panics are certain;
     // each must have surfaced as a structured error, never a crash or hang.
     assert!(panicked > 0, "injected panics never surfaced as FuturePanicked");
+    // The stream the sampler wrote mid-chaos reconciles with the observer.
+    let fin = obs.metrics();
+    let text = std::fs::read_to_string(&stream).expect("live stream written");
+    let last = Json::parse(text.lines().last().unwrap()).unwrap();
+    assert_eq!(
+        last.path(&["metrics", "counters", "top_commits"]).and_then(Json::as_u64),
+        Some(fin.counters.top_commits),
+        "live stream's final line diverged from the observer under chaos"
+    );
+    assert_eq!(
+        last.path(&["metrics", "counters", "future_panics"]).and_then(Json::as_u64),
+        Some(fin.counters.future_panics),
+    );
+    std::fs::remove_file(&stream).ok();
 }
 
 /// The seeded chaos workload through the ordered lane: the same exactness
